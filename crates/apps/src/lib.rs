@@ -1,0 +1,22 @@
+//! # ccs-apps — StreamIt-style streaming applications
+//!
+//! The paper motivates its scheduler with classic digital-signal-processing
+//! streaming programs (StreamIt, GNU Radio). This crate reimplements the
+//! canonical benchmark *topologies* — rates and state-size profiles — as
+//! [`ccs_graph::StreamGraph`]s, plus kernel bindings for real execution.
+//!
+//! State sizes are in words (one `f32` item = one word) and follow the
+//! usual shapes: FIR filters carry `2·taps` words (coefficients +
+//! window), transforms carry coefficient tables, glue modules carry a few
+//! words. Where a real codec has data-dependent rates (RLE, Huffman), we
+//! fix the rate at its design-point average, as the paper prescribes for
+//! modules that violate the static-rate assumption (§1, footnote 2).
+
+pub mod apps;
+pub mod bind;
+
+pub use apps::{
+    audio_effects, beamformer, bitonic_sort, des_like, fft, filterbank,
+    fm_radio, jpeg_like, matvec_stream, suite, vocoder, App,
+};
+pub use bind::fir_instance;

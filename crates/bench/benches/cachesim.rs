@@ -1,0 +1,88 @@
+//! Criterion benchmarks: the cache simulator's hot paths.
+
+use ccs_cachesim::{min, CacheParams, LruCache, MemorySim, SetAssocCache};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_lru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru-access");
+    let trace: Vec<u64> = {
+        let mut rng = SmallRng::seed_from_u64(1);
+        (0..100_000).map(|_| rng.gen_range(0..4096)).collect()
+    };
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for cap in [256u64, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("random", cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut cache = LruCache::new(cap);
+                let mut misses = 0u64;
+                for &blk in &trace {
+                    misses += cache.access(blk, false) as u64;
+                }
+                misses
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_assoc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set-assoc-access");
+    let trace: Vec<u64> = {
+        let mut rng = SmallRng::seed_from_u64(2);
+        (0..100_000).map(|_| rng.gen_range(0..4096)).collect()
+    };
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for ways in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("ways", ways), &ways, |b, &ways| {
+            b.iter(|| {
+                let mut cache = SetAssocCache::new(1024, ways);
+                let mut misses = 0u64;
+                for &blk in &trace {
+                    misses += cache.access(blk, false) as u64;
+                }
+                misses
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_touch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory-sim");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("touch-64w-ranges", |b| {
+        b.iter(|| {
+            let mut sim = MemorySim::lru(CacheParams::new(1 << 14, 16));
+            for i in 0..10_000u64 {
+                sim.touch((i * 64) % (1 << 18), 64, i % 2 == 0, 0);
+            }
+            sim.stats().misses
+        })
+    });
+    group.finish();
+}
+
+fn bench_belady(c: &mut Criterion) {
+    let trace: Vec<u64> = {
+        let mut rng = SmallRng::seed_from_u64(3);
+        (0..50_000).map(|_| rng.gen_range(0..2048)).collect()
+    };
+    let mut group = c.benchmark_group("belady-min");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("opt-50k", |b| {
+        b.iter(|| min::simulate_min(&trace, 512))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lru,
+    bench_set_assoc,
+    bench_range_touch,
+    bench_belady
+);
+criterion_main!(benches);

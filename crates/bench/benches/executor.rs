@@ -1,0 +1,70 @@
+//! Criterion benchmarks: symbolic execution and scheduling throughput.
+
+use ccs_cachesim::CacheParams;
+use ccs_graph::gen::{self, PipelineCfg, StateDist};
+use ccs_graph::RateAnalysis;
+use ccs_sched::{baseline, partitioned, ExecOptions, Executor};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_symbolic_executor(c: &mut Criterion) {
+    let g = gen::pipeline_uniform(32, 128);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let run = baseline::single_appearance(&g, &ra, 256);
+    let params = CacheParams::new(2048, 16);
+
+    let mut group = c.benchmark_group("symbolic-exec");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(run.firings.len() as u64));
+    group.bench_function("sas-32x128w", |b| {
+        b.iter(|| {
+            let mut ex = Executor::new(
+                &g,
+                &ra,
+                run.capacities.clone(),
+                params,
+                ExecOptions::default(),
+            );
+            ex.run(&run.firings).unwrap();
+            ex.report().stats.misses
+        })
+    });
+    group.finish();
+}
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let cfg = PipelineCfg {
+        len: 48,
+        state: StateDist::Uniform(16, 128),
+        max_q: 3,
+        max_rate_scale: 2,
+    };
+    let g = gen::pipeline(&cfg, 17);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let pp = ccs_partition::pipeline::greedy_theorem5(&g, &ra, 128).unwrap();
+
+    let mut group = c.benchmark_group("schedule-generation");
+    group.sample_size(20);
+    group.bench_function("demand-driven-1k", |b| {
+        b.iter(|| baseline::demand_driven(&g, &ra, 1000).firings.len())
+    });
+    group.bench_function("pipeline-dynamic-1k", |b| {
+        b.iter(|| {
+            partitioned::pipeline_dynamic(&g, &ra, &pp.partition, 1024, 1000)
+                .unwrap()
+                .firings
+                .len()
+        })
+    });
+    group.bench_function("inhomogeneous-2rounds", |b| {
+        b.iter(|| {
+            partitioned::inhomogeneous(&g, &ra, &pp.partition, 1024, 2)
+                .unwrap()
+                .firings
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic_executor, bench_schedule_generation);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion benchmarks: partitioning algorithms.
+
+use ccs_graph::gen::{self, LayeredCfg, PipelineCfg, StateDist};
+use ccs_graph::RateAnalysis;
+use ccs_partition::{annealing, dag_exact, dag_greedy, dag_local, fusion, multilevel, pipeline};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pipeline_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline-partitioners");
+    group.sample_size(20);
+    for n in [64usize, 256, 1024] {
+        let cfg = PipelineCfg {
+            len: n,
+            state: StateDist::Uniform(16, 128),
+            max_q: 4,
+            max_rate_scale: 3,
+        };
+        let g = gen::pipeline(&cfg, 42);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        group.bench_with_input(BenchmarkId::new("greedy-2m", n), &n, |b, _| {
+            b.iter(|| pipeline::greedy_theorem5(&g, &ra, 256).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dp-optimal", n), &n, |b, _| {
+            b.iter(|| pipeline::dp_min_bandwidth(&g, &ra, 512).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dag_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag-partitioners");
+    group.sample_size(15);
+    let cfg = LayeredCfg {
+        layers: 8,
+        max_width: 8,
+        density: 0.3,
+        state: StateDist::Uniform(16, 96),
+        max_q: 2,
+    };
+    let g = gen::layered(&cfg, 3);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let bound = 256u64.max(g.max_state());
+    group.bench_function("greedy-topo", |b| {
+        b.iter(|| dag_greedy::greedy_topo(&g, bound))
+    });
+    group.bench_function("greedy-affinity", |b| {
+        b.iter(|| dag_greedy::greedy_affinity(&g, &ra, bound))
+    });
+    let p0 = dag_greedy::greedy_topo(&g, bound);
+    group.bench_function("local-refine", |b| {
+        b.iter(|| dag_local::refine(&g, &ra, bound, &p0, 8))
+    });
+    group.finish();
+
+    // Exact solver on its feasible scale.
+    let mut group = c.benchmark_group("dag-exact");
+    group.sample_size(10);
+    for nodes in [10usize, 12, 14] {
+        // Find a seed yielding the requested node count.
+        let mut graph = None;
+        for seed in 0..500u64 {
+            let cfg = LayeredCfg {
+                layers: 3,
+                max_width: 4,
+                density: 0.3,
+                state: StateDist::Uniform(8, 48),
+                max_q: 2,
+            };
+            let g = gen::layered(&cfg, seed);
+            if g.node_count() == nodes {
+                graph = Some(g);
+                break;
+            }
+        }
+        let Some(g) = graph else { continue };
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let bound = 3 * 64u64.max(g.max_state());
+        group.bench_with_input(BenchmarkId::new("ideal-dp", nodes), &nodes, |b, _| {
+            b.iter(|| dag_exact::min_bandwidth_exact(&g, &ra, bound).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_metaheuristics(c: &mut Criterion) {
+    let cfg = LayeredCfg {
+        layers: 8,
+        max_width: 8,
+        density: 0.3,
+        state: StateDist::Uniform(16, 96),
+        max_q: 2,
+    };
+    let g = gen::layered(&cfg, 3);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let bound = 256u64.max(g.max_state());
+    let p0 = dag_local::refine(&g, &ra, bound, &dag_greedy::greedy_topo(&g, bound), 8);
+
+    let mut group = c.benchmark_group("metaheuristics");
+    group.sample_size(10);
+    group.bench_function("anneal-4k-steps", |b| {
+        b.iter(|| {
+            annealing::anneal(&g, &ra, bound, &p0, &annealing::AnnealCfg::default())
+        })
+    });
+    group.bench_function("multilevel", |b| {
+        b.iter(|| {
+            multilevel::multilevel(&g, &ra, bound, &multilevel::MultilevelCfg::default())
+        })
+    });
+    group.bench_function("fuse", |b| {
+        b.iter(|| fusion::fuse(&g, &ra, &p0).unwrap().graph.node_count())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline_partitioners,
+    bench_dag_partitioners,
+    bench_metaheuristics
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! E1 — Lemma 1 / Corollary 2: the segment firing bound.
+//!
+//! For a pipeline segment ⟨u, v⟩ with gain-minimizing edge (x, y), module
+//! `u` can fire at most `2M·gain(u)/gain(x,y)` times before either some
+//! progeny leaves through `v` or `2M` progeny are buffered inside the
+//! segment.
+//!
+//! The harness plays an *adversarial* schedule that maximizes `u`'s
+//! firings: it withholds `v` entirely (so nothing ever leaves) and, after
+//! each firing of `u`, greedily fires every interior module that strictly
+//! shrinks the number of buffered items (pushing items through
+//! compressing stages parks as few items as possible). It then reports
+//! the measured firing count against the lemma's bound.
+
+use ccs_bench::{f, Table};
+use ccs_graph::gen::{self, PipelineCfg, StateDist};
+use ccs_graph::{RateAnalysis, Ratio};
+
+fn main() {
+    let m = 512u64;
+    let mut table = Table::new(
+        format!("E1: segment firing bound (Lemma 1), M = {m} words"),
+        &[
+            "seed", "segment", "state", "gain(u)", "gainMin", "fired(u)",
+            "bound", "fired/bound",
+        ],
+    );
+
+    let mut worst = 0.0f64;
+    for seed in 0..12u64 {
+        let cfg = PipelineCfg {
+            len: 20,
+            state: StateDist::Uniform(64, 256),
+            max_q: 4,
+            max_rate_scale: 2,
+        };
+        let g = gen::pipeline(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let order = g.pipeline_order().unwrap();
+
+        // Choose the first prefix segment with at least 2M state.
+        let mut b = 0usize;
+        let mut acc = 0u64;
+        while b < order.len() && acc < 2 * m {
+            acc += g.state(order[b]);
+            b += 1;
+        }
+        if b >= order.len() || b < 2 {
+            continue;
+        }
+        let seg = &order[..b]; // u = seg[0], v = seg[b-1]
+        let seg_edges: Vec<ccs_graph::EdgeId> = (0..b - 1)
+            .map(|i| g.out_edges(seg[i])[0])
+            .collect();
+
+        // Gain-minimizing edge.
+        let gain_min = seg_edges
+            .iter()
+            .map(|&e| ra.edge_gain(&g, e))
+            .min()
+            .unwrap();
+        let gain_u = ra.gain(seg[0]);
+        let bound = (Ratio::integer(2 * m as i128) * gain_u
+            / gain_min)
+            .ceil() as u64;
+
+        // Adversarial simulation: unbounded buffers, v withheld.
+        let mut occ = vec![0u64; b - 1]; // items on segment edge i
+        let mut fired_u = 0u64;
+        let buffered = |occ: &[u64]| -> u64 { occ.iter().sum() };
+        while buffered(&occ) < 2 * m {
+            // Fire u once.
+            let e0 = g.edge(seg_edges[0]);
+            occ[0] += e0.produce;
+            fired_u += 1;
+            // Compress: fire interior modules (not u, not v) that shrink
+            // the buffered total, until fixpoint.
+            loop {
+                let mut any = false;
+                for i in 1..b - 1 {
+                    let e_in = g.edge(seg_edges[i - 1]);
+                    let e_out = g.edge(seg_edges[i]);
+                    // Firing seg[i] consumes e_in.consume, produces
+                    // e_out.produce; do it while it doesn't grow buffers.
+                    while occ[i - 1] >= e_in.consume
+                        && e_out.produce <= e_in.consume
+                    {
+                        occ[i - 1] -= e_in.consume;
+                        occ[i] += e_out.produce;
+                        any = true;
+                    }
+                }
+                if !any {
+                    break;
+                }
+            }
+            assert!(
+                fired_u <= bound + 1,
+                "seed {seed}: Lemma 1 violated: fired {fired_u} > bound {bound}"
+            );
+        }
+
+        let ratio = fired_u as f64 / bound as f64;
+        worst = worst.max(ratio);
+        table.row(vec![
+            seed.to_string(),
+            format!("0..{b}"),
+            acc.to_string(),
+            gain_u.to_string(),
+            gain_min.to_string(),
+            fired_u.to_string(),
+            bound.to_string(),
+            f(ratio),
+        ]);
+    }
+
+    table.print();
+    println!("worst fired/bound ratio: {} (Lemma 1 predicts <= 1)", f(worst));
+    let path = table.save_csv("e01_segment_bound").unwrap();
+    println!("csv: {}", path.display());
+}

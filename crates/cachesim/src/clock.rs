@@ -1,0 +1,209 @@
+//! CLOCK (second-chance) replacement.
+//!
+//! A cheap LRU approximation used by real systems; experiments use it to
+//! check that the paper's conclusions are robust to the replacement
+//! policy, not an artifact of true LRU.
+
+use crate::stats::CacheStats;
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    block: u64,
+    referenced: bool,
+    dirty: bool,
+    valid: bool,
+}
+
+/// CLOCK replacement over block ids.
+#[derive(Clone, Debug)]
+pub struct ClockCache {
+    frames: Vec<Frame>,
+    map: HashMap<u64, usize>,
+    hand: usize,
+    stats: CacheStats,
+}
+
+impl ClockCache {
+    pub fn new(capacity_blocks: u64) -> ClockCache {
+        assert!(capacity_blocks > 0);
+        let cap = usize::try_from(capacity_blocks).expect("capacity fits");
+        ClockCache {
+            frames: vec![
+                Frame {
+                    block: 0,
+                    referenced: false,
+                    dirty: false,
+                    valid: false,
+                };
+                cap
+            ],
+            map: HashMap::with_capacity(cap),
+            hand: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Access `block`; `true` on a miss.
+    pub fn access(&mut self, block: u64, write: bool) -> bool {
+        self.stats.accesses += 1;
+        if let Some(&i) = self.map.get(&block) {
+            self.stats.hits += 1;
+            self.frames[i].referenced = true;
+            self.frames[i].dirty |= write;
+            return false;
+        }
+        self.stats.misses += 1;
+        // Advance the hand to a victim: skip referenced frames, clearing
+        // their bit (second chance).
+        let victim = loop {
+            let f = &mut self.frames[self.hand];
+            if !f.valid {
+                break self.hand;
+            }
+            if f.referenced {
+                f.referenced = false;
+                self.hand = (self.hand + 1) % self.frames.len();
+            } else {
+                break self.hand;
+            }
+        };
+        let f = &mut self.frames[victim];
+        if f.valid {
+            if f.dirty {
+                self.stats.writebacks += 1;
+            }
+            self.map.remove(&f.block);
+        }
+        *f = Frame {
+            block,
+            referenced: true,
+            dirty: write,
+            valid: true,
+        };
+        self.map.insert(block, victim);
+        self.hand = (victim + 1) % self.frames.len();
+        true
+    }
+
+    /// Empty the cache, counting writebacks for dirty frames.
+    pub fn flush(&mut self) {
+        for f in &mut self.frames {
+            if f.valid && f.dirty {
+                self.stats.writebacks += 1;
+            }
+            f.valid = false;
+            f.referenced = false;
+        }
+        self.map.clear();
+        self.hand = 0;
+        self.stats.flushes += 1;
+    }
+
+    pub fn contains(&self, block: u64) -> bool {
+        self.map.contains_key(&block)
+    }
+
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+impl crate::sim::BlockCache for ClockCache {
+    fn access(&mut self, block: u64, write: bool) -> bool {
+        ClockCache::access(self, block, write)
+    }
+    fn flush(&mut self) {
+        ClockCache::flush(self)
+    }
+    fn stats(&self) -> &CacheStats {
+        ClockCache::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::LruCache;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn basic_hit_miss() {
+        let mut c = ClockCache::new(2);
+        assert!(c.access(1, false));
+        assert!(c.access(2, false));
+        assert!(!c.access(1, false));
+        assert!(!c.access(2, false));
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn degrades_to_fifo_when_all_referenced() {
+        // With every frame referenced, the hand clears all bits and
+        // evicts the first frame it started from — FIFO order.
+        let mut c = ClockCache::new(2);
+        c.access(1, false);
+        c.access(2, false);
+        c.access(3, false); // clears both, evicts 1 (first in)
+        assert!(!c.contains(1));
+        assert!(c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn second_chance_protects_referenced() {
+        // After the pass above, 2's reference bit is cleared while 3's is
+        // set (fresh fill): the next miss must evict 2 and spare 3.
+        let mut c = ClockCache::new(2);
+        c.access(1, false);
+        c.access(2, false);
+        c.access(3, false); // state: [3 (ref), 2 (cleared)]
+        c.access(4, false); // second chance: evict 2, keep 3
+        assert!(c.contains(3));
+        assert!(!c.contains(2));
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    fn writeback_accounting() {
+        let mut c = ClockCache::new(1);
+        c.access(1, true);
+        c.access(2, false);
+        assert_eq!(c.stats().writebacks, 1);
+        c.access(3, true);
+        c.flush();
+        assert_eq!(c.stats().writebacks, 2);
+        assert!(!c.contains(3));
+    }
+
+    #[test]
+    fn clock_tracks_lru_on_random_traces() {
+        // CLOCK approximates LRU: miss counts within a modest factor on
+        // random workloads.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let trace: Vec<u64> = (0..6000).map(|_| rng.gen_range(0..96)).collect();
+        for cap in [8u64, 16, 32, 64] {
+            let mut clock = ClockCache::new(cap);
+            let mut lru = LruCache::new(cap);
+            let (mut mc, mut ml) = (0u64, 0u64);
+            for &b in &trace {
+                mc += clock.access(b, false) as u64;
+                ml += lru.access(b, false) as u64;
+            }
+            assert!(
+                (mc as f64) <= 1.3 * ml as f64 + 16.0,
+                "cap {cap}: clock {mc} vs lru {ml}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_scan_all_miss() {
+        let mut c = ClockCache::new(8);
+        for b in 0..64u64 {
+            assert!(c.access(b, false));
+        }
+        assert_eq!(c.stats().misses, 64);
+    }
+}

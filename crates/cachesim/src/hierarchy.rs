@@ -1,0 +1,143 @@
+//! Two-level inclusive cache hierarchy.
+//!
+//! The paper's analysis is single-level (the DAM model), but real
+//! machines have hierarchies; §7 raises multi-level questions as future
+//! work. This simulator composes two LRU levels (think L1/L2 in the
+//! model's units): an access missing L1 probes L2, and a block filled
+//! into L1 is also filled into L2 (inclusive). Experiments use it to
+//! check that a schedule optimized for the `(M₂, B)` DAM model also
+//! behaves well at a smaller first level.
+
+use crate::lru::LruCache;
+use crate::stats::CacheStats;
+
+/// Inclusive two-level LRU hierarchy.
+#[derive(Clone, Debug)]
+pub struct TwoLevelCache {
+    l1: LruCache,
+    l2: LruCache,
+}
+
+/// Statistics for both levels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TwoLevelStats {
+    pub l1: CacheStats,
+    pub l2: CacheStats,
+}
+
+impl TwoLevelCache {
+    /// `l1_blocks < l2_blocks` required (inclusive hierarchy).
+    pub fn new(l1_blocks: u64, l2_blocks: u64) -> TwoLevelCache {
+        assert!(
+            l1_blocks < l2_blocks,
+            "L1 ({l1_blocks}) must be smaller than L2 ({l2_blocks})"
+        );
+        TwoLevelCache {
+            l1: LruCache::new(l1_blocks),
+            l2: LruCache::new(l2_blocks),
+        }
+    }
+
+    /// Access a block. Returns `(l1_miss, l2_miss)`; `l2_miss` implies a
+    /// memory transfer.
+    pub fn access(&mut self, block: u64, write: bool) -> (bool, bool) {
+        let l1_miss = self.l1.access(block, write);
+        if !l1_miss {
+            return (false, false);
+        }
+        let l2_miss = self.l2.access(block, write);
+        (true, l2_miss)
+    }
+
+    pub fn stats(&self) -> TwoLevelStats {
+        TwoLevelStats {
+            l1: *self.l1.stats(),
+            l2: *self.l2.stats(),
+        }
+    }
+
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+    }
+}
+
+/// A [`crate::sim::BlockCache`] view counting only level-2 (memory)
+/// misses as misses — the DAM-comparable number — while still simulating
+/// the first level.
+impl crate::sim::BlockCache for TwoLevelCache {
+    fn access(&mut self, block: u64, write: bool) -> bool {
+        self.access(block, write).1
+    }
+    fn flush(&mut self) {
+        TwoLevelCache::flush(self)
+    }
+    fn stats(&self) -> &CacheStats {
+        // The L2 stats are the memory-transfer counts.
+        self.l2.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_hit_never_probes_l2() {
+        let mut c = TwoLevelCache::new(2, 8);
+        assert_eq!(c.access(1, false), (true, true)); // cold in both
+        assert_eq!(c.access(1, false), (false, false));
+        assert_eq!(c.stats().l2.accesses, 1, "L2 probed once");
+    }
+
+    #[test]
+    fn l1_eviction_still_hits_l2() {
+        let mut c = TwoLevelCache::new(1, 8);
+        c.access(1, false);
+        c.access(2, false); // evicts 1 from L1, both resident in L2
+        let (l1_miss, l2_miss) = c.access(1, false);
+        assert!(l1_miss);
+        assert!(!l2_miss, "L2 retains the block");
+    }
+
+    #[test]
+    fn l2_miss_counts_agree_with_single_level_lru() {
+        // For inclusive LRU levels, L2 sees the L1-miss stream; the L2
+        // miss count equals single-level LRU of size L2 on the full trace
+        // only when L1 hits don't disturb recency. Verify the weaker,
+        // always-true property: L2 misses <= single-level-L1-sized misses
+        // and >= compulsory misses.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let trace: Vec<u64> = (0..4000).map(|_| rng.gen_range(0..64)).collect();
+        let mut two = TwoLevelCache::new(8, 32);
+        let mut small = crate::lru::LruCache::new(8);
+        let mut mem2 = 0u64;
+        let mut mem_small = 0u64;
+        for &b in &trace {
+            mem2 += two.access(b, false).1 as u64;
+            mem_small += small.access(b, false) as u64;
+        }
+        let distinct = 64u64;
+        assert!(mem2 >= distinct);
+        assert!(mem2 <= mem_small, "bigger L2 can only help");
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller")]
+    fn rejects_inverted_sizes() {
+        TwoLevelCache::new(8, 8);
+    }
+
+    #[test]
+    fn works_through_memory_sim() {
+        use crate::params::CacheParams;
+        use crate::sim::MemorySim;
+        let params = CacheParams::new(256, 8);
+        let cache = TwoLevelCache::new(4, params.blocks());
+        let mut sim = MemorySim::with_cache(params, cache);
+        sim.touch(0, 64, false, 0); // 8 blocks: cold everywhere
+        sim.touch(0, 64, false, 0); // L2-resident: no memory misses
+        assert_eq!(sim.stats().misses, 8);
+    }
+}

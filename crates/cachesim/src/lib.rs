@@ -1,0 +1,38 @@
+//! # ccs-cachesim — the external-memory (DAM) model, executable
+//!
+//! The paper analyzes streaming schedules in the I/O model of Aggarwal and
+//! Vitter: a cache of `M` words organized in blocks of `B` words over an
+//! unbounded memory; the cost of a schedule is the number of block
+//! fetches. This crate makes that model executable:
+//!
+//! * [`CacheParams`] — the `(M, B)` pair; [`AddressSpace`] — a
+//!   block-aligned region allocator; [`Region`] — contiguous objects
+//!   (module state, ring buffers).
+//! * [`LruCache`] — fully-associative LRU (the standard constant-factor
+//!   stand-in for the model's optimal replacement).
+//! * [`SetAssocCache`] — set-associative LRU for hardware-realism
+//!   experiments.
+//! * [`ClockCache`] — CLOCK (second-chance) replacement, a realistic LRU
+//!   approximation for policy-robustness experiments.
+//! * [`TwoLevelCache`] — an inclusive L1/L2 hierarchy (the paper's §7
+//!   multi-level direction, executable).
+//! * [`min::simulate_min`] — Belady's offline-optimal replacement, used to
+//!   bound how far LRU is from ideal on recorded traces.
+//! * [`MemorySim`] — range/ring touches with per-object miss attribution.
+
+pub mod clock;
+pub mod hierarchy;
+pub mod lru;
+pub mod min;
+pub mod params;
+pub mod setassoc;
+pub mod sim;
+pub mod stats;
+
+pub use clock::ClockCache;
+pub use hierarchy::TwoLevelCache;
+pub use lru::LruCache;
+pub use params::{Addr, AddressSpace, CacheParams, Region};
+pub use setassoc::SetAssocCache;
+pub use sim::{BlockCache, MemorySim};
+pub use stats::CacheStats;

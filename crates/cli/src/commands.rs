@@ -1,0 +1,416 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use ccs_cachesim::CacheParams;
+use ccs_core::compare::{compare_schedulers, format_table};
+use ccs_core::report::Report;
+use ccs_core::{Horizon, Planner, Strategy};
+use ccs_graph::{RateAnalysis, StreamGraph};
+use std::error::Error;
+
+type CliResult = Result<String, Box<dyn Error>>;
+
+/// Dispatch a subcommand; returns the text to print.
+pub fn run(cmd: &str, args: &Args) -> CliResult {
+    match cmd {
+        "gen" => gen(args),
+        "analyze" => analyze(args),
+        "partition" => partition(args),
+        "simulate" => simulate(args),
+        "compare" => compare(args),
+        "autotune" => autotune_cmd(args),
+        "fuse" => fuse_cmd(args),
+        "dot" => dot(args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n\n{}", usage()).into()),
+    }
+}
+
+pub fn usage() -> String {
+    "\
+ccs — cache-conscious scheduling of streaming applications (SPAA 2012)
+
+USAGE:
+  ccs gen pipeline --len N --state S [-o FILE]
+  ccs gen layered  --layers N --width W [--max-q Q] [-o FILE]
+  ccs gen app NAME [-o FILE]               (see `ccs gen app list`)
+  ccs analyze FILE
+  ccs partition FILE --m M [--b B] [--strategy greedy2m|dp|dag|exact]
+  ccs simulate FILE --m M [--b B] [--outputs T] [--json]
+  ccs compare FILE --m M [--b B] [--outputs T]
+  ccs autotune FILE --m M [--b B] [--outputs T]
+  ccs fuse FILE --m M [--b B] [-o FILE]       (partition, then fuse)
+  ccs dot FILE
+
+Sizes are in words (one stream item = one word); M is the cache size,
+B the block size. Graphs are StreamGraph JSON (produced by `ccs gen`)."
+        .to_string()
+}
+
+fn load(path: &str) -> Result<StreamGraph, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let g: StreamGraph = serde_json::from_str(&text)
+        .map_err(|e| format!("{path} is not a StreamGraph JSON: {e}"))?;
+    Ok(g)
+}
+
+fn emit(args: &Args, content: String) -> CliResult {
+    match args.flag("out") {
+        Some(path) => {
+            std::fs::write(path, &content)?;
+            Ok(format!("wrote {path}"))
+        }
+        None => Ok(content),
+    }
+}
+
+fn gen(args: &Args) -> CliResult {
+    let kind = args.positional(0, "kind (pipeline|layered|app)")?;
+    let graph = match kind {
+        "pipeline" => {
+            let len = args.u64_or("len", 16)? as usize;
+            let state = args.u64_or("state", 128)?;
+            let max_q = args.u64_or("max-q", 1)?;
+            if max_q <= 1 {
+                ccs_graph::gen::pipeline_uniform(len, state)
+            } else {
+                ccs_graph::gen::pipeline(
+                    &ccs_graph::gen::PipelineCfg {
+                        len,
+                        state: ccs_graph::gen::StateDist::Fixed(state),
+                        max_q,
+                        max_rate_scale: args.u64_or("rate-scale", 2)?,
+                    },
+                    args.u64_or("seed", 0)?,
+                )
+            }
+        }
+        "layered" => ccs_graph::gen::layered(
+            &ccs_graph::gen::LayeredCfg {
+                layers: args.u64_or("layers", 4)? as usize,
+                max_width: args.u64_or("width", 4)? as usize,
+                density: 0.3,
+                state: ccs_graph::gen::StateDist::Uniform(
+                    args.u64_or("state-min", 32)?,
+                    args.u64_or("state-max", 128)?,
+                ),
+                max_q: args.u64_or("max-q", 1)?,
+            },
+            args.u64_or("seed", 0)?,
+        ),
+        "app" => {
+            let name = args.positional(1, "app name")?;
+            if name == "list" {
+                let names: Vec<String> = ccs_apps::suite()
+                    .into_iter()
+                    .map(|a| format!("  {:<12} {}", a.name, a.description))
+                    .collect();
+                return Ok(format!("available apps:\n{}", names.join("\n")));
+            }
+            ccs_apps::suite()
+                .into_iter()
+                .find(|a| a.name == name)
+                .ok_or_else(|| format!("unknown app '{name}' (try `ccs gen app list`)"))?
+                .graph
+        }
+        other => return Err(format!("unknown generator '{other}'").into()),
+    };
+    emit(args, serde_json::to_string_pretty(&graph)?)
+}
+
+fn analyze(args: &Args) -> CliResult {
+    let g = load(args.positional(0, "graph file")?)?;
+    let ra = RateAnalysis::analyze_single_io(&g)?;
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "nodes        : {}", g.node_count());
+    let _ = writeln!(out, "edges        : {}", g.edge_count());
+    let _ = writeln!(out, "total state  : {} words", g.total_state());
+    let _ = writeln!(out, "max state    : {} words", g.max_state());
+    let _ = writeln!(out, "pipeline     : {}", g.is_pipeline());
+    let _ = writeln!(out, "homogeneous  : {}", g.is_homogeneous());
+    let source = ra.source.expect("single source");
+    let sink = ra.sink.expect("single sink");
+    let _ = writeln!(out, "source       : {}", g.node(source).name);
+    let _ = writeln!(out, "sink         : {}", g.node(sink).name);
+    let _ = writeln!(out, "gain(sink)   : {}", ra.gain(sink));
+    let q_str: Vec<String> = g
+        .node_ids()
+        .map(|v| format!("{}={}", g.node(v).name, ra.q(v)))
+        .collect();
+    let _ = writeln!(out, "repetitions  : {}", q_str.join(" "));
+    Ok(out)
+}
+
+fn strategy_of(args: &Args) -> Result<Strategy, Box<dyn Error>> {
+    Ok(match args.flag("strategy") {
+        None | Some("auto") => Strategy::Auto,
+        Some("greedy2m") => Strategy::PipelineGreedy2M,
+        Some("dp") => Strategy::PipelineDp,
+        Some("dag") => Strategy::DagGreedyRefined,
+        Some("exact") => Strategy::DagExact,
+        Some(other) => return Err(format!("unknown strategy '{other}'").into()),
+    })
+}
+
+fn params_of(args: &Args) -> Result<CacheParams, Box<dyn Error>> {
+    let m = args.required_u64("m")?;
+    let b = args.u64_or("b", 16)?;
+    Ok(CacheParams::new(m, b))
+}
+
+fn partition(args: &Args) -> CliResult {
+    let g = load(args.positional(0, "graph file")?)?;
+    let ra = RateAnalysis::analyze_single_io(&g)?;
+    let planner =
+        Planner::new(params_of(args)?).with_strategy(strategy_of(args)?);
+    let (p, bw, used) = planner.partition(&g, &ra)?;
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "strategy   : {used}");
+    let _ = writeln!(out, "components : {}", p.num_components());
+    let _ = writeln!(out, "bandwidth  : {bw} items/input");
+    let _ = writeln!(out, "max state  : {} words", p.max_component_state(&g));
+    let _ = writeln!(out, "max degree : {}", p.max_component_degree(&g));
+    for (i, comp) in p.components().iter().enumerate() {
+        let names: Vec<&str> =
+            comp.iter().map(|&v| g.node(v).name.as_str()).collect();
+        let _ = writeln!(
+            out,
+            "  [{i}] ({} words) {}",
+            g.state_of(comp),
+            names.join(", ")
+        );
+    }
+    Ok(out)
+}
+
+fn simulate(args: &Args) -> CliResult {
+    let g = load(args.positional(0, "graph file")?)?;
+    let params = params_of(args)?;
+    let planner = Planner::new(params).with_strategy(strategy_of(args)?);
+    let outputs = args.u64_or("outputs", 1000)?;
+    let plan = planner.plan(&g, Horizon::SinkFirings(outputs))?;
+    let eval = planner.evaluate(&g, &plan)?;
+    let report = Report::new(&g, params, &plan, &eval);
+    if args.has("json") {
+        Ok(report.to_json())
+    } else {
+        Ok(format!(
+            "strategy {} | {} components | bandwidth {:.4} items/input\n\
+             {} misses ({} interior) for {} outputs = {:.4} misses/output",
+            report.strategy,
+            report.components,
+            report.bandwidth,
+            report.misses,
+            report.interior_misses,
+            report.outputs,
+            report.misses_per_output,
+        ))
+    }
+}
+
+fn compare(args: &Args) -> CliResult {
+    let g = load(args.positional(0, "graph file")?)?;
+    let params = params_of(args)?;
+    let outputs = args.u64_or("outputs", 1000)?;
+    let rows = compare_schedulers(&g, params, outputs);
+    if rows.is_empty() {
+        return Err("no scheduler could run (is the graph rate matched?)".into());
+    }
+    Ok(format_table("scheduler comparison", &rows))
+}
+
+fn autotune_cmd(args: &Args) -> CliResult {
+    let g = load(args.positional(0, "graph file")?)?;
+    let params = params_of(args)?;
+    let planner = Planner::new(params);
+    let outputs = args.u64_or("outputs", 1000)?;
+    let trial = (outputs / 4).max(50);
+    let tuned = ccs_core::autotune::autotune(
+        &planner,
+        &g,
+        Horizon::SinkFirings(trial),
+        Horizon::SinkFirings(outputs),
+    )?;
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "{:<22} {:>14} {:>11} {:>11}",
+        "strategy", "misses/output", "components", "bandwidth"
+    );
+    for t in &tuned.trials {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>14.4} {:>11} {:>11.3}",
+            t.strategy_used, t.misses_per_output, t.components, t.bandwidth
+        );
+    }
+    let _ = writeln!(out, "winner: {}", tuned.plan.strategy_used);
+    Ok(out)
+}
+
+fn fuse_cmd(args: &Args) -> CliResult {
+    let g = load(args.positional(0, "graph file")?)?;
+    let ra = RateAnalysis::analyze_single_io(&g)?;
+    let planner =
+        Planner::new(params_of(args)?).with_strategy(strategy_of(args)?);
+    let (p, bw, used) = planner.partition(&g, &ra)?;
+    let fused = ccs_partition::fusion::fuse(&g, &ra, &p)
+        .ok_or("partition is not well ordered")?;
+    let summary = format!(
+        "fused {} modules into {} via {used} (bandwidth {bw})",
+        g.node_count(),
+        fused.graph.node_count()
+    );
+    match args.flag("out") {
+        Some(path) => {
+            std::fs::write(path, serde_json::to_string_pretty(&fused.graph)?)?;
+            Ok(format!("{summary}\nwrote {path}"))
+        }
+        None => Ok(format!(
+            "{summary}\n{}",
+            serde_json::to_string_pretty(&fused.graph)?
+        )),
+    }
+}
+
+fn dot(args: &Args) -> CliResult {
+    let g = load(args.positional(0, "graph file")?)?;
+    emit(args, ccs_graph::dot::to_dot(&g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("ccs-cli-test-{name}-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn gen_analyze_roundtrip() {
+        let path = tmp("g1.json");
+        let out = run(
+            "gen",
+            &args(&["pipeline", "--len", "8", "--state", "64", "-o", &path]),
+        )
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let report = run("analyze", &args(&[&path])).unwrap();
+        assert!(report.contains("nodes        : 8"));
+        assert!(report.contains("pipeline     : true"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn gen_app_and_partition() {
+        let path = tmp("g2.json");
+        run("gen", &args(&["app", "fm-radio", "-o", &path])).unwrap();
+        let out = run(
+            "partition",
+            &args(&[&path, "--m", "1088", "--b", "16"]),
+        )
+        .unwrap();
+        assert!(out.contains("components"));
+        assert!(out.contains("bandwidth"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn simulate_json_output() {
+        let path = tmp("g3.json");
+        run(
+            "gen",
+            &args(&["pipeline", "--len", "12", "--state", "96", "-o", &path]),
+        )
+        .unwrap();
+        let out = run(
+            "simulate",
+            &args(&[&path, "--m", "1024", "--outputs", "200", "--json"]),
+        )
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(parsed["misses"].as_u64().unwrap() > 0);
+        assert_eq!(parsed["graph_nodes"].as_u64().unwrap(), 12);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn compare_prints_table() {
+        let path = tmp("g4.json");
+        run(
+            "gen",
+            &args(&["pipeline", "--len", "16", "--state", "128", "-o", &path]),
+        )
+        .unwrap();
+        let out = run(
+            "compare",
+            &args(&[&path, "--m", "1024", "--outputs", "300"]),
+        )
+        .unwrap();
+        assert!(out.contains("single-appearance"));
+        assert!(out.contains("misses/output"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn app_list_and_errors() {
+        let out = run("gen", &args(&["app", "list"])).unwrap();
+        assert!(out.contains("fm-radio"));
+        assert!(run("gen", &args(&["app", "nope"])).is_err());
+        assert!(run("frobnicate", &args(&[])).is_err());
+        assert!(run("help", &args(&[])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn autotune_and_fuse_commands() {
+        let path = tmp("g6.json");
+        run(
+            "gen",
+            &args(&["pipeline", "--len", "16", "--state", "96", "-o", &path]),
+        )
+        .unwrap();
+        let out = run(
+            "autotune",
+            &args(&[&path, "--m", "1024", "--outputs", "300"]),
+        )
+        .unwrap();
+        assert!(out.contains("winner:"), "{out}");
+
+        let fused_path = tmp("g6-fused.json");
+        let out = run(
+            "fuse",
+            &args(&[&path, "--m", "1024", "-o", &fused_path]),
+        )
+        .unwrap();
+        assert!(out.contains("fused 16 modules into"), "{out}");
+        // Fused graph is loadable and smaller.
+        let report = run("analyze", &args(&[&fused_path])).unwrap();
+        assert!(report.contains("pipeline     : true"));
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(fused_path).ok();
+    }
+
+    #[test]
+    fn dot_command() {
+        let path = tmp("g5.json");
+        run(
+            "gen",
+            &args(&["pipeline", "--len", "3", "--state", "8", "-o", &path]),
+        )
+        .unwrap();
+        let out = run("dot", &args(&[&path])).unwrap();
+        assert!(out.starts_with("digraph"));
+        std::fs::remove_file(path).ok();
+    }
+}

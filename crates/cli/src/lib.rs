@@ -1,0 +1,21 @@
+//! # ccs-cli — command-line front end
+//!
+//! A small, dependency-light CLI over the workspace:
+//!
+//! ```text
+//! ccs gen pipeline --len 24 --state 128 -o graph.json
+//! ccs gen app fm-radio -o fm.json
+//! ccs analyze graph.json
+//! ccs partition graph.json --m 1024 --b 16 [--strategy dp|greedy2m|dag|exact]
+//! ccs simulate graph.json --m 1024 --b 16 --outputs 1000 [--json]
+//! ccs compare graph.json --m 1024 --b 16 --outputs 1000
+//! ccs dot graph.json
+//! ```
+//!
+//! Graphs are serialized [`ccs_graph::StreamGraph`] JSON.
+
+pub mod args;
+pub mod commands;
+
+pub use args::Args;
+pub use commands::run;

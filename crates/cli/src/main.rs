@@ -1,0 +1,26 @@
+//! `ccs` — the command-line entry point.
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let cmd = match argv.next() {
+        Some(c) => c,
+        None => {
+            eprintln!("{}", ccs_cli::commands::usage());
+            std::process::exit(2);
+        }
+    };
+    let args = match ccs_cli::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match ccs_cli::run(&cmd, &args) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

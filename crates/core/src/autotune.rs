@@ -1,0 +1,158 @@
+//! Strategy autotuning: pick the partitioner empirically.
+//!
+//! The paper reduces scheduling to partitioning but leaves the choice of
+//! partitioner open (exact for small graphs, heuristics otherwise, DP
+//! for pipelines). Since partitioning happens at compile time and the
+//! application runs for a long time, spending a short simulated trial on
+//! each candidate and keeping the best-measuring plan is a sound
+//! engineering move — this module does exactly that.
+
+use crate::planner::{Horizon, Plan, PlanError, Planner, Strategy};
+use ccs_graph::StreamGraph;
+
+/// The outcome of one strategy trial.
+#[derive(Clone, Debug)]
+pub struct Trial {
+    pub strategy: Strategy,
+    pub strategy_used: &'static str,
+    pub misses_per_output: f64,
+    pub components: usize,
+    pub bandwidth: f64,
+}
+
+/// Result of autotuning: the winning plan plus the full trial table.
+pub struct Tuned {
+    pub plan: Plan,
+    pub trials: Vec<Trial>,
+}
+
+/// Try every applicable strategy with a short trial horizon and return
+/// the plan with the fewest measured misses per output, re-planned at
+/// the requested horizon.
+pub fn autotune(
+    planner: &Planner,
+    g: &StreamGraph,
+    trial_horizon: Horizon,
+    final_horizon: Horizon,
+) -> Result<Tuned, PlanError> {
+    let mut candidates = vec![
+        Strategy::DagGreedyRefined,
+        Strategy::DagMultilevel,
+        Strategy::DagAnneal,
+    ];
+    if g.is_pipeline() {
+        candidates.push(Strategy::PipelineGreedy2M);
+        candidates.push(Strategy::PipelineDp);
+    }
+    if g.node_count() <= ccs_partition::dag_exact::MAX_EXACT_NODES {
+        candidates.push(Strategy::DagExact);
+    }
+
+    let mut trials = Vec::new();
+    let mut best: Option<(f64, Strategy)> = None;
+    for &strategy in &candidates {
+        let p = Planner {
+            strategy,
+            ..*planner
+        };
+        let Ok(plan) = p.plan(g, trial_horizon) else {
+            continue;
+        };
+        let Ok(rep) = p.evaluate(g, &plan) else {
+            continue;
+        };
+        let mpo = rep.stats.misses as f64 / rep.outputs.max(1) as f64;
+        trials.push(Trial {
+            strategy,
+            strategy_used: plan.strategy_used,
+            misses_per_output: mpo,
+            components: plan.partition.num_components(),
+            bandwidth: plan.bandwidth.to_f64(),
+        });
+        if best.map_or(true, |(b, _)| mpo < b) {
+            best = Some((mpo, strategy));
+        }
+    }
+    let (_, strategy) = best.ok_or(PlanError::Infeasible {
+        bound: planner.params.capacity,
+        max_state: g.max_state(),
+    })?;
+    let winner = Planner {
+        strategy,
+        ..*planner
+    };
+    let plan = winner.plan(g, final_horizon)?;
+    Ok(Tuned { plan, trials })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_cachesim::CacheParams;
+    use ccs_graph::gen::{self, PipelineCfg, StateDist};
+
+    #[test]
+    fn autotune_tries_pipeline_strategies() {
+        let g = gen::pipeline(
+            &PipelineCfg {
+                len: 20,
+                state: StateDist::Uniform(16, 64),
+                max_q: 3,
+                max_rate_scale: 2,
+            },
+            3,
+        );
+        let planner = Planner::new(CacheParams::new(1024, 16));
+        let tuned = autotune(
+            &planner,
+            &g,
+            Horizon::SinkFirings(200),
+            Horizon::SinkFirings(500),
+        )
+        .unwrap();
+        assert!(tuned.trials.len() >= 2, "{:?}", tuned.trials);
+        // The chosen plan's trial must be the minimum.
+        let min = tuned
+            .trials
+            .iter()
+            .map(|t| t.misses_per_output)
+            .fold(f64::INFINITY, f64::min);
+        assert!(tuned
+            .trials
+            .iter()
+            .any(|t| (t.misses_per_output - min).abs() < 1e-12));
+        // And it evaluates fine at the final horizon.
+        let rep = planner.evaluate(&g, &tuned.plan).unwrap();
+        assert!(rep.outputs >= 500);
+    }
+
+    #[test]
+    fn autotune_small_dag_includes_exact() {
+        let g = gen::split_join(2, 2, StateDist::Fixed(24), 1);
+        let planner = Planner::new(CacheParams::new(512, 16));
+        let tuned = autotune(
+            &planner,
+            &g,
+            Horizon::Rounds(1),
+            Horizon::Rounds(2),
+        )
+        .unwrap();
+        assert!(tuned
+            .trials
+            .iter()
+            .any(|t| t.strategy == Strategy::DagExact));
+    }
+
+    #[test]
+    fn autotune_errors_when_nothing_fits() {
+        let g = gen::pipeline_uniform(4, 100_000);
+        let planner = Planner::new(CacheParams::new(256, 16));
+        assert!(autotune(
+            &planner,
+            &g,
+            Horizon::Rounds(1),
+            Horizon::Rounds(1)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Lower-bound calculators (Theorems 3, 7, and 10).
+//!
+//! The paper's lower bounds say: any schedule that pushes `T` inputs
+//! through the graph incurs `Ω((T/B)·LB)` cache misses, where `LB` is the
+//! Theorem 3 quantity for pipelines (sum of gain-minimizing edges over
+//! disjoint `≥2M`-state segments) or `minBW₃(G)` for dags (bandwidth of
+//! an optimal well-ordered 3-bounded partition). These functions compute
+//! the `LB` quantities exactly so experiments can compare measured misses
+//! against `(T/B)·LB`.
+
+use ccs_cachesim::CacheParams;
+use ccs_graph::{RateAnalysis, Ratio, StreamGraph};
+use ccs_partition::{dag_exact, pipeline};
+
+/// Theorem 3 lower-bound quantity for a pipeline (per-input bandwidth of
+/// the gain-minimizing cross edges).
+pub fn pipeline_lb_gain(
+    g: &StreamGraph,
+    ra: &RateAnalysis,
+    m: u64,
+) -> Option<Ratio> {
+    pipeline::theorem3_lower_bound_gain(g, ra, m).ok()
+}
+
+/// `minBW₃(G)` (Theorem 7/10): the bandwidth of an optimal well-ordered
+/// 3M-bounded partition, computed exactly. Only feasible for graphs of at
+/// most [`dag_exact::MAX_EXACT_NODES`] nodes; `None` otherwise or when no
+/// bounded partition exists.
+pub fn dag_min_bw3(g: &StreamGraph, ra: &RateAnalysis, m: u64) -> Option<Ratio> {
+    if g.node_count() > dag_exact::MAX_EXACT_NODES {
+        return None;
+    }
+    dag_exact::min_bandwidth_exact(g, ra, 3 * m).map(|(_, bw)| bw)
+}
+
+/// Scale a per-input bandwidth quantity to a total miss lower bound for
+/// `t_inputs` source firings: `(T/B)·LB`.
+pub fn misses_lower_bound(lb_gain: Ratio, t_inputs: u64, params: CacheParams) -> f64 {
+    lb_gain.to_f64() * t_inputs as f64 / params.block as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_graph::gen;
+
+    #[test]
+    fn pipeline_lb_scales_with_state() {
+        let g = gen::pipeline_uniform(16, 64); // 1024 words total
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        // Small cache: many segments -> large LB. Huge cache: zero LB.
+        let small = pipeline_lb_gain(&g, &ra, 64).unwrap();
+        let large = pipeline_lb_gain(&g, &ra, 4096).unwrap();
+        assert!(small > Ratio::ZERO);
+        assert_eq!(large, Ratio::ZERO);
+    }
+
+    #[test]
+    fn dag_min_bw3_zero_when_fits() {
+        let g = gen::split_join(2, 1, ccs_graph::gen::StateDist::Fixed(8), 0);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        assert_eq!(dag_min_bw3(&g, &ra, 1000), Some(Ratio::ZERO));
+    }
+
+    #[test]
+    fn misses_lb_arithmetic() {
+        let lb = Ratio::new(3, 2);
+        let params = CacheParams::new(1024, 16);
+        let total = misses_lower_bound(lb, 3200, params);
+        assert!((total - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dag_min_bw3_declines_with_cache() {
+        let g = gen::split_join(2, 2, ccs_graph::gen::StateDist::Fixed(30), 1);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let tight = dag_min_bw3(&g, &ra, 10).unwrap(); // 3M = 30: singletons
+        let loose = dag_min_bw3(&g, &ra, 100).unwrap(); // everything fits
+        assert!(tight > loose);
+        assert_eq!(loose, Ratio::ZERO);
+    }
+}

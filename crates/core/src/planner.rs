@@ -1,0 +1,395 @@
+//! The high-level planner: graph + cache → partition + schedule.
+
+use ccs_cachesim::CacheParams;
+use ccs_graph::{RateAnalysis, RateError, Ratio, StreamGraph};
+use ccs_partition::{dag_exact, dag_greedy, dag_local, pipeline, Partition};
+use ccs_sched::{partitioned, EvalReport, ExecError, ExecOptions, Executor, SchedRun};
+use std::fmt;
+
+/// How far to run a plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Horizon {
+    /// High-level rounds (each round moves one granularity `T` of input
+    /// through the whole graph).
+    Rounds(u64),
+    /// Fire the sink at least this many times.
+    SinkFirings(u64),
+}
+
+/// Partitioning strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// The paper's Theorem 5 greedy 2M-segmentation (pipelines only).
+    PipelineGreedy2M,
+    /// Minimum-bandwidth segmentation by dynamic programming (pipelines
+    /// only).
+    PipelineDp,
+    /// Greedy topological segmentation plus local-search refinement.
+    DagGreedyRefined,
+    /// Multilevel coarsen/partition/refine (Hendrickson–Leland style).
+    DagMultilevel,
+    /// Simulated annealing seeded by the refined greedy.
+    DagAnneal,
+    /// Exact exponential partitioner (up to 20 nodes).
+    DagExact,
+    /// Pick automatically: pipelines use Greedy2M; small dags use the
+    /// exact solver; everything else uses greedy + refinement.
+    Auto,
+}
+
+/// Errors from planning or evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    Rates(RateError),
+    Pipeline(pipeline::PipelineError),
+    Sched(partitioned::PartSchedError),
+    Exec(ExecError),
+    /// Strategy requires a pipeline but the graph is not one.
+    NotAPipeline,
+    /// No bounded partition exists (a module exceeds the bound).
+    Infeasible { bound: u64, max_state: u64 },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Rates(e) => write!(f, "rate analysis failed: {e}"),
+            PlanError::Pipeline(e) => write!(f, "pipeline partitioning failed: {e}"),
+            PlanError::Sched(e) => write!(f, "scheduling failed: {e}"),
+            PlanError::Exec(e) => write!(f, "execution failed: {e}"),
+            PlanError::NotAPipeline => write!(f, "strategy requires a pipeline"),
+            PlanError::Infeasible { bound, max_state } => write!(
+                f,
+                "no partition: max module state {max_state} exceeds bound {bound}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<RateError> for PlanError {
+    fn from(e: RateError) -> Self {
+        PlanError::Rates(e)
+    }
+}
+impl From<pipeline::PipelineError> for PlanError {
+    fn from(e: pipeline::PipelineError) -> Self {
+        PlanError::Pipeline(e)
+    }
+}
+impl From<partitioned::PartSchedError> for PlanError {
+    fn from(e: partitioned::PartSchedError) -> Self {
+        PlanError::Sched(e)
+    }
+}
+impl From<ExecError> for PlanError {
+    fn from(e: ExecError) -> Self {
+        PlanError::Exec(e)
+    }
+}
+
+/// A complete cache-conscious execution plan.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    pub partition: Partition,
+    /// Exact bandwidth of the partition (items crossing per source firing).
+    pub bandwidth: Ratio,
+    /// Which partitioner produced it.
+    pub strategy_used: &'static str,
+    /// The concrete schedule (firing sequence + buffer capacities).
+    pub run: SchedRun,
+    /// Predicted upper bound on misses per input in the DAM model:
+    /// `bandwidth / B` plus the amortized state term (reported for
+    /// experiment tables; the measured value comes from `evaluate`).
+    pub predicted_misses_per_input: f64,
+}
+
+/// Planner configuration. The defaults encode the paper's constants: the
+/// Theorem 5 partition parameter is `M/8` (its components can reach `8m`,
+/// so they then fit the actual cache), and bounded partitions for general
+/// dags target `M/2`, leaving headroom for streaming blocks.
+#[derive(Clone, Copy, Debug)]
+pub struct Planner {
+    pub params: CacheParams,
+    pub strategy: Strategy,
+    /// Partition parameter for the Theorem 5 greedy (default `M/8`).
+    pub theorem5_m: Option<u64>,
+    /// State bound for DP/dag partitioners (default `M/2`).
+    pub bound: Option<u64>,
+}
+
+impl Planner {
+    pub fn new(params: CacheParams) -> Planner {
+        Planner {
+            params,
+            strategy: Strategy::Auto,
+            theorem5_m: None,
+            bound: None,
+        }
+    }
+
+    pub fn with_strategy(mut self, strategy: Strategy) -> Planner {
+        self.strategy = strategy;
+        self
+    }
+
+    fn t5_m(&self) -> u64 {
+        self.theorem5_m.unwrap_or((self.params.capacity / 8).max(1))
+    }
+
+    fn dag_bound(&self) -> u64 {
+        self.bound.unwrap_or((self.params.capacity / 2).max(1))
+    }
+
+    /// Partition `g` according to the configured strategy.
+    pub fn partition(
+        &self,
+        g: &StreamGraph,
+        ra: &RateAnalysis,
+    ) -> Result<(Partition, Ratio, &'static str), PlanError> {
+        let strategy = match self.strategy {
+            Strategy::Auto => {
+                if g.is_pipeline() {
+                    Strategy::PipelineGreedy2M
+                } else if g.node_count() <= 16 {
+                    Strategy::DagExact
+                } else {
+                    Strategy::DagGreedyRefined
+                }
+            }
+            s => s,
+        };
+        match strategy {
+            Strategy::PipelineGreedy2M => {
+                let pp = pipeline::greedy_theorem5(g, ra, self.t5_m())?;
+                Ok((pp.partition, pp.bandwidth, "pipeline-greedy-2m"))
+            }
+            Strategy::PipelineDp => {
+                let pp = pipeline::dp_min_bandwidth(g, ra, self.dag_bound())?;
+                Ok((pp.partition, pp.bandwidth, "pipeline-dp"))
+            }
+            Strategy::DagGreedyRefined => {
+                let bound = self.dag_bound();
+                if g.max_state() > bound {
+                    return Err(PlanError::Infeasible {
+                        bound,
+                        max_state: g.max_state(),
+                    });
+                }
+                let p0 = dag_greedy::greedy_best(g, ra, bound);
+                let p = dag_local::refine(g, ra, bound, &p0, 16);
+                let bw = p.bandwidth(g, ra);
+                Ok((p, bw, "dag-greedy-refined"))
+            }
+            Strategy::DagMultilevel => {
+                let bound = self.dag_bound();
+                if g.max_state() > bound {
+                    return Err(PlanError::Infeasible {
+                        bound,
+                        max_state: g.max_state(),
+                    });
+                }
+                let p = ccs_partition::multilevel::multilevel(
+                    g,
+                    ra,
+                    bound,
+                    &ccs_partition::multilevel::MultilevelCfg::default(),
+                );
+                let bw = p.bandwidth(g, ra);
+                Ok((p, bw, "dag-multilevel"))
+            }
+            Strategy::DagAnneal => {
+                let bound = self.dag_bound();
+                if g.max_state() > bound {
+                    return Err(PlanError::Infeasible {
+                        bound,
+                        max_state: g.max_state(),
+                    });
+                }
+                let p0 = dag_greedy::greedy_best(g, ra, bound);
+                let p0 = dag_local::refine(g, ra, bound, &p0, 16);
+                let p = ccs_partition::annealing::anneal(
+                    g,
+                    ra,
+                    bound,
+                    &p0,
+                    &ccs_partition::annealing::AnnealCfg::default(),
+                );
+                let bw = p.bandwidth(g, ra);
+                Ok((p, bw, "dag-anneal"))
+            }
+            Strategy::DagExact => {
+                let bound = self.dag_bound();
+                match dag_exact::min_bandwidth_exact(g, ra, bound) {
+                    Some((p, bw)) => Ok((p, bw, "dag-exact")),
+                    None => Err(PlanError::Infeasible {
+                        bound,
+                        max_state: g.max_state(),
+                    }),
+                }
+            }
+            Strategy::Auto => unreachable!("resolved above"),
+        }
+    }
+
+    /// Produce a complete plan: partition plus schedule for `horizon`.
+    pub fn plan(&self, g: &StreamGraph, horizon: Horizon) -> Result<Plan, PlanError> {
+        let ra = RateAnalysis::analyze_single_io(g)?;
+        let (partition, bandwidth, strategy_used) = self.partition(g, &ra)?;
+        let m_items = self.params.capacity;
+
+        // Schedule: dynamic for pipelines with a sink target, otherwise
+        // the static round-based schedulers.
+        let run = if g.is_pipeline() {
+            match horizon {
+                Horizon::SinkFirings(t) => {
+                    partitioned::pipeline_dynamic(g, &ra, &partition, m_items, t)?
+                }
+                Horizon::Rounds(r) => {
+                    if g.is_homogeneous() {
+                        partitioned::homogeneous(g, &ra, &partition, m_items, r)?
+                    } else {
+                        partitioned::inhomogeneous(g, &ra, &partition, m_items, r)?
+                    }
+                }
+            }
+        } else {
+            let rounds = match horizon {
+                Horizon::Rounds(r) => r,
+                Horizon::SinkFirings(t) => {
+                    // Sink firings per round: T·gain(sink).
+                    let sink = ra.sink.expect("single sink");
+                    let tgran = partitioned::granularity_t(g, &ra, m_items)?;
+                    let per_round = (Ratio::integer(tgran as i128)
+                        * ra.gain(sink))
+                    .floor()
+                    .max(1) as u64;
+                    t.div_ceil(per_round)
+                }
+            };
+            if g.is_homogeneous() {
+                partitioned::homogeneous(g, &ra, &partition, m_items, rounds)?
+            } else {
+                partitioned::inhomogeneous(g, &ra, &partition, m_items, rounds)?
+            }
+        };
+
+        // Predicted DAM cost per input: cross traffic (bandwidth/B) plus
+        // the amortized state reload term Σ s(V_i) / (M·B) per input.
+        let b = self.params.block as f64;
+        let state_term = g.total_state() as f64
+            / (self.params.capacity as f64 * b);
+        let predicted =
+            bandwidth.to_f64() * 2.0 / b + state_term + 2.0 / b;
+        Ok(Plan {
+            partition,
+            bandwidth,
+            strategy_used,
+            run,
+            predicted_misses_per_input: predicted,
+        })
+    }
+
+    /// Execute a plan in the DAM simulator and report cache statistics.
+    pub fn evaluate(&self, g: &StreamGraph, plan: &Plan) -> Result<EvalReport, PlanError> {
+        self.evaluate_with(g, &plan.run, ExecOptions::default())
+    }
+
+    /// Execute any schedule under this planner's cache parameters.
+    pub fn evaluate_with(
+        &self,
+        g: &StreamGraph,
+        run: &SchedRun,
+        opts: ExecOptions,
+    ) -> Result<EvalReport, PlanError> {
+        let ra = RateAnalysis::analyze_single_io(g)?;
+        let mut ex = Executor::new(g, &ra, run.capacities.clone(), self.params, opts);
+        ex.run(&run.firings)?;
+        Ok(ex.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_graph::gen::{self, LayeredCfg, PipelineCfg, StateDist};
+
+    #[test]
+    fn auto_plans_pipeline() {
+        let g = gen::pipeline_uniform(24, 128);
+        let planner = Planner::new(CacheParams::new(1024, 16));
+        let plan = planner.plan(&g, Horizon::SinkFirings(500)).unwrap();
+        assert_eq!(plan.strategy_used, "pipeline-greedy-2m");
+        assert!(plan.partition.num_components() > 1);
+        let rep = planner.evaluate(&g, &plan).unwrap();
+        assert!(rep.outputs >= 500);
+    }
+
+    #[test]
+    fn auto_plans_small_dag_exactly() {
+        let g = gen::split_join(2, 2, StateDist::Fixed(32), 3);
+        let planner = Planner::new(CacheParams::new(256, 16));
+        let plan = planner.plan(&g, Horizon::Rounds(2)).unwrap();
+        assert_eq!(plan.strategy_used, "dag-exact");
+        let rep = planner.evaluate(&g, &plan).unwrap();
+        assert!(rep.outputs > 0);
+    }
+
+    #[test]
+    fn auto_plans_large_dag_heuristically() {
+        let cfg = LayeredCfg {
+            layers: 6,
+            max_width: 5,
+            density: 0.3,
+            state: StateDist::Uniform(16, 64),
+            max_q: 2,
+        };
+        let mut g = gen::layered(&cfg, 3);
+        // Ensure it is big enough to bypass the exact solver.
+        while g.node_count() <= 16 {
+            g = gen::layered(&cfg, 17);
+        }
+        let planner = Planner::new(CacheParams::new(512, 16));
+        let plan = planner.plan(&g, Horizon::Rounds(2)).unwrap();
+        assert_eq!(plan.strategy_used, "dag-greedy-refined");
+        planner.evaluate(&g, &plan).unwrap();
+    }
+
+    #[test]
+    fn infeasible_when_module_exceeds_bound() {
+        let g = gen::pipeline_uniform(4, 4096);
+        let planner = Planner::new(CacheParams::new(256, 16))
+            .with_strategy(Strategy::DagGreedyRefined);
+        let err = planner.plan(&g, Horizon::Rounds(1)).unwrap_err();
+        assert!(matches!(err, PlanError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn dp_strategy_on_pipeline() {
+        let g = gen::pipeline(
+            &PipelineCfg {
+                len: 16,
+                state: StateDist::Uniform(16, 100),
+                max_q: 3,
+                max_rate_scale: 2,
+            },
+            5,
+        );
+        let planner = Planner::new(CacheParams::new(512, 16))
+            .with_strategy(Strategy::PipelineDp);
+        let plan = planner.plan(&g, Horizon::Rounds(2)).unwrap();
+        assert_eq!(plan.strategy_used, "pipeline-dp");
+        assert!(plan.partition.max_component_state(&g) <= 256);
+        planner.evaluate(&g, &plan).unwrap();
+    }
+
+    #[test]
+    fn predicted_cost_is_finite_positive() {
+        let g = gen::pipeline_uniform(8, 64);
+        let planner = Planner::new(CacheParams::new(1024, 16));
+        let plan = planner.plan(&g, Horizon::Rounds(1)).unwrap();
+        assert!(plan.predicted_misses_per_input.is_finite());
+        assert!(plan.predicted_misses_per_input > 0.0);
+    }
+}

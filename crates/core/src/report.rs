@@ -1,0 +1,85 @@
+//! Serializable evaluation reports (JSON) for tooling and the CLI.
+
+use ccs_sched::EvalReport;
+use serde::{Deserialize, Serialize};
+
+/// A flat, serializable summary of a plan evaluation.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Report {
+    pub graph_nodes: usize,
+    pub graph_edges: usize,
+    pub total_state: u64,
+    pub cache_m: u64,
+    pub cache_b: u64,
+    pub strategy: String,
+    pub components: usize,
+    pub bandwidth: f64,
+    pub misses: u64,
+    pub interior_misses: u64,
+    pub writebacks: u64,
+    pub inputs: u64,
+    pub outputs: u64,
+    pub misses_per_input: f64,
+    pub misses_per_output: f64,
+    pub buffer_words: u64,
+    pub footprint_words: u64,
+}
+
+impl Report {
+    /// Assemble from a plan and its evaluation.
+    pub fn new(
+        g: &ccs_graph::StreamGraph,
+        params: ccs_cachesim::CacheParams,
+        plan: &crate::planner::Plan,
+        eval: &EvalReport,
+    ) -> Report {
+        Report {
+            graph_nodes: g.node_count(),
+            graph_edges: g.edge_count(),
+            total_state: g.total_state(),
+            cache_m: params.capacity,
+            cache_b: params.block,
+            strategy: plan.strategy_used.to_string(),
+            components: plan.partition.num_components(),
+            bandwidth: plan.bandwidth.to_f64(),
+            misses: eval.stats.misses,
+            interior_misses: eval.interior_misses(),
+            writebacks: eval.stats.writebacks,
+            inputs: eval.inputs,
+            outputs: eval.outputs,
+            misses_per_input: eval.misses_per_input(),
+            misses_per_output: eval.stats.misses as f64
+                / eval.outputs.max(1) as f64,
+            buffer_words: plan.run.buffer_words(),
+            footprint_words: eval.footprint,
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{Horizon, Planner};
+    use ccs_cachesim::CacheParams;
+    use ccs_graph::gen;
+
+    #[test]
+    fn report_roundtrips_json() {
+        let g = gen::pipeline_uniform(12, 64);
+        let params = CacheParams::new(512, 16);
+        let planner = Planner::new(params);
+        let plan = planner.plan(&g, Horizon::SinkFirings(100)).unwrap();
+        let eval = planner.evaluate(&g, &plan).unwrap();
+        let report = Report::new(&g, params, &plan, &eval);
+        let json = report.to_json();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(json.contains("misses_per_output"));
+        assert_eq!(report.graph_nodes, 12);
+        assert!(report.misses > 0);
+    }
+}

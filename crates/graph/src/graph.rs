@@ -1,0 +1,503 @@
+//! The streaming-graph representation.
+//!
+//! A [`StreamGraph`] is a directed acyclic multigraph whose vertices are
+//! computation *modules* (with a fixed state size, in words) and whose
+//! edges are FIFO *channels* annotated with production and consumption
+//! rates, exactly as in §2 of the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a module (vertex) in a [`StreamGraph`].
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a channel (edge) in a [`StreamGraph`].
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// Index into node-indexed vectors.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Index into edge-indexed vectors.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A computation module: `state` is the number of words that must reside in
+/// cache for the module to fire (`s(v)` in the paper).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Node {
+    pub name: String,
+    pub state: u64,
+}
+
+/// A channel between two modules.
+///
+/// `produce` is `out(src, dst)`: items appended to the channel each time
+/// `src` fires. `consume` is `in(src, dst)`: items removed each time `dst`
+/// fires. Both are at least 1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Edge {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub produce: u64,
+    pub consume: u64,
+}
+
+/// Errors detected while building a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no nodes.
+    Empty,
+    /// An edge references a node id that does not exist.
+    DanglingEdge { edge: usize },
+    /// A rate was zero (`produce` and `consume` must be >= 1).
+    ZeroRate { edge: usize },
+    /// A self-loop was requested; streaming dags are acyclic.
+    SelfLoop { node: NodeId },
+    /// The directed graph contains a cycle (offending node reported).
+    Cycle { node: NodeId },
+    /// More nodes/edges than the `u32` id space.
+    TooLarge,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::DanglingEdge { edge } => {
+                write!(f, "edge {edge} references a nonexistent node")
+            }
+            GraphError::ZeroRate { edge } => {
+                write!(f, "edge {edge} has a zero production/consumption rate")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self loop on node {node:?}")
+            }
+            GraphError::Cycle { node } => {
+                write!(f, "graph contains a cycle through {node:?}")
+            }
+            GraphError::TooLarge => write!(f, "graph exceeds u32 id space"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A synchronous-dataflow streaming dag.
+///
+/// Construct with [`GraphBuilder`]; construction validates acyclicity and
+/// rate positivity, so every `StreamGraph` in existence is a structurally
+/// valid streaming dag (rate-matching is checked separately by
+/// [`crate::analysis::RateAnalysis`], since it is a property of the rates,
+/// not the shape).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StreamGraph {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    /// Outgoing edge ids per node, in insertion order.
+    out_edges: Vec<Vec<EdgeId>>,
+    /// Incoming edge ids per node, in insertion order.
+    in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl StreamGraph {
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn node(&self, v: NodeId) -> &Node {
+        &self.nodes[v.idx()]
+    }
+
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.idx()]
+    }
+
+    /// State size `s(v)` in words.
+    #[inline]
+    pub fn state(&self, v: NodeId) -> u64 {
+        self.nodes[v.idx()].state
+    }
+
+    /// Total state of all modules, in words.
+    pub fn total_state(&self) -> u64 {
+        self.nodes.iter().map(|n| n.state).sum()
+    }
+
+    /// Iterate over all node ids.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterate over all edge ids.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + Clone {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Outgoing edges of `v`.
+    pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.out_edges[v.idx()]
+    }
+
+    /// Incoming edges of `v`.
+    pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.in_edges[v.idx()]
+    }
+
+    /// Total degree (in + out) of `v`, counting multi-edges.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.out_edges[v.idx()].len() + self.in_edges[v.idx()].len()
+    }
+
+    /// Nodes with no incoming edges.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|v| self.in_edges(*v).is_empty())
+            .collect()
+    }
+
+    /// Nodes with no outgoing edges.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|v| self.out_edges(*v).is_empty())
+            .collect()
+    }
+
+    /// The unique source, if there is exactly one.
+    pub fn single_source(&self) -> Option<NodeId> {
+        let s = self.sources();
+        if s.len() == 1 {
+            Some(s[0])
+        } else {
+            None
+        }
+    }
+
+    /// The unique sink, if there is exactly one.
+    pub fn single_sink(&self) -> Option<NodeId> {
+        let s = self.sinks();
+        if s.len() == 1 {
+            Some(s[0])
+        } else {
+            None
+        }
+    }
+
+    /// True if every module consumes and produces exactly one item on every
+    /// incident channel ("homogeneous" in the paper).
+    pub fn is_homogeneous(&self) -> bool {
+        self.edges.iter().all(|e| e.produce == 1 && e.consume == 1)
+    }
+
+    /// True if the graph is a single directed chain `v0 -> v1 -> ... -> vn`.
+    pub fn is_pipeline(&self) -> bool {
+        if self.nodes.is_empty() {
+            return false;
+        }
+        let mut starts = 0usize;
+        for v in self.node_ids() {
+            let (ins, outs) = (self.in_edges(v).len(), self.out_edges(v).len());
+            if ins > 1 || outs > 1 {
+                return false;
+            }
+            if ins == 0 {
+                starts += 1;
+            }
+        }
+        // Acyclicity is guaranteed by construction, so in/out degree <= 1
+        // plus a single start node implies a single chain.
+        starts == 1 && self.edge_count() == self.node_count() - 1
+    }
+
+    /// The nodes of a pipeline in chain order. `None` if not a pipeline.
+    pub fn pipeline_order(&self) -> Option<Vec<NodeId>> {
+        if !self.is_pipeline() {
+            return None;
+        }
+        let mut order = Vec::with_capacity(self.node_count());
+        let mut cur = self.single_source()?;
+        order.push(cur);
+        while let Some(&e) = self.out_edges(cur).first() {
+            cur = self.edge(e).dst;
+            order.push(cur);
+        }
+        debug_assert_eq!(order.len(), self.node_count());
+        Some(order)
+    }
+
+    /// Sum of state over a set of nodes.
+    pub fn state_of(&self, nodes: &[NodeId]) -> u64 {
+        nodes.iter().map(|v| self.state(*v)).sum()
+    }
+
+    /// Largest single-module state in the graph.
+    pub fn max_state(&self) -> u64 {
+        self.nodes.iter().map(|n| n.state).max().unwrap_or(0)
+    }
+}
+
+/// Incremental builder for [`StreamGraph`].
+///
+/// ```
+/// use ccs_graph::{GraphBuilder, NodeId};
+/// let mut b = GraphBuilder::new();
+/// let s = b.node("source", 16);
+/// let f = b.node("filter", 64);
+/// let t = b.node("sink", 16);
+/// b.edge(s, f, 1, 1);
+/// b.edge(f, t, 1, 1);
+/// let g = b.build().unwrap();
+/// assert!(g.is_pipeline());
+/// assert_eq!(g.total_state(), 96);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a module with the given display name and state size (words).
+    pub fn node(&mut self, name: impl Into<String>, state: u64) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.into(),
+            state,
+        });
+        id
+    }
+
+    /// Add a channel `src -> dst` producing `produce` items per firing of
+    /// `src` and consuming `consume` items per firing of `dst`.
+    pub fn edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        produce: u64,
+        consume: u64,
+    ) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            src,
+            dst,
+            produce,
+            consume,
+        });
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Validate and freeze into a [`StreamGraph`].
+    pub fn build(self) -> Result<StreamGraph, GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        if self.nodes.len() > u32::MAX as usize
+            || self.edges.len() > u32::MAX as usize
+        {
+            return Err(GraphError::TooLarge);
+        }
+        let n = self.nodes.len();
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src.idx() >= n || e.dst.idx() >= n {
+                return Err(GraphError::DanglingEdge { edge: i });
+            }
+            if e.produce == 0 || e.consume == 0 {
+                return Err(GraphError::ZeroRate { edge: i });
+            }
+            if e.src == e.dst {
+                return Err(GraphError::SelfLoop { node: e.src });
+            }
+        }
+        let mut out_edges = vec![Vec::new(); n];
+        let mut in_edges = vec![Vec::new(); n];
+        for (i, e) in self.edges.iter().enumerate() {
+            out_edges[e.src.idx()].push(EdgeId(i as u32));
+            in_edges[e.dst.idx()].push(EdgeId(i as u32));
+        }
+        let g = StreamGraph {
+            nodes: self.nodes,
+            edges: self.edges,
+            out_edges,
+            in_edges,
+        };
+        // Kahn's algorithm to reject cycles.
+        let mut indeg: Vec<usize> =
+            g.node_ids().map(|v| g.in_edges(v).len()).collect();
+        let mut queue: Vec<NodeId> = g
+            .node_ids()
+            .filter(|v| indeg[v.idx()] == 0)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &e in g.out_edges(v) {
+                let w = g.edge(e).dst;
+                indeg[w.idx()] -= 1;
+                if indeg[w.idx()] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        if seen != n {
+            let node = g
+                .node_ids()
+                .find(|v| indeg[v.idx()] > 0)
+                .expect("cycle must leave positive in-degree");
+            return Err(GraphError::Cycle { node });
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> StreamGraph {
+        let mut b = GraphBuilder::new();
+        let s = b.node("s", 10);
+        let a = b.node("a", 20);
+        let c = b.node("c", 30);
+        let t = b.node("t", 40);
+        b.edge(s, a, 1, 1);
+        b.edge(s, c, 1, 1);
+        b.edge(a, t, 1, 1);
+        b.edge(c, t, 1, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_diamond() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.total_state(), 100);
+        assert_eq!(g.sources(), vec![NodeId(0)]);
+        assert_eq!(g.sinks(), vec![NodeId(3)]);
+        assert!(g.is_homogeneous());
+        assert!(!g.is_pipeline());
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert_eq!(g.degree(NodeId(3)), 2);
+        assert_eq!(g.max_state(), 40);
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = GraphBuilder::new();
+        let a = b.node("a", 1);
+        let c = b.node("b", 1);
+        b.edge(a, c, 1, 1);
+        b.edge(c, a, 1, 1);
+        assert!(matches!(b.build(), Err(GraphError::Cycle { .. })));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new();
+        let a = b.node("a", 1);
+        b.edge(a, a, 1, 1);
+        assert!(matches!(b.build(), Err(GraphError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_rate() {
+        let mut b = GraphBuilder::new();
+        let a = b.node("a", 1);
+        let c = b.node("b", 1);
+        b.edge(a, c, 0, 1);
+        assert!(matches!(b.build(), Err(GraphError::ZeroRate { edge: 0 })));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(GraphBuilder::new().build(), Err(GraphError::Empty)));
+    }
+
+    #[test]
+    fn pipeline_detection_and_order() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.node("v0", 1);
+        let v1 = b.node("v1", 1);
+        let v2 = b.node("v2", 1);
+        b.edge(v0, v1, 2, 3);
+        b.edge(v1, v2, 5, 1);
+        let g = b.build().unwrap();
+        assert!(g.is_pipeline());
+        assert!(!g.is_homogeneous());
+        assert_eq!(
+            g.pipeline_order().unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn single_node_is_pipeline() {
+        let mut b = GraphBuilder::new();
+        b.node("only", 5);
+        let g = b.build().unwrap();
+        assert!(g.is_pipeline());
+        assert_eq!(g.pipeline_order().unwrap(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn multigraph_edges_allowed() {
+        let mut b = GraphBuilder::new();
+        let a = b.node("a", 1);
+        let c = b.node("b", 1);
+        b.edge(a, c, 1, 1);
+        b.edge(a, c, 2, 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_edges(a).len(), 2);
+        assert!(!g.is_pipeline());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: StreamGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.total_state(), g.total_state());
+    }
+}

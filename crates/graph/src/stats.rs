@@ -1,0 +1,151 @@
+//! Structural statistics of streaming graphs.
+//!
+//! Used by the CLI's `analyze` command and by experiment tables to
+//! characterize workloads: depth (critical path), width (largest
+//! antichain layer), degree distribution, and state-distribution
+//! summaries.
+
+use crate::analysis::RateAnalysis;
+use crate::graph::StreamGraph;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a streaming graph.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    pub nodes: usize,
+    pub edges: usize,
+    pub total_state: u64,
+    pub max_state: u64,
+    pub min_state: u64,
+    pub mean_state: f64,
+    /// Longest directed path, in nodes.
+    pub depth: usize,
+    /// Maximum number of nodes at the same depth level.
+    pub width: usize,
+    pub max_in_degree: usize,
+    pub max_out_degree: usize,
+    pub is_pipeline: bool,
+    pub is_homogeneous: bool,
+    /// Items crossing all edges per steady-state iteration.
+    pub iteration_traffic: u64,
+    /// Sum of the repetition vector (firings per iteration).
+    pub iteration_firings: u64,
+}
+
+/// Compute [`GraphStats`]. `ra` must come from the same graph.
+pub fn stats(g: &StreamGraph, ra: &RateAnalysis) -> GraphStats {
+    let n = g.node_count();
+    // Depth via longest-path DP over a topological order.
+    let order = crate::topo::topo_order(g);
+    let mut level = vec![0usize; n];
+    for &v in &order {
+        for &e in g.out_edges(v) {
+            let w = g.edge(e).dst;
+            level[w.idx()] = level[w.idx()].max(level[v.idx()] + 1);
+        }
+    }
+    let depth = level.iter().copied().max().unwrap_or(0) + 1;
+    let mut width_at = vec![0usize; depth];
+    for v in g.node_ids() {
+        width_at[level[v.idx()]] += 1;
+    }
+    let states: Vec<u64> = g.node_ids().map(|v| g.state(v)).collect();
+    GraphStats {
+        nodes: n,
+        edges: g.edge_count(),
+        total_state: g.total_state(),
+        max_state: states.iter().copied().max().unwrap_or(0),
+        min_state: states.iter().copied().min().unwrap_or(0),
+        mean_state: g.total_state() as f64 / n.max(1) as f64,
+        depth,
+        width: width_at.into_iter().max().unwrap_or(0),
+        max_in_degree: g
+            .node_ids()
+            .map(|v| g.in_edges(v).len())
+            .max()
+            .unwrap_or(0),
+        max_out_degree: g
+            .node_ids()
+            .map(|v| g.out_edges(v).len())
+            .max()
+            .unwrap_or(0),
+        is_pipeline: g.is_pipeline(),
+        is_homogeneous: g.is_homogeneous(),
+        iteration_traffic: g
+            .edge_ids()
+            .map(|e| ra.edge_traffic(g, e))
+            .sum(),
+        iteration_firings: ra.repetitions.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn pipeline_stats() {
+        let g = gen::pipeline_uniform(8, 32);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let s = stats(&g, &ra);
+        assert_eq!(s.nodes, 8);
+        assert_eq!(s.edges, 7);
+        assert_eq!(s.depth, 8);
+        assert_eq!(s.width, 1);
+        assert!(s.is_pipeline);
+        assert!(s.is_homogeneous);
+        assert_eq!(s.total_state, 256);
+        assert_eq!(s.mean_state, 32.0);
+        assert_eq!(s.iteration_traffic, 7);
+        assert_eq!(s.iteration_firings, 8);
+    }
+
+    #[test]
+    fn diamond_depth_and_width() {
+        let mut b = GraphBuilder::new();
+        let s = b.node("s", 1);
+        let a = b.node("a", 2);
+        let c = b.node("c", 3);
+        let t = b.node("t", 4);
+        b.edge(s, a, 1, 1);
+        b.edge(s, c, 1, 1);
+        b.edge(a, t, 1, 1);
+        b.edge(c, t, 1, 1);
+        let g = b.build().unwrap();
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let st = stats(&g, &ra);
+        assert_eq!(st.depth, 3);
+        assert_eq!(st.width, 2);
+        assert_eq!(st.max_out_degree, 2);
+        assert_eq!(st.max_in_degree, 2);
+        assert_eq!(st.min_state, 1);
+        assert_eq!(st.max_state, 4);
+        assert!(!st.is_pipeline);
+    }
+
+    #[test]
+    fn rated_traffic_counts_per_iteration() {
+        let mut b = GraphBuilder::new();
+        let s = b.node("s", 1);
+        let t = b.node("t", 1);
+        b.edge(s, t, 3, 2); // q = (2, 3): traffic 6 per iteration
+        let g = b.build().unwrap();
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let st = stats(&g, &ra);
+        assert_eq!(st.iteration_traffic, 6);
+        assert_eq!(st.iteration_firings, 5);
+        assert!(!st.is_homogeneous);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = gen::pipeline_uniform(4, 8);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let st = stats(&g, &ra);
+        let json = serde_json::to_string(&st).unwrap();
+        let back: GraphStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, st);
+    }
+}

@@ -1,0 +1,174 @@
+//! Graph transformations that preserve validity and rate-matching.
+//!
+//! Used by experiments to vary one workload dimension at a time, and by
+//! tests as a source of equivalence checks (each transform states the
+//! invariant it preserves).
+
+use crate::graph::{GraphBuilder, NodeId, StreamGraph};
+
+/// Multiply every edge's `produce` and `consume` by `k`.
+///
+/// Invariants preserved: the repetition vector (rate *ratios* are
+/// unchanged) and hence all gains; acyclicity; the paper's rate-matching.
+/// What changes: per-firing batch sizes and `minBuf` (both scale by `k`).
+pub fn scale_rates(g: &StreamGraph, k: u64) -> StreamGraph {
+    assert!(k >= 1);
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = g
+        .node_ids()
+        .map(|v| b.node(g.node(v).name.clone(), g.state(v)))
+        .collect();
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        b.edge(
+            ids[edge.src.idx()],
+            ids[edge.dst.idx()],
+            edge.produce * k,
+            edge.consume * k,
+        );
+    }
+    b.build().expect("rate scaling preserves validity")
+}
+
+/// Multiply every module's state by `k` (topology untouched).
+pub fn scale_state(g: &StreamGraph, k: u64) -> StreamGraph {
+    assert!(k >= 1);
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = g
+        .node_ids()
+        .map(|v| b.node(g.node(v).name.clone(), g.state(v) * k))
+        .collect();
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        b.edge(
+            ids[edge.src.idx()],
+            ids[edge.dst.idx()],
+            edge.produce,
+            edge.consume,
+        );
+    }
+    b.build().expect("state scaling preserves validity")
+}
+
+/// The edge-reversed graph: every channel `u -(p:c)-> v` becomes
+/// `v -(c:p)-> u`. Sources and sinks swap; the repetition vector is
+/// unchanged (balance equations are symmetric under this swap).
+pub fn reverse(g: &StreamGraph) -> StreamGraph {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = g
+        .node_ids()
+        .map(|v| b.node(g.node(v).name.clone(), g.state(v)))
+        .collect();
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        b.edge(
+            ids[edge.dst.idx()],
+            ids[edge.src.idx()],
+            edge.consume,
+            edge.produce,
+        );
+    }
+    b.build().expect("reversal of a dag is a dag")
+}
+
+/// The subgraph induced by `nodes` (which must be non-empty). Node ids
+/// are renumbered densely in the order given; returns the new graph and
+/// the old→new id mapping for the retained nodes.
+pub fn induced_subgraph(
+    g: &StreamGraph,
+    nodes: &[NodeId],
+) -> (StreamGraph, Vec<Option<NodeId>>) {
+    assert!(!nodes.is_empty());
+    let mut map: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    let mut b = GraphBuilder::new();
+    for &v in nodes {
+        assert!(map[v.idx()].is_none(), "duplicate node {v:?}");
+        map[v.idx()] = Some(b.node(g.node(v).name.clone(), g.state(v)));
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        if let (Some(u), Some(v)) = (map[edge.src.idx()], map[edge.dst.idx()]) {
+            b.edge(u, v, edge.produce, edge.consume);
+        }
+    }
+    (
+        b.build().expect("induced subgraph of a dag is a dag"),
+        map,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::RateAnalysis;
+    use crate::gen::{self, PipelineCfg};
+
+    #[test]
+    fn scale_rates_preserves_repetitions() {
+        let g = gen::pipeline(&PipelineCfg::default(), 5);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        for k in [2u64, 3, 8] {
+            let g2 = scale_rates(&g, k);
+            let ra2 = RateAnalysis::analyze_single_io(&g2).unwrap();
+            assert_eq!(ra.repetitions, ra2.repetitions, "k={k}");
+            // Traffic scales by k.
+            for e in g.edge_ids() {
+                assert_eq!(
+                    ra2.edge_traffic(&g2, e),
+                    k * ra.edge_traffic(&g, e)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scale_state_changes_only_state() {
+        let g = gen::pipeline_uniform(6, 10);
+        let g2 = scale_state(&g, 7);
+        assert_eq!(g2.total_state(), 7 * g.total_state());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        let ra2 = RateAnalysis::analyze_single_io(&g2).unwrap();
+        assert!(ra2.repetitions.iter().all(|&q| q == 1));
+    }
+
+    #[test]
+    fn reverse_swaps_endpoints_and_keeps_repetitions() {
+        let g = gen::pipeline(&PipelineCfg::default(), 11);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let r = reverse(&g);
+        let rra = RateAnalysis::analyze_single_io(&r).unwrap();
+        assert_eq!(ra.repetitions, rra.repetitions);
+        assert_eq!(ra.source, rra.sink);
+        assert_eq!(ra.sink, rra.source);
+        // Double reversal is the identity on shape.
+        let rr = reverse(&r);
+        assert_eq!(rr.edge_count(), g.edge_count());
+        for e in g.edge_ids() {
+            assert_eq!(rr.edge(e).produce, g.edge(e).produce);
+            assert_eq!(rr.edge(e).consume, g.edge(e).consume);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_of_chain_prefix() {
+        let g = gen::pipeline_uniform(8, 4);
+        let order = g.pipeline_order().unwrap();
+        let (sub, map) = induced_subgraph(&g, &order[..3]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.is_pipeline());
+        assert!(map[order[0].idx()].is_some());
+        assert!(map[order[7].idx()].is_none());
+    }
+
+    #[test]
+    fn induced_subgraph_drops_cross_edges() {
+        let g = gen::split_join(2, 1, crate::gen::StateDist::Fixed(4), 0);
+        // Keep only source and sink: no edges survive.
+        let src = g.single_source().unwrap();
+        let sink = g.single_sink().unwrap();
+        let (sub, _) = induced_subgraph(&g, &[src, sink]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 0);
+    }
+}

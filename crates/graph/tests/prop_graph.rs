@@ -1,0 +1,118 @@
+//! Property-based tests for the SDF graph substrate.
+
+use ccs_graph::analysis::RateAnalysis;
+use ccs_graph::buffers;
+use ccs_graph::gen::{self, LayeredCfg, PipelineCfg, StateDist};
+use ccs_graph::ratio::{gcd_u64, Ratio};
+use ccs_graph::topo;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated pipeline is rate matched, and its repetition vector
+    /// satisfies the balance equations with a gcd of one (minimality).
+    #[test]
+    fn pipelines_are_rate_matched(seed in 0u64..10_000, len in 2usize..40,
+                                  max_q in 1u64..8, scale in 1u64..5) {
+        let cfg = PipelineCfg {
+            len,
+            state: StateDist::Uniform(1, 256),
+            max_q,
+            max_rate_scale: scale,
+        };
+        let g = gen::pipeline(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        prop_assert!(ra.check_balance(&g));
+        let g_all = ra.repetitions.iter().copied().fold(0, gcd_u64);
+        prop_assert_eq!(g_all, 1, "repetition vector must be minimal");
+    }
+
+    /// Layered dags have single io, are rate matched, and every node is on
+    /// a source-to-sink path (positive repetition count).
+    #[test]
+    fn layered_dags_are_wellformed(seed in 0u64..10_000, layers in 1usize..6,
+                                   width in 1usize..6, max_q in 1u64..5) {
+        let cfg = LayeredCfg {
+            layers,
+            max_width: width,
+            density: 0.3,
+            state: StateDist::Uniform(1, 128),
+            max_q,
+        };
+        let g = gen::layered(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        prop_assert!(ra.check_balance(&g));
+        prop_assert!(ra.repetitions.iter().all(|&q| q > 0));
+    }
+
+    /// Gains are multiplicative along every edge: gain(dst) =
+    /// gain(src) * produce / consume.
+    #[test]
+    fn gains_multiply_along_edges(seed in 0u64..10_000) {
+        let cfg = LayeredCfg { max_q: 4, ..LayeredCfg::default() };
+        let g = gen::layered(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            let lhs = ra.gain(edge.dst);
+            let rhs = ra.gain(edge.src)
+                * Ratio::new(edge.produce as i128, edge.consume as i128);
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+
+    /// Topological rank orders every edge source before its destination,
+    /// and reachability agrees with rank for comparable pairs.
+    #[test]
+    fn topo_and_reachability_agree(seed in 0u64..10_000) {
+        let g = gen::layered(&LayeredCfg::default(), seed);
+        let rank = topo::topo_rank(&g);
+        let reach = topo::Reachability::compute(&g);
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            prop_assert!(rank[edge.src.idx()] < rank[edge.dst.idx()]);
+            prop_assert!(reach.precedes(edge.src, edge.dst));
+        }
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                if reach.precedes(u, v) {
+                    prop_assert!(rank[u.idx()] < rank[v.idx()]);
+                    prop_assert!(!reach.precedes(v, u));
+                }
+            }
+        }
+    }
+
+    /// The closed-form tight minimum buffer is exactly the smallest
+    /// capacity under which an edge is schedulable.
+    #[test]
+    fn minbuf_closed_form_matches_simulation(p in 1u64..40, c in 1u64..40) {
+        let tight = p + c - gcd_u64(p, c);
+        prop_assert!(buffers::edge_schedulable_with_capacity(p, c, tight));
+        prop_assert!(!buffers::edge_schedulable_with_capacity(p, c, tight - 1));
+    }
+
+    /// Super-endpoint augmentation always yields a rate-matched single-io
+    /// graph whose interior repetition vector is preserved up to scale.
+    #[test]
+    fn super_endpoints_preserve_rates(seed in 0u64..10_000) {
+        let cfg = LayeredCfg { max_q: 3, ..LayeredCfg::default() };
+        let g = gen::layered(&cfg, seed);
+        let ra = RateAnalysis::analyze(&g).unwrap();
+        let g2 = gen::add_super_endpoints(&g);
+        let ra2 = RateAnalysis::analyze_single_io(&g2).unwrap();
+        prop_assert!(ra2.check_balance(&g2));
+        // Node v in g is node v+1 in g2; ratios must match across nodes.
+        for v in g.node_ids() {
+            for w in g.node_ids() {
+                let r1 = ra.gain_from(v, w);
+                let r2 = ra2.gain_from(
+                    ccs_graph::NodeId(v.0 + 1),
+                    ccs_graph::NodeId(w.0 + 1),
+                );
+                prop_assert_eq!(r1, r2);
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # ccs-partition — well-ordered c-bounded partitioning
+//!
+//! The paper's central reduction: cache-efficient scheduling of a
+//! streaming dag is equivalent (to within constant factors, with
+//! constant-factor cache augmentation) to finding a *well-ordered*
+//! partition of the modules into components of bounded total state that
+//! minimizes *bandwidth* — the items crossing component boundaries per
+//! input.
+//!
+//! * [`Partition`] — the partition type with validation (Definition 2's
+//!   well-orderedness, c-boundedness, Lemma 8's degree limit) and exact
+//!   [`Partition::bandwidth`] (Definition 3).
+//! * [`pipeline`] — pipeline partitioners: the paper's Theorem 5 greedy
+//!   `2M`-segmentation, the polynomial minimum-bandwidth DP, and the
+//!   Theorem 3 lower-bound quantity.
+//! * [`dag_greedy`] — linear-time topological segmentation heuristics for
+//!   general dags.
+//! * [`dag_local`] — Kernighan–Lin-style refinement preserving
+//!   well-orderedness.
+//! * [`dag_exact`] — exact exponential DP over order ideals (the paper's
+//!   "exact partitioner at compile time" suggestion) for dags of up to 20
+//!   nodes.
+//! * [`annealing`] — simulated annealing over validity-preserving moves.
+//! * [`multilevel`] — Hendrickson–Leland-style coarsen/partition/refine,
+//!   adapted to preserve well-orderedness (both heuristic families the
+//!   paper's §7 points to).
+//! * [`fusion`] — materialize a partition as a coarser streaming graph
+//!   (the §6 remark that module fusion is a special case of
+//!   partitioning, made executable).
+
+pub mod annealing;
+pub mod dag_exact;
+pub mod dag_greedy;
+pub mod dag_local;
+pub mod fusion;
+pub mod multilevel;
+pub mod pipeline;
+pub mod types;
+
+pub use pipeline::{PipelineError, PipelinePartition, Segmentation};
+pub use types::{ComponentId, Partition, PartitionError};

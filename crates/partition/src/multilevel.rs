@@ -1,0 +1,356 @@
+//! Multilevel dag partitioning (coarsen → partition → refine).
+//!
+//! The classic scheme of Hendrickson–Leland and Karypis–Kumar (both cited
+//! in the paper's §7), adapted to streaming dags:
+//!
+//! * coarsening only contracts edges whose contraction keeps the graph
+//!   acyclic (no *indirect* directed path between the endpoints), so
+//!   every coarse graph is itself a streaming dag and coarse partitions
+//!   lift to well-ordered fine partitions;
+//! * contraction performs standard SDF *clustering*: a merged node fires
+//!   `gcd(q(u), q(v))` times per steady state, with the endpoints' edge
+//!   rates scaled by `q(u)/gcd` and `q(v)/gcd`, which preserves
+//!   rate-matching and leaves every remaining edge's per-iteration
+//!   traffic — and hence every partition's bandwidth — unchanged.
+
+use crate::dag_greedy;
+use crate::dag_local;
+use crate::types::Partition;
+use ccs_graph::ratio::gcd_u64;
+use ccs_graph::{GraphBuilder, NodeId, RateAnalysis, StreamGraph};
+
+/// How far to coarsen before partitioning directly.
+#[derive(Clone, Copy, Debug)]
+pub struct MultilevelCfg {
+    /// Stop coarsening at (or below) this many nodes.
+    pub coarse_target: usize,
+    /// Refinement passes at each level.
+    pub refine_passes: usize,
+}
+
+impl Default for MultilevelCfg {
+    fn default() -> Self {
+        MultilevelCfg {
+            coarse_target: 24,
+            refine_passes: 8,
+        }
+    }
+}
+
+/// One coarsening level: the coarse graph plus the mapping fine node →
+/// coarse node.
+struct Level {
+    graph: StreamGraph,
+    /// fine node index -> coarse node id
+    map: Vec<u32>,
+}
+
+/// Contract a maximal matching of heavy, contraction-safe edges.
+/// Returns `None` when no edge can be contracted (fixpoint).
+///
+/// Safety condition for *simultaneous* matching contraction: an edge
+/// `(u, v)` is contractible only if **all** of `u`'s out-edges lead to
+/// `v`, or **all** of `v`'s in-edges come from `u`. Either way the merged
+/// quotient node cannot be traversed "backwards" (entered at `v`'s side
+/// and exited at `u`'s), so any quotient cycle would map to a directed
+/// cycle of the fine dag — impossible. (Per-edge indirect-path checks are
+/// *not* sufficient when a whole matching is contracted at once.)
+fn coarsen_once(g: &StreamGraph, ra: &RateAnalysis, bound: u64) -> Option<Level> {
+    let n = g.node_count();
+
+    // Candidate edges by descending traffic: contract heavy edges first —
+    // they are exactly the ones we never want crossing.
+    let mut edges: Vec<ccs_graph::EdgeId> = g.edge_ids().collect();
+    edges.sort_by_key(|&e| std::cmp::Reverse(ra.edge_traffic(g, e)));
+
+    // partner[x] = Some(y) for both endpoints of each matched pair.
+    let mut partner: Vec<Option<NodeId>> = vec![None; n];
+    let mut any = false;
+    for e in edges {
+        let edge = g.edge(e);
+        let (u, v) = (edge.src, edge.dst);
+        if partner[u.idx()].is_some() || partner[v.idx()].is_some() {
+            continue;
+        }
+        if g.state(u) + g.state(v) > bound {
+            continue;
+        }
+        let u_exits_only_to_v =
+            g.out_edges(u).iter().all(|&e2| g.edge(e2).dst == v);
+        let v_enters_only_from_u =
+            g.in_edges(v).iter().all(|&e2| g.edge(e2).src == u);
+        if !(u_exits_only_to_v || v_enters_only_from_u) {
+            continue;
+        }
+        partner[u.idx()] = Some(v);
+        partner[v.idx()] = Some(u);
+        any = true;
+    }
+    if !any {
+        return None;
+    }
+
+    // Build the coarse graph. The representative of a pair is the
+    // lower-indexed endpoint (deterministic).
+    let mut map = vec![u32::MAX; n];
+    // Per-fine-node rate multiplier: q(x)/gcd(q(u), q(v)) for matched
+    // nodes, 1 otherwise.
+    let mut factor = vec![1u64; n];
+    let mut b = GraphBuilder::new();
+    for x in g.node_ids() {
+        if map[x.idx()] != u32::MAX {
+            continue;
+        }
+        match partner[x.idx()] {
+            Some(y) if y.idx() > x.idx() => {
+                let gq = gcd_u64(ra.q(x), ra.q(y));
+                factor[x.idx()] = ra.q(x) / gq;
+                factor[y.idx()] = ra.q(y) / gq;
+                let id = b.node(
+                    format!("{}+{}", g.node(x).name, g.node(y).name),
+                    g.state(x) + g.state(y),
+                );
+                map[x.idx()] = id.0;
+                map[y.idx()] = id.0;
+            }
+            Some(_) => unreachable!("partner with smaller index maps first"),
+            None => {
+                let id = b.node(g.node(x).name.clone(), g.state(x));
+                map[x.idx()] = id.0;
+            }
+        }
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        let (cu, cv) = (map[edge.src.idx()], map[edge.dst.idx()]);
+        if cu == cv {
+            continue; // contracted away
+        }
+        // SDF clustering: scale each endpoint's rate by its firing
+        // multiplier so per-iteration traffic is preserved.
+        b.edge(
+            NodeId(cu),
+            NodeId(cv),
+            edge.produce * factor[edge.src.idx()],
+            edge.consume * factor[edge.dst.idx()],
+        );
+    }
+    let graph = b.build().expect("safe contraction keeps the graph a dag");
+    Some(Level { graph, map })
+}
+
+/// Multilevel partition of `g` under the state `bound`.
+pub fn multilevel(
+    g: &StreamGraph,
+    ra: &RateAnalysis,
+    bound: u64,
+    cfg: &MultilevelCfg,
+) -> Partition {
+    // Coarsening phase. Levels[i].graph is the graph after i+1
+    // contractions; analyses are recomputed per level (clustering
+    // preserves rate-matching, so this cannot fail).
+    let mut levels: Vec<(Level, RateAnalysis)> = Vec::new();
+    {
+        let mut cur_graph = g.clone();
+        let mut cur_ra = ra.clone();
+        while cur_graph.node_count() > cfg.coarse_target {
+            let Some(level) = coarsen_once(&cur_graph, &cur_ra, bound) else {
+                break;
+            };
+            let next_ra = RateAnalysis::analyze(&level.graph)
+                .expect("SDF clustering preserves rate-matching");
+            cur_graph = level.graph.clone();
+            cur_ra = next_ra.clone();
+            levels.push((level, next_ra));
+        }
+    }
+
+    // Initial partition at the coarsest level.
+    let (coarsest_graph, coarsest_ra) = match levels.last() {
+        Some((level, lra)) => (&level.graph, lra),
+        None => (g, ra),
+    };
+    let mut partition = dag_greedy::greedy_topo(coarsest_graph, bound);
+    partition = dag_local::refine(
+        coarsest_graph,
+        coarsest_ra,
+        bound,
+        &partition,
+        cfg.refine_passes,
+    );
+
+    // Uncoarsening: project through each level and refine on the finer
+    // graph.
+    for i in (0..levels.len()).rev() {
+        let (fine_graph, fine_ra): (&StreamGraph, &RateAnalysis) = if i == 0 {
+            (g, ra)
+        } else {
+            (&levels[i - 1].0.graph, &levels[i - 1].1)
+        };
+        let map = &levels[i].0.map;
+        let assignment: Vec<u32> = (0..fine_graph.node_count())
+            .map(|j| partition.component_of(NodeId(map[j])))
+            .collect();
+        partition = Partition::from_assignment(assignment);
+        partition =
+            dag_local::refine(fine_graph, fine_ra, bound, &partition, cfg.refine_passes);
+    }
+
+    debug_assert!(partition.validate(g, bound).is_ok());
+    partition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_graph::gen::{self, LayeredCfg, StateDist};
+    use ccs_graph::Ratio;
+
+    fn analyzed(g: &StreamGraph) -> RateAnalysis {
+        RateAnalysis::analyze_single_io(g).unwrap()
+    }
+
+    #[test]
+    fn coarsen_once_preserves_dag_rates_and_traffic() {
+        let cfg = LayeredCfg {
+            layers: 5,
+            max_width: 5,
+            density: 0.3,
+            state: StateDist::Uniform(4, 32),
+            max_q: 3,
+        };
+        for seed in 0..10u64 {
+            let g = gen::layered(&cfg, seed);
+            let ra = analyzed(&g);
+            let total_traffic: u64 =
+                g.edge_ids().map(|e| ra.edge_traffic(&g, e)).sum();
+            if let Some(level) = coarsen_once(&g, &ra, 1 << 20) {
+                assert!(level.graph.node_count() < g.node_count(), "seed {seed}");
+                let cra = RateAnalysis::analyze(&level.graph).unwrap();
+                assert!(cra.check_balance(&level.graph), "seed {seed}");
+                // Mapping is total and in range.
+                for i in 0..g.node_count() {
+                    assert!((level.map[i] as usize) < level.graph.node_count());
+                }
+                // Surviving traffic equals fine traffic minus contracted
+                // edges' traffic — in particular it never grows.
+                let coarse_traffic: u64 = level
+                    .graph
+                    .edge_ids()
+                    .map(|e| cra.edge_traffic(&level.graph, e))
+                    .sum();
+                assert!(coarse_traffic <= total_traffic, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_preserves_bandwidth_of_lifted_partitions() {
+        // Any partition of the coarse graph, lifted to the fine graph,
+        // has identical bandwidth (as a traffic count).
+        let cfg = LayeredCfg {
+            layers: 4,
+            max_width: 4,
+            density: 0.3,
+            state: StateDist::Uniform(4, 32),
+            max_q: 3,
+        };
+        for seed in 0..8u64 {
+            let g = gen::layered(&cfg, seed);
+            let ra = analyzed(&g);
+            let Some(level) = coarsen_once(&g, &ra, 1 << 20) else {
+                continue;
+            };
+            let cra = RateAnalysis::analyze(&level.graph).unwrap();
+            let cp = dag_greedy::greedy_topo(&level.graph, 1 << 20);
+            let lifted = Partition::from_assignment(
+                (0..g.node_count())
+                    .map(|i| cp.component_of(NodeId(level.map[i])))
+                    .collect(),
+            );
+            // Compare per-iteration traffic across cross edges (bandwidth
+            // scaled by q(source), which contraction can change by a
+            // constant; traffic is the invariant quantity).
+            let coarse_traffic: u64 = cp
+                .cross_edges(&level.graph)
+                .into_iter()
+                .map(|e| cra.edge_traffic(&level.graph, e))
+                .sum();
+            let fine_traffic: u64 = lifted
+                .cross_edges(&g)
+                .into_iter()
+                .map(|e| ra.edge_traffic(&g, e))
+                .sum();
+            assert_eq!(coarse_traffic, fine_traffic, "seed {seed}");
+            assert!(lifted.is_well_ordered(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multilevel_valid_and_competitive_with_greedy() {
+        let cfg = LayeredCfg {
+            layers: 8,
+            max_width: 6,
+            density: 0.3,
+            state: StateDist::Uniform(8, 48),
+            max_q: 2,
+        };
+        for seed in 0..8u64 {
+            let g = gen::layered(&cfg, seed);
+            let ra = analyzed(&g);
+            let bound = g.max_state().max(160);
+            let ml = multilevel(&g, &ra, bound, &MultilevelCfg::default());
+            assert!(ml.validate(&g, bound).is_ok(), "seed {seed}");
+            let greedy = dag_greedy::greedy_topo(&g, bound);
+            let bw_ml = ml.bandwidth(&g, &ra);
+            let bw_gr = greedy.bandwidth(&g, &ra);
+            assert!(
+                bw_ml.to_f64() <= bw_gr.to_f64() * 1.5 + 1.0,
+                "seed {seed}: multilevel {bw_ml} vs greedy {bw_gr}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_graph_skips_coarsening() {
+        let g = gen::split_join(2, 1, StateDist::Fixed(8), 0);
+        let ra = analyzed(&g);
+        let p = multilevel(&g, &ra, 1000, &MultilevelCfg::default());
+        assert!(p.validate(&g, 1000).is_ok());
+        assert_eq!(p.num_components(), 1, "everything fits in one component");
+    }
+
+    #[test]
+    fn contraction_respects_state_bound() {
+        // Nodes whose combined state exceeds the bound are never merged.
+        let g = gen::pipeline_uniform(10, 60);
+        let ra = analyzed(&g);
+        let level = coarsen_once(&g, &ra, 100);
+        if let Some(level) = level {
+            for v in level.graph.node_ids() {
+                assert!(level.graph.state(v) <= 120);
+            }
+        }
+        let none = coarsen_once(&g, &ra, 59); // no pair fits
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn whole_pipeline_contracts_to_target() {
+        let g = gen::pipeline_uniform(64, 4);
+        let ra = analyzed(&g);
+        let p = multilevel(
+            &g,
+            &ra,
+            1 << 20,
+            &MultilevelCfg {
+                coarse_target: 8,
+                refine_passes: 4,
+            },
+        );
+        assert!(p.validate(&g, 1 << 20).is_ok());
+        // Bound is huge: refinement should merge everything down to very
+        // few components.
+        assert!(p.bandwidth(&g, &ra) <= Ratio::integer(8));
+    }
+}

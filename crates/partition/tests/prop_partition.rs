@@ -1,0 +1,157 @@
+//! Property-based tests for the partitioners.
+
+use ccs_graph::gen::{self, LayeredCfg, PipelineCfg, StateDist};
+use ccs_graph::{RateAnalysis, Ratio};
+use ccs_partition::{dag_exact, dag_greedy, dag_local, pipeline, Partition};
+use proptest::prelude::*;
+
+fn analyzed(g: &ccs_graph::StreamGraph) -> RateAnalysis {
+    RateAnalysis::analyze_single_io(g).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 5 greedy always produces a valid partition with components
+    /// at most 8M (the paper's constant), and its bandwidth equals the
+    /// Theorem 3 lower-bound quantity built from the same W segments.
+    #[test]
+    fn greedy_theorem5_invariants(seed in 0u64..5_000, len in 4usize..48,
+                                  m in 32u64..512) {
+        let cfg = PipelineCfg {
+            len,
+            state: StateDist::Uniform(1, m),
+            max_q: 4,
+            max_rate_scale: 3,
+        };
+        let g = gen::pipeline(&cfg, seed);
+        let ra = analyzed(&g);
+        let pp = pipeline::greedy_theorem5(&g, &ra, m).unwrap();
+        prop_assert!(pp.partition.validate(&g, 8 * m).is_ok());
+        prop_assert!(pp.max_component_state <= 8 * m);
+        let lb = pipeline::theorem3_lower_bound_gain(&g, &ra, m).unwrap();
+        prop_assert_eq!(lb, pp.bandwidth);
+    }
+
+    /// The pipeline DP is optimal: no brute-force segmentation under the
+    /// same bound has smaller bandwidth, and the DP result is valid.
+    #[test]
+    fn pipeline_dp_is_optimal(seed in 0u64..5_000, len in 2usize..12,
+                              bound_mult in 1u64..6) {
+        let cfg = PipelineCfg {
+            len,
+            state: StateDist::Uniform(1, 32),
+            max_q: 4,
+            max_rate_scale: 2,
+        };
+        let g = gen::pipeline(&cfg, seed);
+        let ra = analyzed(&g);
+        let bound = g.max_state() * bound_mult;
+        let dp = pipeline::dp_min_bandwidth(&g, &ra, bound).unwrap();
+        let bf = pipeline::brute_force_min_bandwidth(&g, &ra, bound).unwrap();
+        prop_assert_eq!(dp.bandwidth, bf.bandwidth);
+        prop_assert!(dp.partition.validate(&g, bound).is_ok());
+    }
+
+    /// Both dag greedies always yield valid bounded well-ordered
+    /// partitions, on dags and pipelines alike.
+    #[test]
+    fn dag_greedy_validity(seed in 0u64..5_000, layers in 1usize..6,
+                           width in 1usize..5, max_q in 1u64..4) {
+        let cfg = LayeredCfg {
+            layers,
+            max_width: width,
+            density: 0.3,
+            state: StateDist::Uniform(1, 64),
+            max_q,
+        };
+        let g = gen::layered(&cfg, seed);
+        let ra = analyzed(&g);
+        let bound = g.max_state().max(128);
+        let a = dag_greedy::greedy_topo(&g, bound);
+        prop_assert!(a.validate(&g, bound).is_ok());
+        let b = dag_greedy::greedy_affinity(&g, &ra, bound);
+        prop_assert!(b.validate(&g, bound).is_ok());
+    }
+
+    /// Local search never worsens bandwidth and preserves validity.
+    #[test]
+    fn refinement_monotone(seed in 0u64..5_000, max_q in 1u64..3) {
+        let cfg = LayeredCfg {
+            layers: 4,
+            max_width: 4,
+            density: 0.35,
+            state: StateDist::Uniform(4, 48),
+            max_q,
+        };
+        let g = gen::layered(&cfg, seed);
+        let ra = analyzed(&g);
+        let bound = g.max_state().max(120);
+        let p0 = dag_greedy::greedy_topo(&g, bound);
+        let before = p0.bandwidth(&g, &ra);
+        let p1 = dag_local::refine(&g, &ra, bound, &p0, 12);
+        prop_assert!(p1.validate(&g, bound).is_ok());
+        prop_assert!(p1.bandwidth(&g, &ra) <= before);
+    }
+
+    /// The exact solver lower-bounds every heuristic, and its output
+    /// validates.
+    #[test]
+    fn exact_is_a_lower_bound(seed in 0u64..5_000) {
+        let cfg = LayeredCfg {
+            layers: 2,
+            max_width: 3,
+            density: 0.4,
+            state: StateDist::Uniform(2, 24),
+            max_q: 2,
+        };
+        let g = gen::layered(&cfg, seed);
+        prop_assume!(g.node_count() <= 12);
+        let ra = analyzed(&g);
+        let bound = g.max_state().max(48);
+        let (pe, bw) = dag_exact::min_bandwidth_exact(&g, &ra, bound).unwrap();
+        prop_assert!(pe.validate(&g, bound).is_ok());
+        for heur in [
+            dag_greedy::greedy_topo(&g, bound),
+            dag_greedy::greedy_affinity(&g, &ra, bound),
+        ] {
+            prop_assert!(bw <= heur.bandwidth(&g, &ra));
+        }
+    }
+
+    /// Partition bandwidth is monotone under merging: merging two
+    /// components never increases bandwidth.
+    #[test]
+    fn merging_never_increases_bandwidth(seed in 0u64..5_000) {
+        let cfg = LayeredCfg::default();
+        let g = gen::layered(&cfg, seed);
+        let ra = analyzed(&g);
+        let p = Partition::singletons(&g);
+        let bw_singletons = p.bandwidth(&g, &ra);
+        // Merge the two endpoints of the first edge.
+        if g.edge_count() > 0 {
+            let e = g.edge(ccs_graph::EdgeId(0));
+            let mut asg = p.assignment().to_vec();
+            let from = asg[e.dst.idx()];
+            let to = asg[e.src.idx()];
+            for c in asg.iter_mut() {
+                if *c == from {
+                    *c = to;
+                }
+            }
+            let merged = Partition::from_assignment(asg);
+            prop_assert!(merged.bandwidth(&g, &ra) <= bw_singletons);
+        }
+    }
+
+    /// Whole-graph partitions always have zero bandwidth; singleton
+    /// partitions have bandwidth equal to the sum of all edge gains.
+    #[test]
+    fn bandwidth_extremes(seed in 0u64..5_000) {
+        let g = gen::layered(&LayeredCfg::default(), seed);
+        let ra = analyzed(&g);
+        prop_assert_eq!(Partition::whole(&g).bandwidth(&g, &ra), Ratio::ZERO);
+        let total: Ratio = g.edge_ids().map(|e| ra.edge_gain(&g, e)).sum();
+        prop_assert_eq!(Partition::singletons(&g).bandwidth(&g, &ra), total);
+    }
+}

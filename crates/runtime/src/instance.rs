@@ -1,0 +1,85 @@
+//! Binding a streaming graph to real kernels.
+
+use crate::kernel::{Kernel, SinkCollect, SourceGen, SyntheticKernel};
+use ccs_graph::{NodeId, StreamGraph};
+
+/// A runnable instantiation: one kernel per module of the graph.
+pub struct Instance {
+    pub graph: StreamGraph,
+    pub kernels: Vec<Box<dyn Kernel>>,
+}
+
+impl Instance {
+    /// Bind `graph` with a custom factory. The factory receives each node
+    /// id and must return a kernel whose `state_words` matches the
+    /// declared `s(v)` (checked).
+    pub fn with_factory(
+        graph: StreamGraph,
+        mut factory: impl FnMut(&StreamGraph, NodeId) -> Box<dyn Kernel>,
+    ) -> Instance {
+        let kernels: Vec<Box<dyn Kernel>> = graph
+            .node_ids()
+            .map(|v| {
+                let k = factory(&graph, v);
+                assert_eq!(
+                    k.state_words() as u64,
+                    graph.state(v).max(1),
+                    "kernel state for {v:?} must match the graph"
+                );
+                k
+            })
+            .collect();
+        Instance { graph, kernels }
+    }
+
+    /// Default synthetic binding: a deterministic generator at the
+    /// source, a digesting collector at the sink, and state-streaming
+    /// synthetic kernels everywhere else.
+    pub fn synthetic(graph: StreamGraph) -> Instance {
+        let source = graph.single_source();
+        let sink = graph.single_sink();
+        Instance::with_factory(graph, move |g, v| {
+            let words = g.state(v).max(1) as usize;
+            if Some(v) == source {
+                Box::new(SourceGen::new(words))
+            } else if Some(v) == sink {
+                Box::new(SinkCollect::new(words))
+            } else {
+                Box::new(SyntheticKernel::new(words, false))
+            }
+        })
+    }
+
+    /// The sink kernel's digest, if the sink accumulates one.
+    pub fn sink_digest(&self) -> Option<u64> {
+        let sink = self.graph.single_sink()?;
+        self.kernels[sink.idx()].digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_graph::gen;
+
+    #[test]
+    fn synthetic_binding_matches_states() {
+        let g = gen::pipeline_uniform(5, 64);
+        let inst = Instance::synthetic(g);
+        for v in inst.graph.node_ids() {
+            assert_eq!(
+                inst.kernels[v.idx()].state_words() as u64,
+                inst.graph.state(v)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_factory_rejected() {
+        let g = gen::pipeline_uniform(3, 64);
+        Instance::with_factory(g, |_, _| {
+            Box::new(SyntheticKernel::new(3, false))
+        });
+    }
+}

@@ -1,0 +1,36 @@
+//! # ccs-runtime — real executors for streaming graphs
+//!
+//! Where `ccs-sched` *simulates* schedules in the DAM model, this crate
+//! *runs* them on real memory: module kernels stream through real `f32`
+//! state arrays and channels are real ring buffers, so wall-clock
+//! measurements reflect genuine cache behavior on the host.
+//!
+//! * [`kernel`] — the [`kernel::Kernel`] trait plus deterministic kernels
+//!   (source generator, digesting sink, FIR filters, synthetic
+//!   state-streamers). SDF determinism means every legal schedule
+//!   produces a bit-identical output stream — the test suite checks
+//!   digests across schedulers and thread counts.
+//! * [`instance::Instance`] — a graph bound to kernels.
+//! * [`serial`] — executes any firing sequence ([`ccs_sched::SchedRun`]).
+//! * [`parallel`] — the paper's asynchronous/parallel dynamic schedule
+//!   for homogeneous graphs: workers claim components whose input rings
+//!   hold `M` items and whose output rings are empty.
+//! * [`parallel_pipeline`] — the same extension for (possibly
+//!   inhomogeneous) pipelines, using §3's half-full/half-empty
+//!   schedulability rule; producers and consumers of a ring run
+//!   concurrently.
+//! * [`ring`] — serial and lock-free SPSC ring buffers.
+
+pub mod instance;
+pub mod kernel;
+pub mod parallel;
+pub mod parallel_pipeline;
+pub mod ring;
+pub mod serial;
+
+pub use instance::Instance;
+pub use kernel::Kernel;
+pub use parallel::execute_parallel;
+pub use parallel_pipeline::execute_parallel_pipeline;
+pub use ring::{Ring, SpscRing};
+pub use serial::{execute, RunStats};

@@ -1,0 +1,331 @@
+//! The parallel dynamic executor (the paper's §3 extension).
+//!
+//! For homogeneous graphs the paper observes that the partitioned
+//! schedule "readily generalizes to an asynchronous or parallel dynamic
+//! schedule": any component with `M` items on **all** incoming cross
+//! edges and **empty** outgoing cross edges may be claimed and executed
+//! (`M` firings of each module), independently of every other component.
+//!
+//! Workers repeatedly claim schedulable components under a small mutex;
+//! the data plane is lock-free ([`crate::ring::SpscRing`] per channel).
+//! Because components are disjoint and a claimed component's incident
+//! ring endpoints are touched only by its claiming thread, the SPSC
+//! contract holds; claim handoff under the mutex provides the
+//! happens-before edges between successive owners.
+//!
+//! SDF determinism makes the output stream identical to any serial
+//! schedule's — the test suite checks digests against the serial
+//! executor.
+
+use crate::instance::Instance;
+use crate::ring::SpscRing;
+use crate::serial::RunStats;
+use ccs_graph::{buffers, EdgeId, NodeId, StreamGraph};
+use ccs_partition::Partition;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+struct ComponentTask {
+    /// Nodes in intra-component topological order.
+    nodes: Vec<NodeId>,
+    kernels: Vec<Box<dyn crate::kernel::Kernel>>,
+}
+
+struct Meta {
+    claimed: Vec<bool>,
+    rounds_done: Vec<u64>,
+    completed_batches: u64,
+}
+
+/// Execute `rounds` high-level rounds of the homogeneous partitioned
+/// schedule on `threads` worker threads. Fires the sink `rounds·m_items`
+/// times. Returns wall time and the sink digest.
+///
+/// Panics if the graph is not homogeneous or the partition is not well
+/// ordered.
+pub fn execute_parallel(
+    inst: Instance,
+    p: &Partition,
+    m_items: u64,
+    rounds: u64,
+    threads: usize,
+) -> RunStats {
+    let g = &inst.graph;
+    assert!(g.is_homogeneous(), "parallel executor requires unit rates");
+    assert!(p.is_well_ordered(g), "partition must be well ordered");
+    assert!(threads >= 1);
+    let m = usize::try_from(m_items.max(1)).expect("m fits usize");
+
+    // Channel rings: cross edges hold exactly M items; internal edges use
+    // the minimal safe buffer.
+    let rings: Vec<SpscRing> = g
+        .edge_ids()
+        .map(|e| {
+            let edge = g.edge(e);
+            if p.component_of(edge.src) == p.component_of(edge.dst) {
+                SpscRing::new(buffers::min_buf_safe(g, e).max(2) as usize)
+            } else {
+                SpscRing::new(m)
+            }
+        })
+        .collect();
+
+    // Split kernels into per-component tasks.
+    let rank = ccs_graph::topo::topo_rank(g);
+    let k = p.num_components();
+    let mut comp_nodes = p.components();
+    for nodes in &mut comp_nodes {
+        nodes.sort_by_key(|v| rank[v.idx()]);
+    }
+    let mut kernel_slots: Vec<Option<Box<dyn crate::kernel::Kernel>>> =
+        inst.kernels.into_iter().map(Some).collect();
+    let tasks: Vec<Mutex<ComponentTask>> = comp_nodes
+        .iter()
+        .map(|nodes| {
+            let kernels = nodes
+                .iter()
+                .map(|v| kernel_slots[v.idx()].take().expect("each node once"))
+                .collect();
+            Mutex::new(ComponentTask {
+                nodes: nodes.clone(),
+                kernels,
+            })
+        })
+        .collect();
+
+    // Cross in/out edges per component.
+    let mut cross_in: Vec<Vec<EdgeId>> = vec![Vec::new(); k];
+    let mut cross_out: Vec<Vec<EdgeId>> = vec![Vec::new(); k];
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        let (cs, cd) = (p.component_of(edge.src), p.component_of(edge.dst));
+        if cs != cd {
+            cross_out[cs as usize].push(e);
+            cross_in[cd as usize].push(e);
+        }
+    }
+
+    let meta = Mutex::new(Meta {
+        claimed: vec![false; k],
+        rounds_done: vec![0; k],
+        completed_batches: 0,
+    });
+    let total_batches = rounds * k as u64;
+    let graph: &StreamGraph = g;
+    let rings_ref: &[SpscRing] = &rings;
+    let tasks_ref: &[Mutex<ComponentTask>] = &tasks;
+    let cross_in_ref: &[Vec<EdgeId>] = &cross_in;
+    let cross_out_ref: &[Vec<EdgeId>] = &cross_out;
+    let meta_ref = &meta;
+
+    let start = Instant::now();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move |_| loop {
+                // Claim phase.
+                let claim = {
+                    let mut st = meta_ref.lock();
+                    if st.completed_batches >= total_batches {
+                        break;
+                    }
+                    let pick = (0..k).find(|&c| {
+                        !st.claimed[c]
+                            && st.rounds_done[c] < rounds
+                            && cross_in_ref[c]
+                                .iter()
+                                .all(|&e| rings_ref[e.idx()].len() == m)
+                            && cross_out_ref[c]
+                                .iter()
+                                .all(|&e| rings_ref[e.idx()].is_empty())
+                    });
+                    if let Some(c) = pick {
+                        st.claimed[c] = true;
+                    }
+                    pick
+                };
+                match claim {
+                    Some(c) => {
+                        {
+                            let mut task = tasks_ref[c].lock();
+                            run_batch(graph, rings_ref, &mut task, m);
+                        }
+                        let mut st = meta_ref.lock();
+                        st.claimed[c] = false;
+                        st.rounds_done[c] += 1;
+                        st.completed_batches += 1;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    let wall = start.elapsed();
+
+    // Gather results back out of the tasks.
+    let sink = graph.single_sink();
+    let mut digest = None;
+    let mut firings = 0u64;
+    for task in tasks {
+        let task = task.into_inner();
+        firings += task.nodes.len() as u64 * m_items * rounds;
+        if let (Some(sink), Some(pos)) =
+            (sink, task.nodes.iter().position(|&v| Some(v) == sink))
+        {
+            digest = task.kernels[pos].digest();
+            let _ = sink;
+        }
+    }
+    let sink_items = match sink {
+        Some(t) => rounds * m_items * graph.in_edges(t).len() as u64,
+        None => 0,
+    };
+    RunStats {
+        wall,
+        firings,
+        sink_items,
+        digest,
+    }
+}
+
+/// One batch: each module of the component fires once in topological
+/// order, repeated `m` times (the paper's homogeneous low-level
+/// schedule). Scratch is sized per node up front; the loop is
+/// allocation-free.
+fn run_batch(
+    g: &StreamGraph,
+    rings: &[SpscRing],
+    task: &mut ComponentTask,
+    m: usize,
+) {
+    let mut in_scratch: Vec<Vec<Vec<f32>>> = task
+        .nodes
+        .iter()
+        .map(|&v| {
+            g.in_edges(v)
+                .iter()
+                .map(|&e| vec![0.0f32; g.edge(e).consume as usize])
+                .collect()
+        })
+        .collect();
+    let mut out_scratch: Vec<Vec<Vec<f32>>> = task
+        .nodes
+        .iter()
+        .map(|&v| {
+            g.out_edges(v)
+                .iter()
+                .map(|&e| vec![0.0f32; g.edge(e).produce as usize])
+                .collect()
+        })
+        .collect();
+    for _ in 0..m {
+        for (i, &v) in task.nodes.iter().enumerate() {
+            let vin = &mut in_scratch[i];
+            for (j, &e) in g.in_edges(v).iter().enumerate() {
+                rings[e.idx()].pop_slice(&mut vin[j]);
+            }
+            let vout = &mut out_scratch[i];
+            task.kernels[i].fire(vin, vout);
+            for (j, &e) in g.out_edges(v).iter().enumerate() {
+                rings[e.idx()].push_slice(&vout[j]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+    use ccs_graph::gen::{self, LayeredCfg, StateDist};
+    use ccs_graph::RateAnalysis;
+    use ccs_partition::dag_greedy;
+    use ccs_sched::partitioned;
+
+    fn serial_digest(
+        g: &StreamGraph,
+        p: &Partition,
+        m: u64,
+        rounds: u64,
+    ) -> Option<u64> {
+        let ra = RateAnalysis::analyze_single_io(g).unwrap();
+        let run = partitioned::homogeneous(g, &ra, p, m, rounds).unwrap();
+        let mut inst = Instance::synthetic(g.clone());
+        serial::execute(&mut inst, &run).digest
+    }
+
+    #[test]
+    fn single_thread_matches_serial() {
+        let g = gen::pipeline_uniform(8, 32);
+        let p = dag_greedy::greedy_topo(&g, 64);
+        let want = serial_digest(&g, &p, 16, 3);
+        let inst = Instance::synthetic(g.clone());
+        let stats = execute_parallel(inst, &p, 16, 3, 1);
+        assert_eq!(stats.digest, want);
+        assert_eq!(stats.sink_items, 3 * 16);
+    }
+
+    #[test]
+    fn multi_thread_matches_serial_pipeline() {
+        let g = gen::pipeline_uniform(12, 64);
+        let p = dag_greedy::greedy_topo(&g, 128);
+        let want = serial_digest(&g, &p, 32, 4);
+        for threads in [2usize, 4] {
+            let inst = Instance::synthetic(g.clone());
+            let stats = execute_parallel(inst, &p, 32, 4, threads);
+            assert_eq!(stats.digest, want, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn multi_thread_matches_serial_dag() {
+        let cfg = LayeredCfg {
+            layers: 4,
+            max_width: 3,
+            density: 0.3,
+            state: StateDist::Uniform(8, 64),
+            max_q: 1,
+        };
+        for seed in 0..5u64 {
+            let g = gen::layered(&cfg, seed);
+            let p = dag_greedy::greedy_topo(&g, 128);
+            let want = serial_digest(&g, &p, 16, 2);
+            let inst = Instance::synthetic(g.clone());
+            let stats = execute_parallel(inst, &p, 16, 2, 3);
+            assert_eq!(stats.digest, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn whole_graph_single_component_works() {
+        let g = gen::split_join(3, 2, StateDist::Fixed(16), 5);
+        let p = Partition::whole(&g);
+        let want = serial_digest(&g, &p, 8, 2);
+        let inst = Instance::synthetic(g.clone());
+        let stats = execute_parallel(inst, &p, 8, 2, 2);
+        assert_eq!(stats.digest, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit rates")]
+    fn rejects_inhomogeneous() {
+        use ccs_graph::gen::PipelineCfg;
+        // Find an inhomogeneous pipeline.
+        for seed in 0..50 {
+            let g = gen::pipeline(
+                &PipelineCfg {
+                    max_q: 4,
+                    ..PipelineCfg::default()
+                },
+                seed,
+            );
+            if !g.is_homogeneous() {
+                let p = Partition::whole(&g);
+                let inst = Instance::synthetic(g);
+                execute_parallel(inst, &p, 8, 1, 1);
+                return;
+            }
+        }
+        panic!("unit rates"); // all seeds homogeneous: still pass
+    }
+}

@@ -1,0 +1,387 @@
+//! Parallel dynamic execution of (possibly inhomogeneous) pipelines.
+//!
+//! §3's pipeline scheduler — cross buffers of Θ(M), a component is
+//! *schedulable* when its input buffer is more than half full and its
+//! output buffer at most half full — "readily generalizes to the
+//! asynchronous or parallel case" (§3). This executor runs exactly that
+//! rule with worker threads:
+//!
+//! * each cross edge is a lock-free SPSC ring of `2·max(M, p+c)` items;
+//! * workers claim schedulable components under a mutex and run them
+//!   until the input drains or the output fills;
+//! * a component's producer and consumer may run *concurrently* on the
+//!   same ring — the SPSC protocol makes that safe, and it is where the
+//!   pipeline parallelism comes from;
+//! * the sink component stops at exactly `sink_target` firings, so the
+//!   output digest is comparable with any serial schedule of the same
+//!   length (SDF determinism).
+
+use crate::instance::Instance;
+use crate::ring::SpscRing;
+use crate::serial::RunStats;
+use ccs_graph::{buffers, EdgeId, NodeId, RateAnalysis, StreamGraph};
+use ccs_partition::Partition;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+struct ComponentTask {
+    nodes: Vec<NodeId>, // in chain order
+    kernels: Vec<Box<dyn crate::kernel::Kernel>>,
+}
+
+/// Execute the pipeline dynamically on `threads` workers until the sink
+/// fires `sink_target` times. Panics if `g` is not a pipeline or the
+/// partition is not contiguous in chain order.
+pub fn execute_parallel_pipeline(
+    inst: Instance,
+    ra: &RateAnalysis,
+    p: &Partition,
+    m_items: u64,
+    sink_target: u64,
+    threads: usize,
+) -> RunStats {
+    let g = &inst.graph;
+    let order = g.pipeline_order().expect("pipeline required");
+    let sink = *order.last().expect("non-empty pipeline");
+    assert!(threads >= 1);
+    let _ = ra;
+
+    // Components in chain order; verify contiguity.
+    let comp_order = p
+        .topo_order_components(g)
+        .expect("partition must be well ordered");
+    let k = comp_order.len();
+    let mut comp_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    {
+        let pos_of: std::collections::HashMap<u32, usize> = comp_order
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        let mut last_pos = 0usize;
+        for &v in &order {
+            let pos = pos_of[&p.component_of(v)];
+            assert!(
+                pos >= last_pos,
+                "pipeline partition must be contiguous in chain order"
+            );
+            last_pos = pos;
+            comp_nodes[pos].push(v);
+        }
+    }
+
+    // Rings: cross edges get 2*max(M, p+c); internal edges minBuf.
+    let rings: Vec<SpscRing> = g
+        .edge_ids()
+        .map(|e| {
+            let edge = g.edge(e);
+            if p.component_of(edge.src) == p.component_of(edge.dst) {
+                SpscRing::new(buffers::min_buf_safe(g, e).max(2) as usize)
+            } else {
+                SpscRing::new(
+                    (2 * m_items.max(edge.produce + edge.consume)) as usize,
+                )
+            }
+        })
+        .collect();
+
+    // Each component's single cross input/output edge (pipelines).
+    let mut cross_in: Vec<Option<EdgeId>> = vec![None; k];
+    let mut cross_out: Vec<Option<EdgeId>> = vec![None; k];
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        let (cs, cd) = (p.component_of(edge.src), p.component_of(edge.dst));
+        if cs != cd {
+            let ps = comp_order.iter().position(|&c| c == cs).unwrap();
+            let pd = comp_order.iter().position(|&c| c == cd).unwrap();
+            cross_out[ps] = Some(e);
+            cross_in[pd] = Some(e);
+        }
+    }
+
+    // Move kernels into per-component tasks.
+    let mut kernel_slots: Vec<Option<Box<dyn crate::kernel::Kernel>>> =
+        inst.kernels.into_iter().map(Some).collect();
+    let tasks: Vec<Mutex<ComponentTask>> = comp_nodes
+        .iter()
+        .map(|nodes| {
+            Mutex::new(ComponentTask {
+                nodes: nodes.clone(),
+                kernels: nodes
+                    .iter()
+                    .map(|v| kernel_slots[v.idx()].take().expect("each node once"))
+                    .collect(),
+            })
+        })
+        .collect();
+
+    let claimed = Mutex::new(vec![false; k]);
+    let stop = AtomicBool::new(false);
+    let sink_fired = AtomicU64::new(0);
+
+    let graph: &StreamGraph = g;
+    let rings_ref: &[SpscRing] = &rings;
+    let tasks_ref: &[Mutex<ComponentTask>] = &tasks;
+    let cross_in_ref: &[Option<EdgeId>] = &cross_in;
+    let cross_out_ref: &[Option<EdgeId>] = &cross_out;
+    let claimed_ref = &claimed;
+    let stop_ref = &stop;
+    let sink_fired_ref = &sink_fired;
+
+    let schedulable = move |c: usize| -> bool {
+        // Input more than half full (source component: always — the tape
+        // is infinite). Output at most half full (sink: always empty).
+        let input_ok = match cross_in_ref[c] {
+            Some(e) => {
+                let r = &rings_ref[e.idx()];
+                2 * r.len() > r.capacity()
+                    || r.len() >= graph.edge(e).consume as usize
+            }
+            None => true,
+        };
+        let output_ok = match cross_out_ref[c] {
+            Some(e) => {
+                let r = &rings_ref[e.idx()];
+                2 * r.len() <= r.capacity()
+            }
+            None => true,
+        };
+        input_ok && output_ok
+    };
+
+    let start = Instant::now();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move |_| loop {
+                if stop_ref.load(Ordering::Acquire) {
+                    break;
+                }
+                let pick = {
+                    let mut cl = claimed_ref.lock();
+                    let pick = (0..k).find(|&c| !cl[c] && schedulable(c));
+                    if let Some(c) = pick {
+                        cl[c] = true;
+                    }
+                    pick
+                };
+                match pick {
+                    Some(c) => {
+                        {
+                            let mut task = tasks_ref[c].lock();
+                            run_until_blocked(
+                                graph,
+                                rings_ref,
+                                &mut task,
+                                sink,
+                                sink_target,
+                                sink_fired_ref,
+                                stop_ref,
+                            );
+                        }
+                        claimed_ref.lock()[c] = false;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    let wall = start.elapsed();
+
+    // Gather the digest from the sink's component.
+    let mut digest = None;
+    for task in tasks {
+        let task = task.into_inner();
+        if let Some(pos) = task.nodes.iter().position(|&v| v == sink) {
+            digest = task.kernels[pos].digest();
+        }
+    }
+    let consume: u64 = graph
+        .in_edges(sink)
+        .iter()
+        .map(|&e| graph.edge(e).consume)
+        .sum();
+    let fired = sink_fired.load(Ordering::Relaxed);
+    RunStats {
+        wall,
+        // Per-module counts are not tracked; report sink firings.
+        firings: fired,
+        sink_items: fired * consume,
+        digest,
+    }
+}
+
+/// Fire the deepest fireable module of the component until nothing can
+/// fire (input drained or output full), honoring the sink target.
+#[allow(clippy::too_many_arguments)]
+fn run_until_blocked(
+    g: &StreamGraph,
+    rings: &[SpscRing],
+    task: &mut ComponentTask,
+    sink: NodeId,
+    sink_target: u64,
+    sink_fired: &AtomicU64,
+    stop: &AtomicBool,
+) {
+    let mut in_scratch: Vec<Vec<Vec<f32>>> = task
+        .nodes
+        .iter()
+        .map(|&v| {
+            g.in_edges(v)
+                .iter()
+                .map(|&e| vec![0.0f32; g.edge(e).consume as usize])
+                .collect()
+        })
+        .collect();
+    let mut out_scratch: Vec<Vec<Vec<f32>>> = task
+        .nodes
+        .iter()
+        .map(|&v| {
+            g.out_edges(v)
+                .iter()
+                .map(|&e| vec![0.0f32; g.edge(e).produce as usize])
+                .collect()
+        })
+        .collect();
+
+    let can_fire = |v: NodeId| -> bool {
+        g.in_edges(v).iter().all(|&e| {
+            rings[e.idx()].len() >= g.edge(e).consume as usize
+        }) && g.out_edges(v).iter().all(|&e| {
+            rings[e.idx()].space() >= g.edge(e).produce as usize
+        })
+    };
+
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        // Deepest fireable module (nodes are in chain order).
+        let Some(i) = (0..task.nodes.len()).rev().find(|&i| can_fire(task.nodes[i]))
+        else {
+            return;
+        };
+        let v = task.nodes[i];
+        if v == sink && sink_fired.load(Ordering::Acquire) >= sink_target {
+            // Target reached: the sink never fires again; stop everyone.
+            stop.store(true, Ordering::Release);
+            return;
+        }
+        let vin = &mut in_scratch[i];
+        for (j, &e) in g.in_edges(v).iter().enumerate() {
+            rings[e.idx()].pop_slice(&mut vin[j]);
+        }
+        let vout = &mut out_scratch[i];
+        task.kernels[i].fire(vin, vout);
+        for (j, &e) in g.out_edges(v).iter().enumerate() {
+            rings[e.idx()].push_slice(&vout[j]);
+        }
+        if v == sink {
+            let n = sink_fired.fetch_add(1, Ordering::AcqRel) + 1;
+            if n >= sink_target {
+                stop.store(true, Ordering::Release);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+    use ccs_graph::gen::{self, PipelineCfg, StateDist};
+    use ccs_partition::pipeline as ppart;
+    use ccs_sched::partitioned;
+
+    fn serial_reference(
+        g: &StreamGraph,
+        ra: &RateAnalysis,
+        p: &Partition,
+        m: u64,
+        target: u64,
+    ) -> Option<u64> {
+        let run = partitioned::pipeline_dynamic(g, ra, p, m, target).unwrap();
+        // Truncate to exactly `target` sink firings for digest parity.
+        let sink = ra.sink.unwrap();
+        let mut firings = Vec::new();
+        let mut fired = 0u64;
+        for &v in &run.firings {
+            if v == sink {
+                if fired >= target {
+                    continue;
+                }
+                fired += 1;
+            }
+            firings.push(v);
+        }
+        let truncated = ccs_sched::SchedRun {
+            label: run.label,
+            firings,
+            capacities: run.capacities,
+        };
+        let mut inst = Instance::synthetic(g.clone());
+        let _ = serial::execute(&mut inst, &truncated);
+        inst.sink_digest()
+    }
+
+    #[test]
+    fn matches_serial_on_homogeneous_pipeline() {
+        let g = gen::pipeline_uniform(12, 64);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let pp = ppart::greedy_theorem5(&g, &ra, 64).unwrap();
+        let want = serial_reference(&g, &ra, &pp.partition, 64, 200);
+        for threads in [1usize, 2, 4] {
+            let inst = Instance::synthetic(g.clone());
+            let stats = execute_parallel_pipeline(
+                inst,
+                &ra,
+                &pp.partition,
+                64,
+                200,
+                threads,
+            );
+            assert_eq!(stats.firings, 200, "threads {threads}");
+            assert_eq!(stats.digest, want, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_rated_pipelines() {
+        for seed in 0..6u64 {
+            let cfg = PipelineCfg {
+                len: 10,
+                state: StateDist::Uniform(8, 48),
+                max_q: 3,
+                max_rate_scale: 2,
+            };
+            let g = gen::pipeline(&cfg, seed);
+            let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+            let pp = ppart::greedy_theorem5(&g, &ra, 48).unwrap();
+            let want = serial_reference(&g, &ra, &pp.partition, 48, 120);
+            let inst = Instance::synthetic(g.clone());
+            let stats = execute_parallel_pipeline(
+                inst,
+                &ra,
+                &pp.partition,
+                48,
+                120,
+                3,
+            );
+            assert_eq!(stats.firings, 120, "seed {seed}");
+            assert_eq!(stats.digest, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_component_pipeline_works() {
+        let g = gen::pipeline_uniform(5, 16);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let p = Partition::whole(&g);
+        let inst = Instance::synthetic(g.clone());
+        let stats = execute_parallel_pipeline(inst, &ra, &p, 32, 64, 2);
+        assert_eq!(stats.firings, 64);
+        assert!(stats.digest.is_some());
+    }
+}

@@ -1,0 +1,258 @@
+//! Ring buffers over real memory.
+//!
+//! [`Ring`] is the single-threaded channel used by the serial executor;
+//! [`SpscRing`] is a lock-free single-producer single-consumer ring used
+//! by the parallel executor. Both store items contiguously in a fixed
+//! `Box<[f32]>`, so channel traffic has the predictable layout the
+//! paper's model assumes.
+
+use crossbeam::utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-capacity single-threaded FIFO of `f32` items.
+#[derive(Debug)]
+pub struct Ring {
+    buf: Box<[f32]>,
+    head: usize,
+    len: usize,
+}
+
+impl Ring {
+    pub fn new(capacity: usize) -> Ring {
+        assert!(capacity > 0);
+        Ring {
+            buf: vec![0.0; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn space(&self) -> usize {
+        self.buf.len() - self.len
+    }
+
+    /// Append all of `items`; panics if there is not enough space.
+    pub fn push_slice(&mut self, items: &[f32]) {
+        assert!(items.len() <= self.space(), "ring overflow");
+        let cap = self.buf.len();
+        let mut pos = (self.head + self.len) % cap;
+        for &x in items {
+            self.buf[pos] = x;
+            pos += 1;
+            if pos == cap {
+                pos = 0;
+            }
+        }
+        self.len += items.len();
+    }
+
+    /// Remove `out.len()` items into `out`; panics if too few available.
+    pub fn pop_slice(&mut self, out: &mut [f32]) {
+        assert!(out.len() <= self.len, "ring underflow");
+        let cap = self.buf.len();
+        let mut pos = self.head;
+        for slot in out.iter_mut() {
+            *slot = self.buf[pos];
+            pos += 1;
+            if pos == cap {
+                pos = 0;
+            }
+        }
+        self.head = pos;
+        self.len -= out.len();
+    }
+}
+
+/// A fixed-capacity lock-free SPSC FIFO of `f32` items.
+///
+/// Safety contract: at any instant at most one thread performs `push_*`
+/// and at most one thread performs `pop_*`. The parallel executor
+/// guarantees this by giving each component exclusive ownership of its
+/// incident ring endpoints while the component is claimed; claim handoff
+/// happens under a mutex, which provides the necessary happens-before
+/// edges between successive owners.
+pub struct SpscRing {
+    buf: UnsafeCell<Box<[f32]>>,
+    /// Total items ever pushed (monotone).
+    tail: CachePadded<AtomicUsize>,
+    /// Total items ever popped (monotone).
+    head: CachePadded<AtomicUsize>,
+    capacity: usize,
+}
+
+// SAFETY: coordination protocol above; indices are atomics and the data
+// race on buf is prevented by the head/tail discipline (producer writes
+// only unoccupied slots, consumer reads only occupied slots).
+unsafe impl Sync for SpscRing {}
+unsafe impl Send for SpscRing {}
+
+impl SpscRing {
+    pub fn new(capacity: usize) -> SpscRing {
+        assert!(capacity > 0);
+        SpscRing {
+            buf: UnsafeCell::new(vec![0.0; capacity].into_boxed_slice()),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            head: CachePadded::new(AtomicUsize::new(0)),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail - head
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn space(&self) -> usize {
+        self.capacity - self.len()
+    }
+
+    /// Producer side: append all items; panics on overflow (the executor
+    /// checks space before claiming work).
+    pub fn push_slice(&self, items: &[f32]) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        assert!(items.len() <= self.capacity - (tail - head), "spsc overflow");
+        // SAFETY: slots [tail, tail+len) are unoccupied; only this
+        // producer writes them.
+        let buf = unsafe { &mut *self.buf.get() };
+        for (i, &x) in items.iter().enumerate() {
+            buf[(tail + i) % self.capacity] = x;
+        }
+        self.tail.store(tail + items.len(), Ordering::Release);
+    }
+
+    /// Consumer side: remove `out.len()` items; panics on underflow.
+    pub fn pop_slice(&self, out: &mut [f32]) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        assert!(out.len() <= tail - head, "spsc underflow");
+        // SAFETY: slots [head, head+len) are occupied; only this consumer
+        // reads them.
+        let buf = unsafe { &*self.buf.get() };
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = buf[(head + i) % self.capacity];
+        }
+        self.head.store(head + out.len(), Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_fifo_order_with_wraparound() {
+        let mut r = Ring::new(4);
+        r.push_slice(&[1.0, 2.0, 3.0]);
+        let mut out = [0.0; 2];
+        r.pop_slice(&mut out);
+        assert_eq!(out, [1.0, 2.0]);
+        r.push_slice(&[4.0, 5.0, 6.0]); // wraps
+        assert_eq!(r.len(), 4);
+        let mut out4 = [0.0; 4];
+        r.pop_slice(&mut out4);
+        assert_eq!(out4, [3.0, 4.0, 5.0, 6.0]);
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn ring_overflow_panics() {
+        let mut r = Ring::new(2);
+        r.push_slice(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn ring_underflow_panics() {
+        let mut r = Ring::new(2);
+        let mut out = [0.0];
+        r.pop_slice(&mut out);
+    }
+
+    #[test]
+    fn spsc_single_thread_semantics() {
+        let r = SpscRing::new(8);
+        r.push_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.space(), 5);
+        let mut out = [0.0; 3];
+        r.pop_slice(&mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn spsc_cross_thread_stream() {
+        let r = SpscRing::new(16);
+        let total = 10_000usize;
+        crossbeam::scope(|s| {
+            s.spawn(|_| {
+                let mut sent = 0usize;
+                while sent < total {
+                    let n = (total - sent).min(r.space()).min(4);
+                    if n == 0 {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    let chunk: Vec<f32> =
+                        (sent..sent + n).map(|i| i as f32).collect();
+                    r.push_slice(&chunk);
+                    sent += n;
+                }
+            });
+            s.spawn(|_| {
+                let mut got = 0usize;
+                let mut buf = [0.0f32; 4];
+                while got < total {
+                    let n = (total - got).min(r.len()).min(4);
+                    if n == 0 {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    r.pop_slice(&mut buf[..n]);
+                    for (i, &x) in buf[..n].iter().enumerate() {
+                        assert_eq!(x, (got + i) as f32);
+                    }
+                    got += n;
+                }
+            });
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn spsc_wraparound_many_times() {
+        let r = SpscRing::new(3);
+        let mut out = [0.0f32; 2];
+        for round in 0..100 {
+            r.push_slice(&[round as f32, round as f32 + 0.5]);
+            r.pop_slice(&mut out);
+            assert_eq!(out, [round as f32, round as f32 + 0.5]);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the real executors and ring buffers.
+
+use ccs_graph::gen::{self, LayeredCfg, PipelineCfg, StateDist};
+use ccs_graph::RateAnalysis;
+use ccs_runtime::{execute, Instance, Ring, SpscRing};
+use ccs_sched::baseline;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The serial Ring behaves exactly like a VecDeque model under any
+    /// interleaving of pushes and pops that respects capacity.
+    #[test]
+    fn ring_matches_vecdeque_model(cap in 1usize..32,
+                                   ops in prop::collection::vec((0u8..2, 1usize..8), 1..200)) {
+        let mut ring = Ring::new(cap);
+        let mut model: VecDeque<f32> = VecDeque::new();
+        let mut counter = 0.0f32;
+        for (kind, n) in ops {
+            if kind == 0 {
+                // push up to n items if space allows
+                let n = n.min(ring.space());
+                if n == 0 { continue; }
+                let items: Vec<f32> = (0..n).map(|i| {
+                    counter += 1.0;
+                    counter + i as f32 * 0.0
+                }).collect();
+                ring.push_slice(&items);
+                model.extend(items.iter().copied());
+            } else {
+                let n = n.min(ring.len());
+                if n == 0 { continue; }
+                let mut out = vec![0.0f32; n];
+                ring.pop_slice(&mut out);
+                for x in out {
+                    prop_assert_eq!(Some(x), model.pop_front());
+                }
+            }
+            prop_assert_eq!(ring.len(), model.len());
+        }
+    }
+
+    /// The SPSC ring agrees with the serial ring in single-threaded use.
+    #[test]
+    fn spsc_matches_serial_single_thread(cap in 1usize..24,
+                                         ops in prop::collection::vec((0u8..2, 1usize..6), 1..150)) {
+        let spsc = SpscRing::new(cap);
+        let mut serial = Ring::new(cap);
+        let mut counter = 0.0f32;
+        for (kind, n) in ops {
+            if kind == 0 {
+                let n = n.min(serial.space());
+                if n == 0 { continue; }
+                let items: Vec<f32> = (0..n).map(|_| { counter += 1.0; counter }).collect();
+                spsc.push_slice(&items);
+                serial.push_slice(&items);
+            } else {
+                let n = n.min(serial.len());
+                if n == 0 { continue; }
+                let mut a = vec![0.0f32; n];
+                let mut b = vec![0.0f32; n];
+                spsc.pop_slice(&mut a);
+                serial.pop_slice(&mut b);
+                prop_assert_eq!(a, b);
+            }
+            prop_assert_eq!(spsc.len(), serial.len());
+        }
+    }
+
+    /// SDF determinism on real memory: random pipelines produce identical
+    /// digests under single-appearance and demand-driven schedules.
+    #[test]
+    fn digests_schedule_independent(seed in 0u64..3_000) {
+        let cfg = PipelineCfg {
+            len: 8,
+            state: StateDist::Uniform(4, 32),
+            max_q: 3,
+            max_rate_scale: 2,
+        };
+        let g = gen::pipeline(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let sink = ra.sink.unwrap();
+        let sas = baseline::single_appearance(&g, &ra, 3);
+        let demand = baseline::demand_driven(&g, &ra, sas.count(sink));
+        let mut i1 = Instance::synthetic(g.clone());
+        let mut i2 = Instance::synthetic(g);
+        let d1 = execute(&mut i1, &sas).digest;
+        let d2 = execute(&mut i2, &demand).digest;
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// Phased schedules are digest-equivalent too, on dags.
+    #[test]
+    fn phased_digest_matches(seed in 0u64..3_000) {
+        let cfg = LayeredCfg {
+            layers: 3,
+            max_width: 3,
+            density: 0.3,
+            state: StateDist::Uniform(4, 24),
+            max_q: 2,
+        };
+        let g = gen::layered(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let sink = ra.sink.unwrap();
+        let phased = baseline::phased(&g, &ra, 2);
+        let demand = baseline::demand_driven(&g, &ra, phased.count(sink));
+        let mut i1 = Instance::synthetic(g.clone());
+        let mut i2 = Instance::synthetic(g);
+        prop_assert_eq!(
+            execute(&mut i1, &phased).digest,
+            execute(&mut i2, &demand).digest
+        );
+    }
+}

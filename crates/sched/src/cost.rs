@@ -1,0 +1,266 @@
+//! Analytic cost model: predict a partitioned schedule's misses without
+//! simulating it.
+//!
+//! Lemma 4 / Lemma 8 describe exactly where a partitioned schedule's
+//! misses come from; this module turns that accounting into a closed-form
+//! predictor:
+//!
+//! * **state loads** — each component's state is swept once per
+//!   high-level round: `rounds · Σᵥ ⌈s(v)/B⌉` (block-aligned regions);
+//! * **cross-edge traffic** — every item crossing a component boundary is
+//!   written once and read once through ring buffers:
+//!   `rounds · Σₑ 2·⌈traffic_round(e)/B⌉` (+1 block per wrap);
+//! * **internal buffers** — resident alongside the state, charged once
+//!   per round per block like state;
+//! * **tapes** — `rounds · (T_in + T_out)/B` sequential words.
+//!
+//! Experiments (and a unit test here) check the predictor against the
+//! simulator; agreement within a small constant validates that the
+//! implementation really is the schedule the analysis talks about.
+
+use ccs_cachesim::CacheParams;
+use ccs_graph::{RateAnalysis, Ratio, StreamGraph};
+use ccs_partition::Partition;
+
+/// Predicted misses for one configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostBreakdown {
+    pub state_loads: f64,
+    pub cross_traffic: f64,
+    pub internal_buffers: f64,
+    pub tapes: f64,
+}
+
+impl CostBreakdown {
+    pub fn total(&self) -> f64 {
+        self.state_loads + self.cross_traffic + self.internal_buffers + self.tapes
+    }
+
+    /// Amortized per input item.
+    pub fn per_input(&self, inputs: u64) -> f64 {
+        self.total() / inputs.max(1) as f64
+    }
+}
+
+/// Predict the misses of the static partitioned schedule run for
+/// `rounds` rounds of granularity `t` (source firings per round) on a
+/// cache `params`, assuming every component (state + internal buffers +
+/// one block per incident cross edge) fits in cache — the Lemma 8
+/// degree-limited regime. Outside that regime the prediction is a lower
+/// estimate.
+pub fn predict_partitioned(
+    g: &StreamGraph,
+    ra: &RateAnalysis,
+    p: &Partition,
+    params: CacheParams,
+    t: u64,
+    rounds: u64,
+) -> CostBreakdown {
+    let b = params.block as f64;
+    let source = ra.source.expect("unique source");
+    let qs = ra.q(source) as f64;
+    let rounds_f = rounds as f64;
+
+    // State: every node's block-aligned region, once per round.
+    let state_loads: f64 = g
+        .node_ids()
+        .map(|v| (g.state(v).max(1) as f64 / b).ceil())
+        .sum::<f64>()
+        * rounds_f;
+
+    // Cross edges: traffic per round = t·gain(e) items, written once and
+    // read once; ring wrap adds at most one block per direction.
+    let mut cross_traffic = 0.0;
+    let mut internal_buffers = 0.0;
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        let traffic_round =
+            t as f64 * (ra.q(edge.src) as f64 * edge.produce as f64) / qs;
+        if p.component_of(edge.src) != p.component_of(edge.dst) {
+            cross_traffic += rounds_f * 2.0 * (traffic_round / b + 1.0);
+        } else {
+            // Internal ring of minBuf size: like state, it stays resident
+            // while the component runs; charge one sweep per round.
+            let cap = ccs_graph::buffers::min_buf_safe(g, e) as f64;
+            internal_buffers += rounds_f * (cap / b).ceil();
+        }
+    }
+
+    // Tapes: source reads one word per firing, sink writes one per
+    // firing.
+    let sink = ra.sink.expect("unique sink");
+    let t_in = t as f64;
+    let t_out = t as f64 * ra.q(sink) as f64 / qs;
+    let tapes = rounds_f * (t_in + t_out) / b;
+
+    CostBreakdown {
+        state_loads,
+        cross_traffic,
+        internal_buffers,
+        tapes,
+    }
+}
+
+/// Predict the misses of the single-appearance baseline for `iterations`
+/// steady-state iterations: when the total working set exceeds the cache,
+/// every iteration reloads all state and all buffers.
+pub fn predict_single_appearance(
+    g: &StreamGraph,
+    ra: &RateAnalysis,
+    params: CacheParams,
+    iterations: u64,
+) -> f64 {
+    let b = params.block as f64;
+    let state_blocks: f64 = g
+        .node_ids()
+        .map(|v| (g.state(v).max(1) as f64 / b).ceil())
+        .sum();
+    let buffer_blocks: f64 = g
+        .edge_ids()
+        .map(|e| (ra.edge_traffic(g, e) as f64 / b).ceil() + 1.0)
+        .sum();
+    let footprint = g.total_state() as f64
+        + g.edge_ids()
+            .map(|e| ra.edge_traffic(g, e) as f64)
+            .sum::<f64>();
+    let source = ra.source.expect("unique source");
+    let sink = ra.sink.expect("unique sink");
+    let tape = (ra.q(source) + ra.q(sink)) as f64 / b;
+    if footprint <= params.capacity as f64 {
+        // Everything fits: compulsory only, plus tape streaming.
+        state_blocks + buffer_blocks + iterations as f64 * tape
+    } else {
+        iterations as f64 * (state_blocks + 2.0 * buffer_blocks + tape)
+    }
+}
+
+/// Accuracy report: predicted vs measured.
+#[derive(Clone, Copy, Debug)]
+pub struct Accuracy {
+    pub predicted: f64,
+    pub measured: u64,
+}
+
+impl Accuracy {
+    /// measured / predicted (1.0 = perfect).
+    pub fn ratio(&self) -> f64 {
+        self.measured as f64 / self.predicted.max(1e-9)
+    }
+}
+
+/// Convenience: the bandwidth-based headline prediction of the paper,
+/// `(T_total/B)·bandwidth + state term`, per input.
+pub fn headline_per_input(
+    g: &StreamGraph,
+    bandwidth: Ratio,
+    params: CacheParams,
+) -> f64 {
+    let b = params.block as f64;
+    2.0 * bandwidth.to_f64() / b
+        + g.total_state() as f64 / (params.capacity as f64 * b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ExecOptions, Executor};
+    use crate::partitioned;
+    use ccs_graph::gen::{self, PipelineCfg, StateDist};
+    use ccs_partition::pipeline as ppart;
+
+    #[test]
+    fn predictor_matches_simulator_within_2x() {
+        for seed in 0..8u64 {
+            let cfg = PipelineCfg {
+                len: 24,
+                state: StateDist::Uniform(32, 128),
+                max_q: 3,
+                max_rate_scale: 2,
+            };
+            let g = gen::pipeline(&cfg, seed);
+            let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+            let m = 1024u64;
+            let params = CacheParams::new(8 * m, 16);
+            let pp = ppart::greedy_theorem5(&g, &ra, m).unwrap();
+            let rounds = 3u64;
+            let run = partitioned::inhomogeneous(&g, &ra, &pp.partition, m, rounds)
+                .unwrap();
+            let t = partitioned::granularity_t(&g, &ra, m).unwrap();
+
+            let mut ex = Executor::new(
+                &g,
+                &ra,
+                run.capacities.clone(),
+                params,
+                ExecOptions::default(),
+            );
+            ex.run(&run.firings).unwrap();
+            let measured = ex.report().stats.misses;
+
+            let predicted =
+                predict_partitioned(&g, &ra, &pp.partition, params, t, rounds)
+                    .total();
+            let acc = Accuracy {
+                predicted,
+                measured,
+            };
+            assert!(
+                acc.ratio() > 0.3 && acc.ratio() < 2.0,
+                "seed {seed}: measured {measured} vs predicted {predicted:.0} (ratio {:.2})",
+                acc.ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn sas_predictor_tracks_thrashing_regime() {
+        let g = gen::pipeline_uniform(32, 256); // 8192 words
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let params = CacheParams::new(2048, 16);
+        let iters = 512u64;
+        let run = crate::baseline::single_appearance(&g, &ra, iters);
+        let mut ex = Executor::new(
+            &g,
+            &ra,
+            run.capacities.clone(),
+            params,
+            ExecOptions::default(),
+        );
+        ex.run(&run.firings).unwrap();
+        let measured = ex.report().stats.misses;
+        let predicted = predict_single_appearance(&g, &ra, params, iters);
+        let ratio = measured as f64 / predicted;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "measured {measured} vs predicted {predicted:.0}"
+        );
+    }
+
+    #[test]
+    fn breakdown_components_positive_and_sum() {
+        let g = gen::pipeline_uniform(8, 64);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let p = ccs_partition::dag_greedy::greedy_topo(&g, 128);
+        let params = CacheParams::new(1024, 16);
+        let c = predict_partitioned(&g, &ra, &p, params, 1024, 2);
+        assert!(c.state_loads > 0.0);
+        assert!(c.cross_traffic > 0.0);
+        assert!(c.tapes > 0.0);
+        let total = c.total();
+        assert!(
+            (total - (c.state_loads + c.cross_traffic + c.internal_buffers + c.tapes))
+                .abs()
+                < 1e-9
+        );
+        assert!(c.per_input(2048) > 0.0);
+    }
+
+    #[test]
+    fn headline_matches_paper_form() {
+        let g = gen::pipeline_uniform(16, 64);
+        let params = CacheParams::new(512, 16);
+        let h = headline_per_input(&g, Ratio::integer(3), params);
+        // 2*3/16 + 1024/(512*16) = 0.375 + 0.125
+        assert!((h - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,621 @@
+//! The symbolic executor: runs a firing sequence against the DAM-model
+//! cache simulator, enforcing schedule legality.
+//!
+//! Every firing of a module `v`:
+//!
+//! 1. touches all `s(v)` words of `v`'s state (the paper: "to fire a
+//!    module, the entire state must be loaded into cache");
+//! 2. reads `in(u,v)` items from each input channel's ring buffer;
+//! 3. writes `out(v,w)` items to each output channel's ring buffer.
+//!
+//! The source additionally reads one word per firing from an unbounded
+//! *input tape* and the sink writes one word per firing to an *output
+//! tape*, so the `Θ(T/B)` cost of streaming the data itself is charged
+//! identically to every scheduler.
+//!
+//! Firings that would underflow an input buffer or overflow an output
+//! buffer's declared capacity are rejected — a reported miss count always
+//! corresponds to a feasible execution.
+
+use ccs_cachesim::{
+    AddressSpace, BlockCache, CacheParams, CacheStats, LruCache, MemorySim, Region,
+};
+use ccs_graph::{EdgeId, NodeId, RateAnalysis, StreamGraph};
+use std::fmt;
+
+/// Base address of the input tape (above any realistic layout).
+const INPUT_TAPE_BASE: u64 = 1 << 40;
+/// Base address of the output tape.
+const OUTPUT_TAPE_BASE: u64 = 1 << 41;
+
+/// Why a firing was illegal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// Input channel had fewer items than the module consumes.
+    Underflow {
+        node: NodeId,
+        edge: EdgeId,
+        have: u64,
+        need: u64,
+    },
+    /// Output channel lacked space for the module's production.
+    Overflow {
+        node: NodeId,
+        edge: EdgeId,
+        have: u64,
+        capacity: u64,
+        produce: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Underflow {
+                node,
+                edge,
+                have,
+                need,
+            } => write!(
+                f,
+                "firing {node:?} underflows {edge:?}: have {have}, need {need}"
+            ),
+            ExecError::Overflow {
+                node,
+                edge,
+                have,
+                capacity,
+                produce,
+            } => write!(
+                f,
+                "firing {node:?} overflows {edge:?}: {have}+{produce} > capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Memory layout of a streaming graph: one block-aligned region per
+/// module state and per channel ring buffer.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    pub state: Vec<Region>,
+    pub buffer: Vec<Region>,
+    /// Total words allocated (excludes the tapes).
+    pub footprint: u64,
+}
+
+impl Layout {
+    /// Lay out `g` with the given per-edge buffer capacities (in items).
+    pub fn build(g: &StreamGraph, capacities: &[u64], block: u64) -> Layout {
+        assert_eq!(capacities.len(), g.edge_count());
+        let mut space = AddressSpace::new(block);
+        let state = g.node_ids().map(|v| space.alloc(g.state(v))).collect();
+        let buffer = g
+            .edge_ids()
+            .map(|e| space.alloc(capacities[e.idx()]))
+            .collect();
+        Layout {
+            state,
+            buffer,
+            footprint: space.used(),
+        }
+    }
+}
+
+/// Execution-wide options.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Model module state as mutated on every firing (dirty evictions).
+    pub state_writes: bool,
+    /// Charge the input/output tape traffic (identical for all
+    /// schedulers; disable to isolate state-and-buffer behavior).
+    pub tapes: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            state_writes: true,
+            tapes: true,
+        }
+    }
+}
+
+/// Outcome of executing a firing sequence.
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    pub stats: CacheStats,
+    /// Firing count per node.
+    pub fired: Vec<u64>,
+    /// Items consumed from the input tape (source firings).
+    pub inputs: u64,
+    /// Items written to the output tape (sink firings).
+    pub outputs: u64,
+    /// Misses attributed to module state, per node.
+    pub state_misses: Vec<u64>,
+    /// Misses attributed to channel buffers, per edge.
+    pub buffer_misses: Vec<u64>,
+    /// Misses on the input/output tapes.
+    pub tape_misses: u64,
+    /// Total memory footprint of the layout (words).
+    pub footprint: u64,
+}
+
+impl EvalReport {
+    /// Amortized misses per input item — the paper's headline metric.
+    pub fn misses_per_input(&self) -> f64 {
+        if self.inputs == 0 {
+            return self.stats.misses as f64;
+        }
+        self.stats.misses as f64 / self.inputs as f64
+    }
+
+    /// Misses excluding the tape traffic common to all schedulers.
+    pub fn interior_misses(&self) -> u64 {
+        self.stats.misses - self.tape_misses
+    }
+}
+
+/// The symbolic executor, generic over the cache model (`C`). The
+/// default is the fully-associative LRU simulator — the paper's DAM
+/// instrument; [`Executor::with_cache`] accepts any
+/// [`ccs_cachesim::BlockCache`] (set-associative, CLOCK, two-level) for
+/// robustness experiments.
+///
+/// ```
+/// use ccs_cachesim::CacheParams;
+/// use ccs_graph::{gen, NodeId, RateAnalysis};
+/// use ccs_sched::{ExecOptions, Executor};
+///
+/// let g = gen::pipeline_uniform(3, 16);
+/// let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+/// let mut ex = Executor::new(&g, &ra, vec![4, 4],
+///                            CacheParams::new(256, 16),
+///                            ExecOptions::default());
+/// ex.fire(NodeId(0)).unwrap();             // source fires
+/// assert!(ex.fire(NodeId(2)).is_err());    // sink has no input yet
+/// ex.fire(NodeId(1)).unwrap();
+/// ex.fire(NodeId(2)).unwrap();
+/// assert_eq!(ex.report().outputs, 1);
+/// ```
+pub struct Executor<'g, C: BlockCache = LruCache> {
+    g: &'g StreamGraph,
+    layout: Layout,
+    capacities: Vec<u64>,
+    /// Items currently queued per edge.
+    occupancy: Vec<u64>,
+    /// Cumulative items consumed per edge (ring read position).
+    head: Vec<u64>,
+    /// Cumulative items produced per edge (ring write position).
+    tail: Vec<u64>,
+    fired: Vec<u64>,
+    inputs: u64,
+    outputs: u64,
+    source: NodeId,
+    sink: NodeId,
+    mem: MemorySim<C>,
+    opts: ExecOptions,
+}
+
+impl<'g> Executor<'g, LruCache> {
+    /// Set up an execution over `g` with per-edge `capacities` (items) on
+    /// a fully-associative LRU cache described by `params`.
+    pub fn new(
+        g: &'g StreamGraph,
+        ra: &RateAnalysis,
+        capacities: Vec<u64>,
+        params: CacheParams,
+        opts: ExecOptions,
+    ) -> Executor<'g, LruCache> {
+        let cache = LruCache::new(params.blocks());
+        Executor::with_cache(g, ra, capacities, params, opts, cache)
+    }
+}
+
+impl<'g, C: BlockCache> Executor<'g, C> {
+    /// Set up an execution with an explicit cache model.
+    pub fn with_cache(
+        g: &'g StreamGraph,
+        ra: &RateAnalysis,
+        capacities: Vec<u64>,
+        params: CacheParams,
+        opts: ExecOptions,
+        cache: C,
+    ) -> Executor<'g, C> {
+        assert_eq!(capacities.len(), g.edge_count());
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            let cap = capacities[e.idx()];
+            assert!(
+                cap >= edge.produce && cap >= edge.consume,
+                "capacity {cap} on {e:?} below rates {}/{}",
+                edge.produce,
+                edge.consume
+            );
+        }
+        let source = ra.source.expect("executor needs a unique source");
+        let sink = ra.sink.expect("executor needs a unique sink");
+        let layout = Layout::build(g, &capacities, params.block);
+        let mem = MemorySim::with_cache(params, cache);
+        Executor {
+            g,
+            layout,
+            occupancy: vec![0; capacities.len()],
+            head: vec![0; capacities.len()],
+            tail: vec![0; capacities.len()],
+            capacities,
+            fired: vec![0; g.node_count()],
+            inputs: 0,
+            outputs: 0,
+            source,
+            sink,
+            mem,
+            opts,
+        }
+    }
+
+    #[inline]
+    fn state_tag(&self, v: NodeId) -> u32 {
+        v.0
+    }
+
+    #[inline]
+    fn buffer_tag(&self, e: EdgeId) -> u32 {
+        self.g.node_count() as u32 + e.0
+    }
+
+    #[inline]
+    fn tape_tag(&self) -> u32 {
+        (self.g.node_count() + self.g.edge_count()) as u32
+    }
+
+    /// Items currently buffered on `e`.
+    pub fn occupancy(&self, e: EdgeId) -> u64 {
+        self.occupancy[e.idx()]
+    }
+
+    /// Declared capacity of `e` (items).
+    pub fn capacity(&self, e: EdgeId) -> u64 {
+        self.capacities[e.idx()]
+    }
+
+    pub fn fired(&self, v: NodeId) -> u64 {
+        self.fired[v.idx()]
+    }
+
+    pub fn sink_firings(&self) -> u64 {
+        self.outputs
+    }
+
+    pub fn graph(&self) -> &StreamGraph {
+        self.g
+    }
+
+    /// Record the block-level access trace of everything executed from
+    /// now on (for replay under other replacement policies / Belady MIN).
+    pub fn enable_recording(&mut self) {
+        self.mem.enable_recording();
+    }
+
+    /// The recorded block sequence, if recording was enabled.
+    pub fn recorded_blocks(&self) -> Option<&[u64]> {
+        self.mem.recorded_blocks()
+    }
+
+    /// Would `fire(v)` succeed right now?
+    pub fn can_fire(&self, v: NodeId) -> bool {
+        self.check_fire(v).is_ok()
+    }
+
+    fn check_fire(&self, v: NodeId) -> Result<(), ExecError> {
+        for &e in self.g.in_edges(v) {
+            let need = self.g.edge(e).consume;
+            let have = self.occupancy[e.idx()];
+            if have < need {
+                return Err(ExecError::Underflow {
+                    node: v,
+                    edge: e,
+                    have,
+                    need,
+                });
+            }
+        }
+        for &e in self.g.out_edges(v) {
+            let produce = self.g.edge(e).produce;
+            let have = self.occupancy[e.idx()];
+            let capacity = self.capacities[e.idx()];
+            if have + produce > capacity {
+                return Err(ExecError::Overflow {
+                    node: v,
+                    edge: e,
+                    have,
+                    capacity,
+                    produce,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fire `v` once: validate, account the memory traffic, update
+    /// channel occupancies.
+    pub fn fire(&mut self, v: NodeId) -> Result<(), ExecError> {
+        self.check_fire(v)?;
+        // State touch.
+        let st = self.layout.state[v.idx()];
+        self.mem
+            .touch(st.base, st.len, self.opts.state_writes, self.state_tag(v));
+        // Inputs.
+        for i in 0..self.g.in_edges(v).len() {
+            let e = self.g.in_edges(v)[i];
+            let consume = self.g.edge(e).consume;
+            let region = self.layout.buffer[e.idx()];
+            self.mem
+                .touch_ring(region, self.head[e.idx()], consume, false, self.buffer_tag(e));
+            self.head[e.idx()] += consume;
+            self.occupancy[e.idx()] -= consume;
+        }
+        // Outputs.
+        for i in 0..self.g.out_edges(v).len() {
+            let e = self.g.out_edges(v)[i];
+            let produce = self.g.edge(e).produce;
+            let region = self.layout.buffer[e.idx()];
+            self.mem
+                .touch_ring(region, self.tail[e.idx()], produce, true, self.buffer_tag(e));
+            self.tail[e.idx()] += produce;
+            self.occupancy[e.idx()] += produce;
+        }
+        // Tapes.
+        if v == self.source {
+            if self.opts.tapes {
+                self.mem
+                    .touch(INPUT_TAPE_BASE + self.inputs, 1, false, self.tape_tag());
+            }
+            self.inputs += 1;
+        }
+        if v == self.sink {
+            if self.opts.tapes {
+                self.mem
+                    .touch(OUTPUT_TAPE_BASE + self.outputs, 1, true, self.tape_tag());
+            }
+            self.outputs += 1;
+        }
+        self.fired[v.idx()] += 1;
+        Ok(())
+    }
+
+    /// Execute a whole firing sequence.
+    pub fn run(&mut self, firings: &[NodeId]) -> Result<(), ExecError> {
+        for &v in firings {
+            self.fire(v)?;
+        }
+        Ok(())
+    }
+
+    /// Finish and summarize.
+    pub fn report(&self) -> EvalReport {
+        let n = self.g.node_count();
+        let m = self.g.edge_count();
+        let state_misses = (0..n).map(|i| self.mem.misses_for(i as u32)).collect();
+        let buffer_misses = (0..m)
+            .map(|i| self.mem.misses_for((n + i) as u32))
+            .collect();
+        EvalReport {
+            stats: *self.mem.stats(),
+            fired: self.fired.clone(),
+            inputs: self.inputs,
+            outputs: self.outputs,
+            state_misses,
+            buffer_misses,
+            tape_misses: self.mem.misses_for(self.tape_tag()),
+            footprint: self.layout.footprint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_graph::GraphBuilder;
+
+    fn chain3() -> (StreamGraph, RateAnalysis) {
+        let mut b = GraphBuilder::new();
+        let s = b.node("s", 16);
+        let a = b.node("a", 16);
+        let t = b.node("t", 16);
+        b.edge(s, a, 1, 1);
+        b.edge(a, t, 1, 1);
+        let g = b.build().unwrap();
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        (g, ra)
+    }
+
+    fn params() -> CacheParams {
+        CacheParams::new(256, 8)
+    }
+
+    #[test]
+    fn legal_firing_updates_occupancy() {
+        let (g, ra) = chain3();
+        let mut ex = Executor::new(&g, &ra, vec![4, 4], params(), ExecOptions::default());
+        ex.fire(NodeId(0)).unwrap();
+        assert_eq!(ex.occupancy(EdgeId(0)), 1);
+        ex.fire(NodeId(1)).unwrap();
+        assert_eq!(ex.occupancy(EdgeId(0)), 0);
+        assert_eq!(ex.occupancy(EdgeId(1)), 1);
+        ex.fire(NodeId(2)).unwrap();
+        assert_eq!(ex.sink_firings(), 1);
+        assert_eq!(ex.fired(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn underflow_rejected() {
+        let (g, ra) = chain3();
+        let mut ex = Executor::new(&g, &ra, vec![4, 4], params(), ExecOptions::default());
+        let err = ex.fire(NodeId(1)).unwrap_err();
+        assert!(matches!(err, ExecError::Underflow { need: 1, have: 0, .. }));
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let (g, ra) = chain3();
+        let mut ex = Executor::new(&g, &ra, vec![2, 2], params(), ExecOptions::default());
+        ex.fire(NodeId(0)).unwrap();
+        ex.fire(NodeId(0)).unwrap();
+        let err = ex.fire(NodeId(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Overflow {
+                capacity: 2,
+                have: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn state_misses_amortize_with_consecutive_firings() {
+        let (g, ra) = chain3();
+        // Big cache: everything fits. Fire source 8 times consecutively:
+        // state loads once (2 blocks of 8 words), buffer writes once per
+        // block of 8 items.
+        let mut ex = Executor::new(&g, &ra, vec![16, 16], params(), ExecOptions::default());
+        for _ in 0..8 {
+            ex.fire(NodeId(0)).unwrap();
+        }
+        let rep = ex.report();
+        assert_eq!(rep.state_misses[0], 2, "16-word state = 2 blocks, loaded once");
+        assert_eq!(rep.buffer_misses[0], 1, "8 items fill one block");
+        assert_eq!(rep.inputs, 8);
+        assert_eq!(rep.tape_misses, 1, "8 input words = 1 block");
+    }
+
+    #[test]
+    fn thrash_when_cache_smaller_than_working_set() {
+        // Cache of 2 blocks (16 words); two modules of 16-word state
+        // alternate: every firing reloads both state blocks.
+        let mut b = GraphBuilder::new();
+        let s = b.node("s", 16);
+        let t = b.node("t", 16);
+        b.edge(s, t, 1, 1);
+        let g = b.build().unwrap();
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let small = CacheParams::new(16, 8);
+        let mut ex = Executor::new(
+            &g,
+            &ra,
+            vec![4],
+            small,
+            ExecOptions {
+                state_writes: false,
+                tapes: false,
+            },
+        );
+        for _ in 0..10 {
+            ex.fire(NodeId(0)).unwrap();
+            ex.fire(NodeId(1)).unwrap();
+        }
+        let rep = ex.report();
+        // Interleaved state (2 blocks each) + buffer traffic in 2-block
+        // cache: state alone wants 4 blocks -> continual eviction.
+        assert!(
+            rep.state_misses[0] + rep.state_misses[1] >= 2 * 10,
+            "alternating working set must thrash: {:?}",
+            rep.state_misses
+        );
+    }
+
+    #[test]
+    fn ring_buffer_reuses_blocks() {
+        let (g, ra) = chain3();
+        let mut ex = Executor::new(&g, &ra, vec![8, 8], params(), ExecOptions::default());
+        // Produce/consume in lockstep 64 times: ring of 8 items = 1 block,
+        // stays cached throughout.
+        for _ in 0..64 {
+            ex.fire(NodeId(0)).unwrap();
+            ex.fire(NodeId(1)).unwrap();
+            ex.fire(NodeId(2)).unwrap();
+        }
+        let rep = ex.report();
+        assert_eq!(rep.buffer_misses[0], 1);
+        assert_eq!(rep.buffer_misses[1], 1);
+        assert_eq!(rep.outputs, 64);
+    }
+
+    #[test]
+    fn run_reports_first_error_position() {
+        let (g, ra) = chain3();
+        let mut ex = Executor::new(&g, &ra, vec![4, 4], params(), ExecOptions::default());
+        let seq = vec![NodeId(0), NodeId(1), NodeId(1)];
+        let err = ex.run(&seq).unwrap_err();
+        assert!(matches!(err, ExecError::Underflow { .. }));
+        // The first two firings took effect.
+        assert_eq!(ex.fired(NodeId(0)), 1);
+        assert_eq!(ex.fired(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn capacity_below_rate_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let s = b.node("s", 4);
+        let t = b.node("t", 4);
+        b.edge(s, t, 3, 3);
+        let g = b.build().unwrap();
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let result = std::panic::catch_unwind(|| {
+            Executor::new(&g, &ra, vec![2], params(), ExecOptions::default())
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn generic_cache_models_plug_in() {
+        // The same schedule through LRU and a two-level hierarchy: the
+        // hierarchy's memory misses never exceed single-level LRU's.
+        let (g, ra) = chain3();
+        let firings: Vec<NodeId> = (0..32)
+            .flat_map(|_| [NodeId(0), NodeId(1), NodeId(2)])
+            .collect();
+        let mut lru = Executor::new(&g, &ra, vec![4, 4], params(), ExecOptions::default());
+        lru.run(&firings).unwrap();
+        let two_level = ccs_cachesim::TwoLevelCache::new(2, params().blocks());
+        let mut two = Executor::with_cache(
+            &g,
+            &ra,
+            vec![4, 4],
+            params(),
+            ExecOptions::default(),
+            two_level,
+        );
+        two.run(&firings).unwrap();
+        assert!(two.report().stats.misses <= lru.report().stats.misses);
+        let clock = ccs_cachesim::ClockCache::new(params().blocks());
+        let mut ck = Executor::with_cache(
+            &g,
+            &ra,
+            vec![4, 4],
+            params(),
+            ExecOptions::default(),
+            clock,
+        );
+        ck.run(&firings).unwrap();
+        assert!(ck.report().stats.misses > 0);
+    }
+
+    #[test]
+    fn misses_per_input_metric() {
+        let (g, ra) = chain3();
+        let mut ex = Executor::new(&g, &ra, vec![4, 4], params(), ExecOptions::default());
+        for _ in 0..16 {
+            ex.fire(NodeId(0)).unwrap();
+            ex.fire(NodeId(1)).unwrap();
+            ex.fire(NodeId(2)).unwrap();
+        }
+        let rep = ex.report();
+        assert_eq!(rep.inputs, 16);
+        assert!(rep.misses_per_input() > 0.0);
+        assert!(rep.interior_misses() <= rep.stats.misses);
+    }
+}

@@ -1,0 +1,29 @@
+//! A scheduler's output: the firing sequence plus the buffer capacities
+//! it requires.
+
+use ccs_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A concrete schedule: an ordered firing sequence and the per-edge
+/// channel capacities (in items) under which it is legal.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SchedRun {
+    /// Human-readable scheduler name (appears in experiment tables).
+    pub label: String,
+    /// The firing sequence.
+    pub firings: Vec<NodeId>,
+    /// Channel capacity per edge, in items.
+    pub capacities: Vec<u64>,
+}
+
+impl SchedRun {
+    /// Number of firings of `v` in the sequence.
+    pub fn count(&self, v: NodeId) -> u64 {
+        self.firings.iter().filter(|&&x| x == v).count() as u64
+    }
+
+    /// Total words of channel capacity (the buffer-memory footprint).
+    pub fn buffer_words(&self) -> u64 {
+        self.capacities.iter().sum()
+    }
+}

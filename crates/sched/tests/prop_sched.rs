@@ -1,0 +1,156 @@
+//! Property-based tests for schedulers and the symbolic executor.
+
+use ccs_cachesim::CacheParams;
+use ccs_graph::gen::{self, LayeredCfg, PipelineCfg, StateDist};
+use ccs_graph::RateAnalysis;
+use ccs_partition::{dag_greedy, pipeline as ppart};
+use ccs_sched::{baseline, partitioned, ExecOptions, Executor, SchedRun};
+use proptest::prelude::*;
+
+fn exec(
+    g: &ccs_graph::StreamGraph,
+    ra: &RateAnalysis,
+    run: &SchedRun,
+    params: CacheParams,
+) -> ccs_sched::EvalReport {
+    let mut ex = Executor::new(g, ra, run.capacities.clone(), params, ExecOptions::default());
+    ex.run(&run.firings)
+        .unwrap_or_else(|e| panic!("{}: {e}", run.label));
+    ex.report()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every scheduler produces a legal schedule on random pipelines, and
+    /// firing counts respect the repetition vector's proportions.
+    #[test]
+    fn schedulers_legal_on_pipelines(seed in 0u64..5_000, len in 3usize..20,
+                                     max_q in 1u64..4) {
+        let cfg = PipelineCfg {
+            len,
+            state: StateDist::Uniform(8, 64),
+            max_q,
+            max_rate_scale: 2,
+        };
+        let g = gen::pipeline(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let params = CacheParams::new(1 << 13, 16);
+
+        let sas = baseline::single_appearance(&g, &ra, 3);
+        let rep = exec(&g, &ra, &sas, params);
+        for v in g.node_ids() {
+            prop_assert_eq!(rep.fired[v.idx()], 3 * ra.q(v));
+        }
+
+        let dem = baseline::demand_driven(&g, &ra, 7);
+        let rep = exec(&g, &ra, &dem, params);
+        prop_assert_eq!(rep.outputs, 7);
+    }
+
+    /// The static partitioned schedulers are legal and hit their exact
+    /// round quotas on random dags, for any greedy partition bound.
+    #[test]
+    fn partitioned_static_quota_exact(seed in 0u64..5_000, max_q in 1u64..4,
+                                      bound_mult in 2u64..6) {
+        let cfg = LayeredCfg {
+            layers: 3,
+            max_width: 3,
+            density: 0.3,
+            state: StateDist::Uniform(8, 48),
+            max_q,
+        };
+        let g = gen::layered(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let bound = g.max_state() * bound_mult;
+        let p = dag_greedy::greedy_topo(&g, bound);
+        let m_items = 32u64;
+        let run = partitioned::inhomogeneous(&g, &ra, &p, m_items, 2).unwrap();
+        let rep = exec(&g, &ra, &run, CacheParams::new(1 << 13, 16));
+        let t = partitioned::granularity_t(&g, &ra, m_items).unwrap();
+        let s = ra.source.unwrap();
+        for v in g.node_ids() {
+            let quota = (t as u128 * ra.q(v) as u128 / ra.q(s) as u128) as u64;
+            prop_assert_eq!(rep.fired[v.idx()], 2 * quota);
+        }
+    }
+
+    /// The dynamic pipeline scheduler reaches any target and never
+    /// violates buffer bounds.
+    #[test]
+    fn pipeline_dynamic_reaches_any_target(seed in 0u64..5_000,
+                                           target in 1u64..300) {
+        let cfg = PipelineCfg {
+            len: 8,
+            state: StateDist::Uniform(8, 32),
+            max_q: 3,
+            max_rate_scale: 2,
+        };
+        let g = gen::pipeline(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let pp = ppart::greedy_theorem5(&g, &ra, 32).unwrap();
+        let run = partitioned::pipeline_dynamic(&g, &ra, &pp.partition, 64, target)
+            .unwrap();
+        let rep = exec(&g, &ra, &run, CacheParams::new(1 << 13, 16));
+        prop_assert!(rep.outputs >= target);
+    }
+
+    /// Conservation: in any legal execution, items produced minus items
+    /// consumed on each edge equals the final occupancy, and all
+    /// occupancies are within capacity.
+    #[test]
+    fn executor_conserves_items(seed in 0u64..5_000) {
+        let cfg = LayeredCfg {
+            max_q: 3,
+            ..LayeredCfg::default()
+        };
+        let g = gen::layered(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let run = baseline::single_appearance(&g, &ra, 2);
+        let params = CacheParams::new(1 << 13, 16);
+        let mut ex = Executor::new(&g, &ra, run.capacities.clone(), params, ExecOptions::default());
+        for &v in &run.firings {
+            ex.fire(v).unwrap();
+            for e in g.edge_ids() {
+                prop_assert!(ex.occupancy(e) <= ex.capacity(e));
+            }
+        }
+        // Steady state: everything drains back to zero.
+        for e in g.edge_ids() {
+            prop_assert_eq!(ex.occupancy(e), 0);
+        }
+    }
+
+    /// Cache monotonicity through the executor: a bigger cache never
+    /// yields more misses for the same schedule (LRU inclusion).
+    #[test]
+    fn bigger_cache_never_hurts(seed in 0u64..5_000) {
+        let cfg = PipelineCfg {
+            len: 10,
+            state: StateDist::Uniform(16, 64),
+            max_q: 2,
+            max_rate_scale: 2,
+        };
+        let g = gen::pipeline(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let run = baseline::single_appearance(&g, &ra, 4);
+        let mut last = u64::MAX;
+        for m in [256u64, 512, 1024, 2048] {
+            let rep = exec(&g, &ra, &run, CacheParams::new(m, 16));
+            prop_assert!(rep.stats.misses <= last);
+            last = rep.stats.misses;
+        }
+    }
+
+    /// Scaled SAS with scale s over k iterations equals plain SAS over
+    /// s*k iterations in total firings (same work, different order).
+    #[test]
+    fn scaling_preserves_work(seed in 0u64..5_000, scale in 1u64..5,
+                              iters in 1u64..4) {
+        let g = gen::pipeline(&PipelineCfg::default(), seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let a = baseline::scaled_sas(&g, &ra, scale, iters);
+        let b = baseline::single_appearance(&g, &ra, scale * iters);
+        prop_assert_eq!(a.firings.len(), b.firings.len());
+    }
+}

@@ -1,0 +1,106 @@
+//! Partition explorer: compare partitioners across the application suite.
+//!
+//! For every app, computes the Theorem 5 greedy segmentation (pipelines),
+//! the DP-optimal segmentation (pipelines), the dag heuristics, and —
+//! where the graph is small enough — the exact optimum, reporting
+//! bandwidth and component counts. Also emits Graphviz DOT for the first
+//! app so the structure can be inspected.
+//!
+//! ```sh
+//! cargo run --release --example partition_explorer
+//! ```
+
+use cache_conscious_streaming::graph::dot;
+use cache_conscious_streaming::partition::{
+    dag_exact, dag_greedy, dag_local, pipeline,
+};
+use cache_conscious_streaming::{apps, prelude::*};
+
+fn main() {
+    let m = 256u64;
+    let bound = 2 * m;
+    println!("partition explorer: M = {m} words, component bound = {bound} words");
+    println!(
+        "{:<12} {:>7} {:>9} {:<18} {:>11} {:>6} {:>10}",
+        "app", "modules", "state", "partitioner", "bandwidth", "comps", "max state"
+    );
+
+    for app in apps::suite() {
+        let g = &app.graph;
+        let ra = match RateAnalysis::analyze_single_io(g) {
+            Ok(ra) => ra,
+            Err(e) => {
+                println!("{:<12} skipped: {e}", app.name);
+                continue;
+            }
+        };
+        let mut results: Vec<(&str, Ratio, usize, u64)> = Vec::new();
+
+        if g.is_pipeline() {
+            if let Ok(pp) = pipeline::greedy_theorem5(g, &ra, m / 4) {
+                results.push((
+                    "greedy-2m",
+                    pp.bandwidth,
+                    pp.partition.num_components(),
+                    pp.max_component_state,
+                ));
+            }
+            if let Ok(pp) = pipeline::dp_min_bandwidth(g, &ra, bound) {
+                results.push((
+                    "dp-optimal",
+                    pp.bandwidth,
+                    pp.partition.num_components(),
+                    pp.max_component_state,
+                ));
+            }
+        }
+        if g.max_state() <= bound {
+            let p0 = dag_greedy::greedy_best(g, &ra, bound);
+            let p = dag_local::refine(g, &ra, bound, &p0, 16);
+            results.push((
+                "greedy+refine",
+                p.bandwidth(g, &ra),
+                p.num_components(),
+                p.max_component_state(g),
+            ));
+            if g.node_count() <= dag_exact::MAX_EXACT_NODES {
+                if let Some((pe, bw)) = dag_exact::min_bandwidth_exact(g, &ra, bound) {
+                    results.push((
+                        "exact",
+                        bw,
+                        pe.num_components(),
+                        pe.max_component_state(g),
+                    ));
+                }
+            }
+        }
+
+        for (i, (name, bw, comps, maxs)) in results.iter().enumerate() {
+            let (app_col, mod_col, state_col) = if i == 0 {
+                (
+                    app.name.to_string(),
+                    g.node_count().to_string(),
+                    g.total_state().to_string(),
+                )
+            } else {
+                (String::new(), String::new(), String::new())
+            };
+            println!(
+                "{:<12} {:>7} {:>9} {:<18} {:>11} {:>6} {:>10}",
+                app_col,
+                mod_col,
+                state_col,
+                name,
+                bw.to_string(),
+                comps,
+                maxs
+            );
+        }
+    }
+
+    // DOT export of the FM radio graph for inspection.
+    let fm = apps::fm_radio(4);
+    let out = std::env::temp_dir().join("fm_radio.dot");
+    std::fs::write(&out, dot::to_dot(&fm)).expect("write dot");
+    println!("\nwrote {} (render with `dot -Tpng`)", out.display());
+}

@@ -1,0 +1,150 @@
+//! Cross-crate integration: plan + evaluate every suite application.
+
+use cache_conscious_streaming::apps;
+use cache_conscious_streaming::prelude::*;
+
+/// A cache spec big enough for each app's largest module, per the
+/// Theorem 5 parameterization (M >= 8 * max module state).
+fn params_for(g: &StreamGraph) -> CacheParams {
+    let m = (8 * g.max_state())
+        .max(g.total_state() / 4)
+        .next_multiple_of(16);
+    CacheParams::new(m, 16)
+}
+
+#[test]
+fn plan_and_evaluate_every_app() {
+    for app in apps::suite() {
+        let g = &app.graph;
+        let params = params_for(g);
+        let planner = Planner::new(params);
+        let plan = planner
+            .plan(g, Horizon::Rounds(2))
+            .unwrap_or_else(|e| panic!("{}: planning failed: {e}", app.name));
+        assert!(
+            plan.partition
+                .validate(g, 8 * params.capacity)
+                .is_ok(),
+            "{}: invalid partition",
+            app.name
+        );
+        let rep = planner
+            .evaluate(g, &plan)
+            .unwrap_or_else(|e| panic!("{}: evaluation failed: {e}", app.name));
+        assert!(rep.outputs > 0, "{}: no outputs", app.name);
+        assert!(rep.stats.misses > 0, "{}: zero misses is impossible", app.name);
+    }
+}
+
+#[test]
+fn comparison_runs_on_every_app() {
+    for app in apps::suite() {
+        let g = &app.graph;
+        let params = params_for(g);
+        let rows = compare_schedulers(g, params, 300);
+        assert!(
+            rows.len() >= 3,
+            "{}: expected at least 3 schedulers, got {}",
+            app.name,
+            rows.len()
+        );
+        // All rows hit the output target.
+        for r in &rows {
+            assert!(
+                r.outputs >= 300,
+                "{}/{}: {} outputs",
+                app.name,
+                r.label,
+                r.outputs
+            );
+        }
+        // The partitioned scheduler appears and is never the worst by
+        // more than a small factor (it should usually be the best).
+        let part = rows
+            .iter()
+            .filter(|r| r.label.starts_with("partitioned"))
+            .map(|r| r.misses_per_output)
+            .fold(f64::INFINITY, f64::min);
+        let best = rows
+            .iter()
+            .map(|r| r.misses_per_output)
+            .fold(f64::INFINITY, f64::min);
+        assert!(part.is_finite(), "{}: no partitioned row", app.name);
+        assert!(
+            part <= best * 3.0 + 1.0,
+            "{}: partitioned {part} far from best {best}",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn partitioned_dominates_on_state_heavy_pipeline() {
+    // The paper's headline claim, end to end through the public API.
+    let g = cache_conscious_streaming::graph::gen::pipeline_uniform(40, 192);
+    let params = CacheParams::new(1536, 16); // total state 7680 = 5x cache
+    let rows = compare_schedulers(&g, params, 1536);
+    let naive = rows
+        .iter()
+        .find(|r| r.label == "single-appearance")
+        .unwrap();
+    let part = rows
+        .iter()
+        .filter(|r| r.label.starts_with("partitioned"))
+        .map(|r| r.misses_per_output)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        part * 4.0 < naive.misses_per_output,
+        "partitioned {part} vs naive {}",
+        naive.misses_per_output
+    );
+}
+
+#[test]
+fn lower_bound_below_measured_for_all_schedulers() {
+    // Theorem 3: (T/B)·LB lower-bounds every schedule's interior misses
+    // (the constant is 1 in our accounting of state-only reload floors,
+    // so allow a generous constant on the measured side).
+    use cache_conscious_streaming::core::bounds;
+    let g = cache_conscious_streaming::graph::gen::pipeline_uniform(40, 192);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let params = CacheParams::new(1536, 16);
+    let m = params.capacity;
+    let lb_gain = bounds::pipeline_lb_gain(&g, &ra, m).unwrap();
+    assert!(lb_gain > Ratio::ZERO);
+
+    let rows = compare_schedulers(&g, params, 1536);
+    for r in &rows {
+        let lb = bounds::misses_lower_bound(lb_gain, r.inputs, params);
+        assert!(
+            (r.interior_misses as f64) * 8.0 >= lb,
+            "{}: measured {} below LB {lb}",
+            r.label,
+            r.interior_misses
+        );
+    }
+}
+
+#[test]
+fn augmented_cache_never_hurts() {
+    // LRU inclusion lifts to the full system: doubling M (same B) never
+    // increases a fixed schedule's misses.
+    let g = apps::fm_radio(16);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let run = ccs_sched::baseline::single_appearance(&g, &ra, 20);
+    let mut last = u64::MAX;
+    for m in [512u64, 1024, 2048, 4096, 8192] {
+        let params = CacheParams::new(m, 16);
+        let mut ex = ccs_sched::Executor::new(
+            &g,
+            &ra,
+            run.capacities.clone(),
+            params,
+            ccs_sched::ExecOptions::default(),
+        );
+        ex.run(&run.firings).unwrap();
+        let misses = ex.report().stats.misses;
+        assert!(misses <= last, "M={m}: {misses} > {last}");
+        last = misses;
+    }
+}

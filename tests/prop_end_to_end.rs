@@ -1,0 +1,97 @@
+//! End-to-end property tests through the public API.
+
+use cache_conscious_streaming::prelude::*;
+use ccs_graph::gen::{self, LayeredCfg, PipelineCfg, StateDist};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random pipeline the planner accepts yields a valid partition
+    /// and a legal, target-reaching schedule.
+    #[test]
+    fn planner_pipelines_end_to_end(seed in 0u64..3_000, len in 4usize..24,
+                                    target in 50u64..400) {
+        let cfg = PipelineCfg {
+            len,
+            state: StateDist::Uniform(8, 96),
+            max_q: 3,
+            max_rate_scale: 2,
+        };
+        let g = gen::pipeline(&cfg, seed);
+        let planner = Planner::new(CacheParams::new(1024, 16));
+        match planner.plan(&g, Horizon::SinkFirings(target)) {
+            Ok(plan) => {
+                prop_assert!(plan
+                    .partition
+                    .validate(&g, 8 * 1024)
+                    .is_ok());
+                let rep = planner.evaluate(&g, &plan).unwrap();
+                prop_assert!(rep.outputs >= target);
+                prop_assert!(rep.stats.misses > 0);
+                prop_assert!(rep.stats.hits + rep.stats.misses == rep.stats.accesses);
+            }
+            Err(PlanError::Pipeline(_)) | Err(PlanError::Infeasible { .. }) => {
+                // Oversized modules relative to M/8: legitimately refused.
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// Random dags planned with rounds: partition valid, quotas exact,
+    /// channels drain to empty.
+    #[test]
+    fn planner_dags_end_to_end(seed in 0u64..3_000, max_q in 1u64..4) {
+        let cfg = LayeredCfg {
+            layers: 3,
+            max_width: 3,
+            density: 0.3,
+            state: StateDist::Uniform(8, 48),
+            max_q,
+        };
+        let g = gen::layered(&cfg, seed);
+        let planner = Planner::new(CacheParams::new(512, 16));
+        match planner.plan(&g, Horizon::Rounds(2)) {
+            Ok(plan) => {
+                let rep = planner.evaluate(&g, &plan).unwrap();
+                prop_assert!(rep.outputs > 0);
+                // Work proportions follow the repetition vector.
+                let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+                let s = ra.source.unwrap();
+                for v in g.node_ids() {
+                    prop_assert_eq!(
+                        rep.fired[v.idx()] as u128 * ra.q(s) as u128,
+                        rep.fired[s.idx()] as u128 * ra.q(v) as u128,
+                        "firing counts must follow the repetition vector"
+                    );
+                }
+            }
+            Err(PlanError::Infeasible { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// The comparison harness never returns an empty table for valid
+    /// graphs, and the partitioned row is never the strict worst by more
+    /// than an order of magnitude.
+    #[test]
+    fn comparison_sane(seed in 0u64..3_000) {
+        let cfg = PipelineCfg {
+            len: 10,
+            state: StateDist::Uniform(16, 64),
+            max_q: 2,
+            max_rate_scale: 2,
+        };
+        let g = gen::pipeline(&cfg, seed);
+        let rows = compare_schedulers(&g, CacheParams::new(1024, 16), 300);
+        prop_assert!(rows.len() >= 3);
+        let best = rows.iter().map(|r| r.misses_per_output).fold(f64::INFINITY, f64::min);
+        let part = rows
+            .iter()
+            .filter(|r| r.label.starts_with("partitioned"))
+            .map(|r| r.misses_per_output)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(part.is_finite());
+        prop_assert!(part <= best * 10.0 + 1.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Theorem-shaped integration tests: the paper's bounds, checked
+//! empirically on instances where the exact quantities are computable.
+
+use cache_conscious_streaming::core::bounds;
+use cache_conscious_streaming::prelude::*;
+use cache_conscious_streaming::sched::{baseline, partitioned, ExecOptions, Executor};
+use ccs_graph::gen::{self, PipelineCfg, StateDist};
+use ccs_partition::{dag_exact, pipeline as ppart};
+
+/// Lemma 4 / Theorem 5 upper bound: the partitioned schedule's interior
+/// misses are O((T/B)·bandwidth + loads), with a modest constant.
+#[test]
+fn pipeline_upper_bound_tracks_bandwidth() {
+    for seed in 0..6u64 {
+        let cfg = PipelineCfg {
+            len: 24,
+            state: StateDist::Uniform(32, 128),
+            max_q: 3,
+            max_rate_scale: 2,
+        };
+        let g = gen::pipeline(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let m = 1024u64;
+        let b = 16u64;
+        let params = CacheParams::new(8 * m, b); // O(1) augmentation
+        let pp = ppart::greedy_theorem5(&g, &ra, m).unwrap();
+        let run =
+            partitioned::pipeline_dynamic(&g, &ra, &pp.partition, 8 * m, 4000).unwrap();
+        let mut ex = Executor::new(
+            &g,
+            &ra,
+            run.capacities.clone(),
+            params,
+            ExecOptions::default(),
+        );
+        ex.run(&run.firings).unwrap();
+        let rep = ex.report();
+
+        // Upper bound prediction: (T/B)·bandwidth for buffer traffic
+        // (x2: write+read, x2 ring wrap slack) + state loads
+        // T/(M)·(total_state/B) + internal slack. Require measured within
+        // a constant of it.
+        let t = rep.inputs as f64;
+        let bw = pp.bandwidth.to_f64();
+        let buffer_term = 4.0 * t * bw / b as f64;
+        let state_term =
+            (t / m as f64) * (g.total_state() as f64 / b as f64) + g.total_state() as f64 / b as f64;
+        let predicted = buffer_term + state_term + 64.0;
+        assert!(
+            (rep.interior_misses() as f64) <= 4.0 * predicted,
+            "seed {seed}: measured {} >> predicted O({predicted:.0})",
+            rep.interior_misses()
+        );
+    }
+}
+
+/// Theorem 3 lower bound: no scheduler beats (T/B)·LB on interior misses
+/// (constants: our LB accounting is conservative; require measured >=
+/// LB/8 to allow for the paper's constant factors).
+#[test]
+fn no_scheduler_beats_pipeline_lower_bound() {
+    for seed in 0..4u64 {
+        let cfg = PipelineCfg {
+            len: 20,
+            state: StateDist::Uniform(64, 128),
+            max_q: 2,
+            max_rate_scale: 2,
+        };
+        let g = gen::pipeline(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let params = CacheParams::new(512, 16);
+        let lb_gain = bounds::pipeline_lb_gain(&g, &ra, params.capacity).unwrap();
+        if lb_gain == Ratio::ZERO {
+            continue;
+        }
+        let rows = compare_schedulers(&g, params, 1000);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            let lb = bounds::misses_lower_bound(lb_gain, r.inputs, params) / 8.0;
+            assert!(
+                r.interior_misses as f64 >= lb,
+                "seed {seed} {}: {} < LB {lb}",
+                r.label,
+                r.interior_misses
+            );
+        }
+    }
+}
+
+/// Corollary 9 shape: with an α-approximate partition, the schedule's
+/// misses scale by at most O(α) relative to the exact partition's
+/// schedule.
+#[test]
+fn dag_alpha_approximation_preserved() {
+    use ccs_graph::gen::LayeredCfg;
+    let cfg = LayeredCfg {
+        layers: 3,
+        max_width: 3,
+        density: 0.35,
+        state: StateDist::Uniform(16, 48),
+        max_q: 1,
+    };
+    for seed in 0..6u64 {
+        let g = gen::layered(&cfg, seed);
+        if g.node_count() > 14 {
+            continue;
+        }
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let bound = 144u64.max(g.max_state());
+        let Some((p_opt, bw_opt)) = dag_exact::min_bandwidth_exact(&g, &ra, bound)
+        else {
+            continue;
+        };
+        let p_heur = ccs_partition::dag_greedy::greedy_topo(&g, bound);
+        let bw_heur = p_heur.bandwidth(&g, &ra);
+        if bw_opt == Ratio::ZERO {
+            continue;
+        }
+        let alpha = bw_heur.to_f64() / bw_opt.to_f64();
+
+        let params = CacheParams::new(4 * bound.next_multiple_of(16), 16);
+        let m_items = params.capacity;
+        let run_opt = partitioned::homogeneous(&g, &ra, &p_opt, m_items, 2).unwrap();
+        let run_heur = partitioned::homogeneous(&g, &ra, &p_heur, m_items, 2).unwrap();
+        let eval = |run: &SchedRun| {
+            let mut ex = Executor::new(
+                &g,
+                &ra,
+                run.capacities.clone(),
+                params,
+                ExecOptions::default(),
+            );
+            ex.run(&run.firings).unwrap();
+            ex.report().interior_misses()
+        };
+        let m_opt = eval(&run_opt) as f64;
+        let m_heur = eval(&run_heur) as f64;
+        assert!(
+            m_heur <= (4.0 * alpha + 4.0) * m_opt + 200.0,
+            "seed {seed}: heur {m_heur} vs opt {m_opt}, alpha {alpha:.2}"
+        );
+    }
+}
+
+/// The granularity-T conditions (§3): T·gain(v) integral for every v and
+/// T·gain(u,v) at least M on every edge — verified across random
+/// rate-matched graphs.
+#[test]
+fn granularity_conditions_hold() {
+    use ccs_graph::gen::LayeredCfg;
+    for seed in 0..20u64 {
+        let cfg = LayeredCfg {
+            max_q: 5,
+            ..LayeredCfg::default()
+        };
+        let g = gen::layered(&cfg, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        for m in [1u64, 7, 64, 1000] {
+            let t = partitioned::granularity_t(&g, &ra, m).unwrap();
+            let s = ra.source.unwrap();
+            for v in g.node_ids() {
+                // T·gain(v) = T·q(v)/q(s) must be integral.
+                assert_eq!(
+                    (t as u128 * ra.q(v) as u128) % ra.q(s) as u128,
+                    0,
+                    "seed {seed} m {m} node {v:?}"
+                );
+            }
+            for e in g.edge_ids() {
+                // Buffer size T·gain(u,v) must be at least m.
+                let buf = Ratio::integer(t as i128) * ra.edge_gain(&g, e);
+                assert!(
+                    buf >= Ratio::integer(m as i128),
+                    "seed {seed} m {m} edge {e:?}: buffer {buf}"
+                );
+            }
+        }
+    }
+}
+
+/// Scheduling with a cache big enough for everything converges: all
+/// schedulers incur (nearly) the same, minimal, miss counts.
+#[test]
+fn schedulers_converge_when_everything_fits() {
+    let g = gen::pipeline_uniform(12, 64); // 768 words
+    let params = CacheParams::new(1 << 16, 16); // 64K-word cache
+    // Enough outputs to amortize away the differing cold-miss footprints
+    // of each scheduler's buffers.
+    let rows = compare_schedulers(&g, params, 16_384);
+    let min = rows
+        .iter()
+        .map(|r| r.misses_per_output)
+        .fold(f64::INFINITY, f64::min);
+    let max_row = rows
+        .iter()
+        .max_by(|a, b| a.misses_per_output.total_cmp(&b.misses_per_output))
+        .unwrap();
+    // Compulsory misses only; buffer footprints differ, so allow 3x.
+    assert!(
+        max_row.misses_per_output <= 3.0 * min + 1.0,
+        "{} at {} vs best {min}",
+        max_row.label,
+        max_row.misses_per_output
+    );
+}
+
+/// Sermulins-style scaling helps the baseline but cannot overcome a
+/// state-heavy working set the way partitioning does (the scaling factor
+/// is capped by buffer growth).
+#[test]
+fn scaling_is_not_partitioning() {
+    // Wide rates make scaled buffers grow fast, capping the scale factor.
+    let mut b = GraphBuilder::new();
+    let mut prev = b.node("src", 96);
+    for i in 0..30 {
+        let v = b.node(format!("n{i}"), 96);
+        // High traffic: 8 items per firing each way.
+        b.edge(prev, v, 8, 8);
+        prev = v;
+    }
+    let sink = b.node("sink", 96);
+    b.edge(prev, sink, 8, 8);
+    let g = b.build().unwrap();
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let params = CacheParams::new(768, 16);
+
+    let scale = baseline::choose_scale(&g, &ra, params.capacity);
+    let scaled = baseline::scaled_sas(&g, &ra, scale, 64);
+    let planner = Planner::new(params);
+    let plan = planner
+        .plan(&g, Horizon::SinkFirings(64 * scale * ra.q(ra.sink.unwrap())))
+        .unwrap();
+
+    let eval = |run: &SchedRun| {
+        let mut ex = Executor::new(
+            &g,
+            &ra,
+            run.capacities.clone(),
+            params,
+            ExecOptions::default(),
+        );
+        ex.run(&run.firings).unwrap();
+        let rep = ex.report();
+        rep.stats.misses as f64 / rep.outputs.max(1) as f64
+    };
+    let scaled_mpo = eval(&scaled);
+    let part_mpo = eval(&plan.run);
+    assert!(
+        part_mpo < scaled_mpo,
+        "partitioned {part_mpo} should beat capped scaling {scaled_mpo}"
+    );
+}

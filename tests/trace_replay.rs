@@ -1,0 +1,110 @@
+//! Trace recording and replay: the executor's block trace is a faithful,
+//! policy-independent artifact.
+
+use cache_conscious_streaming::prelude::*;
+use cache_conscious_streaming::sched::{baseline, ExecOptions, Executor};
+use ccs_cachesim::{min, BlockCache, ClockCache, LruCache, SetAssocCache};
+use ccs_graph::gen;
+
+fn record(
+    g: &StreamGraph,
+    ra: &RateAnalysis,
+    run: &ccs_sched::SchedRun,
+    params: CacheParams,
+) -> (Vec<u64>, u64) {
+    let mut ex = Executor::new(
+        g,
+        ra,
+        run.capacities.clone(),
+        params,
+        ExecOptions::default(),
+    );
+    ex.enable_recording();
+    ex.run(&run.firings).unwrap();
+    (
+        ex.recorded_blocks().unwrap().to_vec(),
+        ex.report().stats.misses,
+    )
+}
+
+fn replay<C: BlockCache>(trace: &[u64], mut cache: C) -> u64 {
+    trace.iter().map(|&b| cache.access(b, false) as u64).sum()
+}
+
+#[test]
+fn replaying_the_trace_reproduces_the_live_miss_count() {
+    let g = gen::pipeline_uniform(16, 96);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let params = CacheParams::new(512, 16);
+    let run = baseline::single_appearance(&g, &ra, 64);
+    let (trace, live_misses) = record(&g, &ra, &run, params);
+    // Replaying through a fresh LRU of the same capacity gives the exact
+    // same miss count (reads vs writes don't change hit/miss behavior).
+    assert_eq!(replay(&trace, LruCache::new(params.blocks())), live_misses);
+}
+
+#[test]
+fn opt_lower_bounds_every_policy_on_schedule_traces() {
+    let g = gen::pipeline_uniform(24, 128);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let params = CacheParams::new(1024, 16);
+    let blocks = params.blocks();
+    for run in [
+        baseline::single_appearance(&g, &ra, 48),
+        baseline::demand_driven(&g, &ra, 48),
+        baseline::phased(&g, &ra, 48),
+    ] {
+        let (trace, _) = record(&g, &ra, &run, params);
+        let opt = min::simulate_min(&trace, blocks);
+        for (name, misses) in [
+            ("lru", replay(&trace, LruCache::new(blocks))),
+            ("clock", replay(&trace, ClockCache::new(blocks))),
+            ("8way", replay(&trace, SetAssocCache::new(blocks, 8))),
+        ] {
+            assert!(
+                misses >= opt,
+                "{}/{name}: {misses} < OPT {opt}",
+                run.label
+            );
+        }
+    }
+}
+
+#[test]
+fn partitioned_trace_beats_naive_trace_under_every_policy() {
+    let g = gen::pipeline_uniform(32, 128);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let params = CacheParams::new(1024, 16);
+    let blocks = params.blocks();
+
+    let naive = baseline::single_appearance(&g, &ra, 1024);
+    let (naive_trace, _) = record(&g, &ra, &naive, params);
+
+    let planner = Planner::new(params);
+    let plan = planner.plan(&g, Horizon::SinkFirings(1024)).unwrap();
+    let (part_trace, _) = record(&g, &ra, &plan.run, params);
+
+    // Associativity >= 4 preserves the win. (Direct-mapped caches do
+    // NOT: the Θ(M)-sized ring buffers alias every set and evict the
+    // resident component state on each access — a genuine limitation of
+    // applying the paper's fully-associative analysis to unmanaged
+    // direct-mapped layouts; verified below as an inequality in the
+    // *other* direction being absent, i.e. near-parity.)
+    for ways in [4usize, 16] {
+        let naive_m = replay(&naive_trace, SetAssocCache::new(blocks, ways));
+        let part_m = replay(&part_trace, SetAssocCache::new(blocks, ways));
+        assert!(
+            part_m * 4 < naive_m,
+            "{ways}-way: partitioned {part_m} vs naive {naive_m}"
+        );
+    }
+    let naive_1 = replay(&naive_trace, SetAssocCache::new(blocks, 1));
+    let part_1 = replay(&part_trace, SetAssocCache::new(blocks, 1));
+    assert!(
+        part_1 <= naive_1,
+        "direct-mapped: partitioned {part_1} should not be worse than naive {naive_1}"
+    );
+    let naive_c = replay(&naive_trace, ClockCache::new(blocks));
+    let part_c = replay(&part_trace, ClockCache::new(blocks));
+    assert!(part_c * 4 < naive_c, "clock: {part_c} vs {naive_c}");
+}
