@@ -107,9 +107,7 @@ pub fn bitonic_sort(log_n: u32) -> StreamGraph {
     let mut b = GraphBuilder::new();
     let src = b.node("source", 8);
     // Lane heads.
-    let mut lanes: Vec<_> = (0..width)
-        .map(|i| b.node(format!("in{i}"), 4))
-        .collect();
+    let mut lanes: Vec<_> = (0..width).map(|i| b.node(format!("in{i}"), 4)).collect();
     for &l in &lanes {
         b.edge(src, l, 1, 1);
     }
@@ -332,11 +330,7 @@ mod tests {
             let ra = RateAnalysis::analyze_single_io(&app.graph)
                 .unwrap_or_else(|e| panic!("{}: {e}", app.name));
             assert!(ra.check_balance(&app.graph), "{}", app.name);
-            assert!(
-                app.graph.node_count() >= 5,
-                "{} too trivial",
-                app.name
-            );
+            assert!(app.graph.node_count() >= 5, "{} too trivial", app.name);
         }
     }
 

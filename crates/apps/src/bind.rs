@@ -27,7 +27,7 @@ pub fn fir_instance(graph: StreamGraph) -> Instance {
             || name.contains("synthesis")
             || name.contains("smooth");
         let single_in = g.in_edges(v).len() == 1 && g.out_edges(v).len() == 1;
-        if is_filter && single_in && words % 2 == 0 {
+        if is_filter && single_in && words.is_multiple_of(2) {
             let consume = g.edge(g.in_edges(v)[0]).consume as usize;
             let taps = words / 2;
             if taps >= consume {

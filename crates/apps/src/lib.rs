@@ -16,7 +16,7 @@ pub mod apps;
 pub mod bind;
 
 pub use apps::{
-    audio_effects, beamformer, bitonic_sort, des_like, fft, filterbank,
-    fm_radio, jpeg_like, matvec_stream, suite, vocoder, App,
+    audio_effects, beamformer, bitonic_sort, des_like, fft, filterbank, fm_radio, jpeg_like,
+    matvec_stream, suite, vocoder, App,
 };
 pub use bind::fir_instance;

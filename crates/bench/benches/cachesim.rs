@@ -72,9 +72,7 @@ fn bench_belady(c: &mut Criterion) {
     let mut group = c.benchmark_group("belady-min");
     group.sample_size(20);
     group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("opt-50k", |b| {
-        b.iter(|| min::simulate_min(&trace, 512))
-    });
+    group.bench_function("opt-50k", |b| b.iter(|| min::simulate_min(&trace, 512)));
     group.finish();
 }
 

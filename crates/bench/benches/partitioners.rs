@@ -98,14 +98,10 @@ fn bench_metaheuristics(c: &mut Criterion) {
     let mut group = c.benchmark_group("metaheuristics");
     group.sample_size(10);
     group.bench_function("anneal-4k-steps", |b| {
-        b.iter(|| {
-            annealing::anneal(&g, &ra, bound, &p0, &annealing::AnnealCfg::default())
-        })
+        b.iter(|| annealing::anneal(&g, &ra, bound, &p0, &annealing::AnnealCfg::default()))
     });
     group.bench_function("multilevel", |b| {
-        b.iter(|| {
-            multilevel::multilevel(&g, &ra, bound, &multilevel::MultilevelCfg::default())
-        })
+        b.iter(|| multilevel::multilevel(&g, &ra, bound, &multilevel::MultilevelCfg::default()))
     });
     group.bench_function("fuse", |b| {
         b.iter(|| fusion::fuse(&g, &ra, &p0).unwrap().graph.node_count())

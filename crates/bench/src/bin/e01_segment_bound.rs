@@ -21,8 +21,14 @@ fn main() {
     let mut table = Table::new(
         format!("E1: segment firing bound (Lemma 1), M = {m} words"),
         &[
-            "seed", "segment", "state", "gain(u)", "gainMin", "fired(u)",
-            "bound", "fired/bound",
+            "seed",
+            "segment",
+            "state",
+            "gain(u)",
+            "gainMin",
+            "fired(u)",
+            "bound",
+            "fired/bound",
         ],
     );
 
@@ -49,9 +55,8 @@ fn main() {
             continue;
         }
         let seg = &order[..b]; // u = seg[0], v = seg[b-1]
-        let seg_edges: Vec<ccs_graph::EdgeId> = (0..b - 1)
-            .map(|i| g.out_edges(seg[i])[0])
-            .collect();
+        let seg_edges: Vec<ccs_graph::EdgeId> =
+            (0..b - 1).map(|i| g.out_edges(seg[i])[0]).collect();
 
         // Gain-minimizing edge.
         let gain_min = seg_edges
@@ -60,9 +65,7 @@ fn main() {
             .min()
             .unwrap();
         let gain_u = ra.gain(seg[0]);
-        let bound = (Ratio::integer(2 * m as i128) * gain_u
-            / gain_min)
-            .ceil() as u64;
+        let bound = (Ratio::integer(2 * m as i128) * gain_u / gain_min).ceil() as u64;
 
         // Adversarial simulation: unbounded buffers, v withheld.
         let mut occ = vec![0u64; b - 1]; // items on segment edge i
@@ -82,9 +85,7 @@ fn main() {
                     let e_out = g.edge(seg_edges[i]);
                     // Firing seg[i] consumes e_in.consume, produces
                     // e_out.produce; do it while it doesn't grow buffers.
-                    while occ[i - 1] >= e_in.consume
-                        && e_out.produce <= e_in.consume
-                    {
+                    while occ[i - 1] >= e_in.consume && e_out.produce <= e_in.consume {
                         occ[i - 1] -= e_in.consume;
                         occ[i] += e_out.produce;
                         any = true;
@@ -115,7 +116,10 @@ fn main() {
     }
 
     table.print();
-    println!("worst fired/bound ratio: {} (Lemma 1 predicts <= 1)", f(worst));
+    println!(
+        "worst fired/bound ratio: {} (Lemma 1 predicts <= 1)",
+        f(worst)
+    );
     let path = table.save_csv("e01_segment_bound").unwrap();
     println!("csv: {}", path.display());
 }

@@ -15,7 +15,14 @@ fn main() {
     let b = 16u64;
     let mut table = Table::new(
         "E2: Theorem 3 pipeline lower bound vs measured misses",
-        &["M", "scheduler", "inputs T", "LB misses", "measured", "measured/LB"],
+        &[
+            "M",
+            "scheduler",
+            "inputs T",
+            "LB misses",
+            "measured",
+            "measured/LB",
+        ],
     );
 
     for m in [256u64, 512, 1024] {

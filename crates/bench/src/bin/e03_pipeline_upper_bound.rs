@@ -19,7 +19,12 @@ fn main() {
     let mut table = Table::new(
         "E3: Theorem 5 upper bound — measured vs (T/B)*bandwidth + state loads",
         &[
-            "n", "M", "bandwidth", "T inputs", "predicted", "measured",
+            "n",
+            "M",
+            "bandwidth",
+            "T inputs",
+            "predicted",
+            "measured",
             "measured/predicted",
         ],
     );
@@ -40,9 +45,7 @@ fn main() {
                 Err(_) => continue,
             };
             let params = CacheParams::new(m, b);
-            let run = match partitioned::pipeline_dynamic(
-                &g, &ra, &pp.partition, m, 4000,
-            ) {
+            let run = match partitioned::pipeline_dynamic(&g, &ra, &pp.partition, m, 4000) {
                 Ok(r) => r,
                 Err(_) => continue,
             };
@@ -60,8 +63,7 @@ fn main() {
             // Predicted: buffer traffic (write + read per item crossing)
             // plus one state sweep per M inputs of each component.
             let buffer_term = 2.0 * t * pp.bandwidth.to_f64() / b as f64;
-            let state_term = (t / m as f64 + 1.0)
-                * (g.total_state() as f64 / b as f64);
+            let state_term = (t / m as f64 + 1.0) * (g.total_state() as f64 / b as f64);
             let predicted = buffer_term + state_term;
             let ratio = rep.interior_misses() as f64 / predicted;
             worst = worst.max(ratio);

@@ -19,7 +19,14 @@ fn main() {
     let sink_target = 3000u64;
     let mut table = Table::new(
         format!("E4: competitive ratio under cache augmentation (M = {m})"),
-        &["seed", "best(M) label", "best(M) mpo", "c", "partitioned(cM) mpo", "ratio"],
+        &[
+            "seed",
+            "best(M) label",
+            "best(M) mpo",
+            "c",
+            "partitioned(cM) mpo",
+            "ratio",
+        ],
     );
 
     for seed in [1u64, 5, 9] {
@@ -50,13 +57,8 @@ fn main() {
                 continue;
             };
             let target_c = sink_target.max(16 * c * m);
-            let Ok(run) = partitioned::pipeline_dynamic(
-                &g,
-                &ra,
-                &pp.partition,
-                c * m,
-                target_c,
-            ) else {
+            let Ok(run) = partitioned::pipeline_dynamic(&g, &ra, &pp.partition, c * m, target_c)
+            else {
                 continue;
             };
             let mut ex = Executor::new(

@@ -21,7 +21,13 @@ fn measured(
     rounds: u64,
 ) -> Option<(u64, u64)> {
     let run = partitioned::homogeneous(g, ra, p, params.capacity, rounds).ok()?;
-    let mut ex = Executor::new(g, ra, run.capacities.clone(), params, ExecOptions::default());
+    let mut ex = Executor::new(
+        g,
+        ra,
+        run.capacities.clone(),
+        params,
+        ExecOptions::default(),
+    );
     ex.run(&run.firings).ok()?;
     let rep = ex.report();
     Some((rep.interior_misses(), rep.inputs))
@@ -33,8 +39,14 @@ fn main() {
     let mut table = Table::new(
         format!("E5: dag bounds (homogeneous, M = {m} words, exact minBW3)"),
         &[
-            "seed", "nodes", "minBW3", "alpha", "LB misses", "exact-part",
-            "greedy-part", "greedy/exact",
+            "seed",
+            "nodes",
+            "minBW3",
+            "alpha",
+            "LB misses",
+            "exact-part",
+            "greedy-part",
+            "greedy/exact",
         ],
     );
 
@@ -70,8 +82,7 @@ fn main() {
         let Some((miss_opt, inputs)) = measured(&g, &ra, &p_opt, params, rounds) else {
             continue;
         };
-        let Some((miss_greedy, _)) = measured(&g, &ra, &p_greedy, params, rounds)
-        else {
+        let Some((miss_greedy, _)) = measured(&g, &ra, &p_greedy, params, rounds) else {
             continue;
         };
         let lb = ccs_core::bounds::misses_lower_bound(bw3, inputs, params);

@@ -11,15 +11,15 @@ use ccs_graph::gen::{self, PipelineCfg, StateDist};
 use ccs_partition::pipeline as ppart;
 use ccs_sched::{partitioned, ExecOptions, Executor};
 
-fn misses_for(
-    g: &StreamGraph,
-    ra: &RateAnalysis,
-    p: &Partition,
-    params: CacheParams,
-) -> f64 {
-    let run =
-        partitioned::pipeline_dynamic(g, ra, p, params.capacity, 2000).unwrap();
-    let mut ex = Executor::new(g, ra, run.capacities.clone(), params, ExecOptions::default());
+fn misses_for(g: &StreamGraph, ra: &RateAnalysis, p: &Partition, params: CacheParams) -> f64 {
+    let run = partitioned::pipeline_dynamic(g, ra, p, params.capacity, 2000).unwrap();
+    let mut ex = Executor::new(
+        g,
+        ra,
+        run.capacities.clone(),
+        params,
+        ExecOptions::default(),
+    );
     ex.run(&run.firings).unwrap();
     let rep = ex.report();
     rep.stats.misses as f64 / rep.outputs.max(1) as f64
@@ -31,7 +31,12 @@ fn main() {
     let mut table = Table::new(
         format!("E6: greedy-2M vs DP-optimal pipeline partitions (M = {m})"),
         &[
-            "seed", "bw greedy", "bw dp", "bw ratio", "mpo greedy", "mpo dp",
+            "seed",
+            "bw greedy",
+            "bw dp",
+            "bw ratio",
+            "mpo greedy",
+            "mpo dp",
             "mpo ratio",
         ],
     );

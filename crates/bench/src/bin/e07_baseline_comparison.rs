@@ -14,7 +14,11 @@ fn main() {
     let mut table = Table::new(
         "E7: scheduler comparison across the application suite",
         &[
-            "app", "M", "scheduler", "misses/output", "buf words",
+            "app",
+            "M",
+            "scheduler",
+            "misses/output",
+            "buf words",
             "speedup vs SAS",
         ],
     );

@@ -19,7 +19,13 @@ fn main() {
     let params = CacheParams::new(8 * m, b);
     let mut table = Table::new(
         format!("E8: granularity sweep (M = {m} words, cache 8M)"),
-        &["T target", "T actual", "rounds", "misses/output", "buffer words"],
+        &[
+            "T target",
+            "T actual",
+            "rounds",
+            "misses/output",
+            "buffer words",
+        ],
     );
 
     let cfg = PipelineCfg {
@@ -39,9 +45,7 @@ fn main() {
         // Fix total sink output across the sweep for comparability.
         let per_round = (Ratio::integer(t as i128) * ra.gain(sink)).floor().max(1) as u64;
         let rounds = (8 * m / 4).div_ceil(per_round).max(1);
-        let run =
-            partitioned::inhomogeneous(&g, &ra, &pp.partition, t_target, rounds)
-                .unwrap();
+        let run = partitioned::inhomogeneous(&g, &ra, &pp.partition, t_target, rounds).unwrap();
         let mut ex = Executor::new(
             &g,
             &ra,

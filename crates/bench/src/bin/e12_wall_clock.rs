@@ -16,11 +16,7 @@ use ccs_bench::{f, Table};
 use ccs_core::prelude::*;
 use ccs_sched::baseline;
 
-fn run_real(
-    g: &StreamGraph,
-    run: &ccs_sched::SchedRun,
-    reps: usize,
-) -> (f64, u64, Option<u64>) {
+fn run_real(g: &StreamGraph, run: &ccs_sched::SchedRun, reps: usize) -> (f64, u64, Option<u64>) {
     // Median of `reps` runs to tame scheduling noise.
     let mut times = Vec::new();
     let mut items = 0;
@@ -82,17 +78,10 @@ fn main() {
             use ccs_sched::partitioned;
             let m = (8 * g.max_state()).next_multiple_of(16);
             let t = partitioned::granularity_t(&g, &ra, m).unwrap();
-            let per_round =
-                (Ratio::integer(t as i128) * ra.gain(sink)).floor().max(1) as u64;
+            let per_round = (Ratio::integer(t as i128) * ra.gain(sink)).floor().max(1) as u64;
             let rounds = target.div_ceil(per_round);
             match ppart::greedy_theorem5(&g, &ra, m / 8) {
-                Ok(pp) => match partitioned::inhomogeneous(
-                    &g,
-                    &ra,
-                    &pp.partition,
-                    m,
-                    rounds,
-                ) {
+                Ok(pp) => match partitioned::inhomogeneous(&g, &ra, &pp.partition, m, rounds) {
                     Ok(run) => runs.push(run),
                     Err(e) => println!("{name}: scheduling failed: {e}"),
                 },

@@ -28,7 +28,15 @@ fn main() {
 
     let mut table = Table::new(
         "E13: replacement-policy ablation (misses on identical block traces)",
-        &["scheduler", "LRU", "CLOCK", "8-way", "L1/L2", "OPT(MIN)", "LRU/OPT"],
+        &[
+            "scheduler",
+            "LRU",
+            "CLOCK",
+            "8-way",
+            "L1/L2",
+            "OPT(MIN)",
+            "LRU/OPT",
+        ],
     );
 
     let planner = Planner::new(params);

@@ -1,8 +1,8 @@
 //! E14 (ablation) — what each partitioner stage contributes.
 //!
 //! Bandwidth (the paper's objective) across the partitioner family:
-//! greedy topological, affinity-ordered greedy, + local refinement,
-//! + simulated annealing, multilevel, and the exact optimum where
+//! greedy topological, affinity-ordered greedy, plus local refinement,
+//! simulated annealing, multilevel, and the exact optimum where
 //! feasible. Shows where the cheap heuristics stop and what the
 //! metaheuristics buy.
 
@@ -15,7 +15,14 @@ use std::time::Instant;
 fn main() {
     let mut table = Table::new(
         "E14: partitioner ablation (bandwidth = items crossing per input)",
-        &["seed", "nodes", "partitioner", "bandwidth", "components", "time us"],
+        &[
+            "seed",
+            "nodes",
+            "partitioner",
+            "bandwidth",
+            "components",
+            "time us",
+        ],
     );
 
     let cfg = LayeredCfg {
@@ -54,22 +61,11 @@ fn main() {
         record("topo+refine", &p_ref, t0.elapsed().as_micros());
 
         let t0 = Instant::now();
-        let p_ann = annealing::anneal(
-            &g,
-            &ra,
-            bound,
-            &p_ref,
-            &annealing::AnnealCfg::default(),
-        );
+        let p_ann = annealing::anneal(&g, &ra, bound, &p_ref, &annealing::AnnealCfg::default());
         record("topo+refine+anneal", &p_ann, t0.elapsed().as_micros());
 
         let t0 = Instant::now();
-        let p_ml = multilevel::multilevel(
-            &g,
-            &ra,
-            bound,
-            &multilevel::MultilevelCfg::default(),
-        );
+        let p_ml = multilevel::multilevel(&g, &ra, bound, &multilevel::MultilevelCfg::default());
         record("multilevel", &p_ml, t0.elapsed().as_micros());
 
         if g.node_count() <= dag_exact::MAX_EXACT_NODES {

@@ -16,7 +16,12 @@ fn main() {
     let mut table = Table::new(
         "E15: analytic cost model vs simulation (partitioned schedule)",
         &[
-            "n", "M", "rounds", "predicted", "measured", "measured/predicted",
+            "n",
+            "M",
+            "rounds",
+            "predicted",
+            "measured",
+            "measured/predicted",
         ],
     );
 
@@ -35,9 +40,7 @@ fn main() {
                 continue;
             };
             let rounds = 3u64;
-            let Ok(run) =
-                partitioned::inhomogeneous(&g, &ra, &pp.partition, m, rounds)
-            else {
+            let Ok(run) = partitioned::inhomogeneous(&g, &ra, &pp.partition, m, rounds) else {
                 continue;
             };
             let t = partitioned::granularity_t(&g, &ra, m).unwrap();
@@ -52,8 +55,7 @@ fn main() {
             ex.run(&run.firings).unwrap();
             let measured = ex.report().stats.misses;
             let predicted =
-                cost::predict_partitioned(&g, &ra, &pp.partition, params, t, rounds)
-                    .total();
+                cost::predict_partitioned(&g, &ra, &pp.partition, params, t, rounds).total();
             table.row(vec![
                 n.to_string(),
                 m.to_string(),

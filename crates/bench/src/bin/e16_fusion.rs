@@ -14,7 +14,13 @@ use ccs_partition::{dag_greedy, fusion};
 use ccs_sched::{baseline, ExecOptions, Executor};
 
 fn mpo(g: &StreamGraph, ra: &RateAnalysis, run: &ccs_sched::SchedRun, params: CacheParams) -> f64 {
-    let mut ex = Executor::new(g, ra, run.capacities.clone(), params, ExecOptions::default());
+    let mut ex = Executor::new(
+        g,
+        ra,
+        run.capacities.clone(),
+        params,
+        ExecOptions::default(),
+    );
     ex.run(&run.firings).unwrap();
     let rep = ex.report();
     rep.stats.misses as f64 / rep.outputs.max(1) as f64

@@ -25,7 +25,13 @@ fn main() {
 
     let mut table = Table::new(
         "E17: inclusive L1/L2 hierarchy (L1 = 256 words, L2 = 1024 words)",
-        &["scheduler", "L1 misses", "L2 misses", "outputs", "L2 misses/output"],
+        &[
+            "scheduler",
+            "L1 misses",
+            "L2 misses",
+            "outputs",
+            "L2 misses/output",
+        ],
     );
 
     let planner = Planner::new(params);
@@ -35,7 +41,12 @@ fn main() {
     ];
     let scale = baseline::choose_scale(&g, &ra, params.capacity);
     if scale > 1 {
-        runs.push(baseline::scaled_sas(&g, &ra, scale, 2048u64.div_ceil(scale)));
+        runs.push(baseline::scaled_sas(
+            &g,
+            &ra,
+            scale,
+            2048u64.div_ceil(scale),
+        ));
     }
     if let Ok(plan) = planner.plan(&g, Horizon::SinkFirings(2048)) {
         runs.push(plan.run);

@@ -1,0 +1,117 @@
+//! E18 — the cache-aware multicore dag executor (`ccs-exec`).
+//!
+//! Runs real partitioned dag execution with segment-affine workers
+//! across worker counts and placement policies, reporting throughput and
+//! verifying SDF determinism (bit-identical sink digests everywhere).
+//! Emits both the usual table/CSV and a JSON record per configuration.
+
+use ccs_bench::{f, Table};
+use ccs_core::prelude::*;
+use ccs_graph::gen::{self, LayeredCfg, StateDist};
+use ccs_runtime::Instance;
+
+fn main() {
+    let mut table = Table::new(
+        "E18: multicore dag execution (segment-affine workers)",
+        &[
+            "workload",
+            "placement",
+            "workers",
+            "segments",
+            "T",
+            "wall ms",
+            "items/s (M)",
+            "stalls",
+            "digest",
+        ],
+    );
+
+    let workloads: Vec<(&str, StreamGraph)> = vec![
+        ("fm-radio(8)", ccs_apps::fm_radio(8)),
+        ("beamformer(8,8)", ccs_apps::beamformer(8, 8)),
+        ("filterbank(8)", ccs_apps::filterbank(8)),
+        (
+            "layered-dag",
+            gen::layered(
+                &LayeredCfg {
+                    layers: 6,
+                    max_width: 5,
+                    density: 0.35,
+                    state: StateDist::Uniform(128, 512),
+                    max_q: 2,
+                },
+                3,
+            ),
+        ),
+    ];
+
+    let rounds = 64u64;
+    let mut records = Vec::new();
+    for (name, g) in workloads {
+        // Cache sized so the auto partitioner yields several segments
+        // (dag bound = M/2, pipeline Theorem 5 parameter = M/8): enough
+        // parallel grain to occupy the workers.
+        let m = (g.total_state() / 3)
+            .max(8 * g.max_state())
+            .max(512)
+            .next_multiple_of(16);
+        let planner = Planner::new(CacheParams::new(m, 16));
+        let mut reference = None;
+        for placement in [Placement::RoundRobin, Placement::CommGreedy] {
+            for workers in [1usize, 2, 4] {
+                let inst = Instance::synthetic(g.clone());
+                let pr = planner
+                    .plan_and_run_parallel(inst, rounds, workers, placement)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                let stats = &pr.stats;
+                match reference {
+                    None => reference = Some(stats.run.digest),
+                    Some(d) => assert_eq!(
+                        d,
+                        stats.run.digest,
+                        "{name}: digest changed at {workers} workers ({})",
+                        placement.name()
+                    ),
+                }
+                let throughput = stats.items_per_sec() / 1e6;
+                table.row(vec![
+                    name.to_string(),
+                    placement.name().to_string(),
+                    workers.to_string(),
+                    stats.segments.to_string(),
+                    stats.t.to_string(),
+                    f(stats.run.wall.as_secs_f64() * 1e3),
+                    f(throughput),
+                    stats.total_stalls().to_string(),
+                    format!("{:016x}", stats.run.digest.unwrap_or(0)),
+                ]);
+                records.push(serde_json::json!({
+                    "workload": name,
+                    "placement": placement.name(),
+                    "workers": workers,
+                    "segments": stats.segments,
+                    "granularity_t": stats.t,
+                    "rounds": stats.rounds,
+                    "strategy": pr.strategy_used,
+                    "wall_ms": stats.run.wall.as_secs_f64() * 1e3,
+                    "sink_items": stats.run.sink_items,
+                    "items_per_sec": stats.items_per_sec(),
+                    "stalls": stats.total_stalls(),
+                    "digest": format!("{:016x}", stats.run.digest.unwrap_or(0)),
+                }));
+            }
+        }
+    }
+
+    table.print();
+    println!("shape check: digests are identical across worker counts and placements");
+    println!("(SDF determinism); throughput should rise with workers on wide dags.");
+    let path = table.save_csv("e18_dag_parallel").unwrap();
+    println!("csv: {}", path.display());
+
+    let json = serde_json::to_string_pretty(&records).unwrap();
+    let json_path = ccs_bench::results_dir().join("e18_dag_parallel.json");
+    std::fs::write(&json_path, &json).unwrap();
+    println!("json: {}", json_path.display());
+    println!("{json}");
+}

@@ -15,8 +15,7 @@ pub fn simulate_min(trace: &[u64], capacity_blocks: u64) -> u64 {
     // next_use[i] = position of the next access to trace[i] after i,
     // or n if none.
     let mut next_use = vec![n; n];
-    let mut last_pos: std::collections::HashMap<u64, usize> =
-        std::collections::HashMap::new();
+    let mut last_pos: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
     for i in (0..n).rev() {
         if let Some(&p) = last_pos.get(&trace[i]) {
             next_use[i] = p;
@@ -29,8 +28,7 @@ pub fn simulate_min(trace: &[u64], capacity_blocks: u64) -> u64 {
     // whose next use is farthest in the future.
     let mut resident: std::collections::HashMap<u64, usize> =
         std::collections::HashMap::with_capacity(cap);
-    let mut heap: std::collections::BinaryHeap<(usize, u64)> =
-        std::collections::BinaryHeap::new();
+    let mut heap: std::collections::BinaryHeap<(usize, u64)> = std::collections::BinaryHeap::new();
     let mut misses = 0u64;
 
     for (i, &b) in trace.iter().enumerate() {
@@ -45,8 +43,7 @@ pub fn simulate_min(trace: &[u64], capacity_blocks: u64) -> u64 {
                 if resident.len() == cap {
                     // Evict farthest-in-future resident block.
                     loop {
-                        let (stamp, victim) =
-                            heap.pop().expect("resident set is non-empty");
+                        let (stamp, victim) = heap.pop().expect("resident set is non-empty");
                         if resident.get(&victim) == Some(&stamp) {
                             resident.remove(&victim);
                             break;

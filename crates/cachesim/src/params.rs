@@ -27,7 +27,7 @@ impl CacheParams {
             "cache must hold at least one block (M={capacity}, B={block})"
         );
         assert!(
-            capacity % block == 0,
+            capacity.is_multiple_of(block),
             "cache capacity must be a multiple of the block size"
         );
         CacheParams { capacity, block }

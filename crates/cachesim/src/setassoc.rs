@@ -31,7 +31,7 @@ impl SetAssocCache {
     pub fn new(capacity_blocks: u64, ways: usize) -> SetAssocCache {
         assert!(ways > 0 && capacity_blocks > 0);
         assert!(
-            capacity_blocks % ways as u64 == 0,
+            capacity_blocks.is_multiple_of(ways as u64),
             "capacity must divide into {ways}-way sets"
         );
         let sets = (capacity_blocks / ways as u64) as usize;

@@ -121,18 +121,8 @@ impl<C: BlockCache> MemorySim<C> {
     /// Touch `len` words of the ring buffer laid out over `region`,
     /// starting at logical position `pos` (wrapping modulo the region
     /// length).
-    pub fn touch_ring(
-        &mut self,
-        region: Region,
-        pos: u64,
-        len: u64,
-        write: bool,
-        tag: u32,
-    ) {
-        debug_assert!(
-            len <= region.len,
-            "touching more words than the ring holds"
-        );
+    pub fn touch_ring(&mut self, region: Region, pos: u64, len: u64, write: bool, tag: u32) {
+        debug_assert!(len <= region.len, "touching more words than the ring holds");
         if len == 0 {
             return;
         }
@@ -221,7 +211,7 @@ mod tests {
     #[test]
     fn capacity_eviction_under_streaming() {
         let mut m = MemorySim::lru(params()); // 8 blocks
-        // Stream 16 distinct blocks, then re-stream: nothing survives.
+                                              // Stream 16 distinct blocks, then re-stream: nothing survives.
         m.touch(0, 128, false, 0);
         assert_eq!(m.stats().misses, 16);
         m.touch(0, 128, false, 0);
@@ -234,8 +224,7 @@ mod tests {
         m.enable_recording();
         m.touch(0, 17, false, 0);
         assert_eq!(m.recorded_blocks().unwrap(), &[0, 1, 2]);
-        let opt =
-            crate::min::simulate_min(m.recorded_blocks().unwrap(), m.params().blocks());
+        let opt = crate::min::simulate_min(m.recorded_blocks().unwrap(), m.params().blocks());
         assert_eq!(opt, 3);
     }
 

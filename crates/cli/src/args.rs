@@ -155,9 +155,6 @@ mod tests {
             a.positional(0, "graph").unwrap_err(),
             ArgError::MissingPositional("graph")
         );
-        assert_eq!(
-            a.required_u64("m").unwrap_err(),
-            ArgError::MissingFlag("m")
-        );
+        assert_eq!(a.required_u64("m").unwrap_err(), ArgError::MissingFlag("m"));
     }
 }

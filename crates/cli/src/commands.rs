@@ -17,6 +17,7 @@ pub fn run(cmd: &str, args: &Args) -> CliResult {
         "analyze" => analyze(args),
         "partition" => partition(args),
         "simulate" => simulate(args),
+        "run-dag" => run_dag(args),
         "compare" => compare(args),
         "autotune" => autotune_cmd(args),
         "fuse" => fuse_cmd(args),
@@ -37,6 +38,9 @@ USAGE:
   ccs analyze FILE
   ccs partition FILE --m M [--b B] [--strategy greedy2m|dp|dag|exact]
   ccs simulate FILE --m M [--b B] [--outputs T] [--json]
+  ccs run-dag  FILE --m M [--b B] [--workers N] [--rounds R]
+               [--placement rr|greedy] [--strategy ...] [--json]
+               (real multicore execution with segment-affine workers)
   ccs compare FILE --m M [--b B] [--outputs T]
   ccs autotune FILE --m M [--b B] [--outputs T]
   ccs fuse FILE --m M [--b B] [-o FILE]       (partition, then fuse)
@@ -48,8 +52,7 @@ B the block size. Graphs are StreamGraph JSON (produced by `ccs gen`)."
 }
 
 fn load(path: &str) -> Result<StreamGraph, Box<dyn Error>> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let g: StreamGraph = serde_json::from_str(&text)
         .map_err(|e| format!("{path} is not a StreamGraph JSON: {e}"))?;
     Ok(g)
@@ -163,8 +166,7 @@ fn params_of(args: &Args) -> Result<CacheParams, Box<dyn Error>> {
 fn partition(args: &Args) -> CliResult {
     let g = load(args.positional(0, "graph file")?)?;
     let ra = RateAnalysis::analyze_single_io(&g)?;
-    let planner =
-        Planner::new(params_of(args)?).with_strategy(strategy_of(args)?);
+    let planner = Planner::new(params_of(args)?).with_strategy(strategy_of(args)?);
     let (p, bw, used) = planner.partition(&g, &ra)?;
     let mut out = String::new();
     use std::fmt::Write as _;
@@ -174,8 +176,7 @@ fn partition(args: &Args) -> CliResult {
     let _ = writeln!(out, "max state  : {} words", p.max_component_state(&g));
     let _ = writeln!(out, "max degree : {}", p.max_component_degree(&g));
     for (i, comp) in p.components().iter().enumerate() {
-        let names: Vec<&str> =
-            comp.iter().map(|&v| g.node(v).name.as_str()).collect();
+        let names: Vec<&str> = comp.iter().map(|&v| g.node(v).name.as_str()).collect();
         let _ = writeln!(
             out,
             "  [{i}] ({} words) {}",
@@ -209,6 +210,85 @@ fn simulate(args: &Args) -> CliResult {
             report.misses_per_output,
         ))
     }
+}
+
+fn run_dag(args: &Args) -> CliResult {
+    let g = load(args.positional(0, "graph file")?)?;
+    let planner = Planner::new(params_of(args)?).with_strategy(strategy_of(args)?);
+    let workers = args.u64_or("workers", 2)?.max(1) as usize;
+    let rounds = args.u64_or("rounds", 8)?;
+    let placement = match args.flag("placement") {
+        None => ccs_exec::Placement::RoundRobin,
+        Some(name) => ccs_exec::Placement::parse(name)
+            .ok_or_else(|| format!("unknown placement '{name}' (rr|greedy)"))?,
+    };
+    let inst = ccs_runtime::Instance::synthetic(g);
+    let pr = planner.plan_and_run_parallel(inst, rounds, workers, placement)?;
+    let stats = &pr.stats;
+    if args.has("json") {
+        let workers_json: Vec<serde_json::Value> = stats
+            .workers
+            .iter()
+            .map(|w| {
+                serde_json::json!({
+                    "worker": w.worker,
+                    "segments": w.segments,
+                    "firings": w.firings,
+                    "batches": w.batches,
+                    "stalls": w.stalls,
+                    "busy_ms": w.busy.as_secs_f64() * 1e3,
+                })
+            })
+            .collect();
+        return Ok(serde_json::to_string_pretty(&serde_json::json!({
+            "strategy": pr.strategy_used,
+            "placement": placement.name(),
+            "segments": stats.segments,
+            "workers": workers,
+            "granularity_t": stats.t,
+            "rounds": stats.rounds,
+            "bandwidth": pr.bandwidth.to_f64(),
+            "firings": stats.run.firings,
+            "sink_items": stats.run.sink_items,
+            "wall_ms": stats.run.wall.as_secs_f64() * 1e3,
+            "items_per_sec": stats.items_per_sec(),
+            "digest": format!("{:016x}", stats.run.digest.unwrap_or(0)),
+            "per_worker": workers_json,
+        }))?);
+    }
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "strategy {} | placement {} | {} segments on {} workers | T = {}",
+        pr.strategy_used,
+        placement.name(),
+        stats.segments,
+        workers,
+        stats.t
+    );
+    let _ = writeln!(
+        out,
+        "{} firings, {} sink items in {:.2} ms = {:.3} M items/s | digest {:016x}",
+        stats.run.firings,
+        stats.run.sink_items,
+        stats.run.wall.as_secs_f64() * 1e3,
+        stats.items_per_sec() / 1e6,
+        stats.run.digest.unwrap_or(0),
+    );
+    for w in &stats.workers {
+        let _ = writeln!(
+            out,
+            "  worker {}: segments {:?}, {} firings, {} batches, {} stalls, busy {:.2} ms",
+            w.worker,
+            w.segments,
+            w.firings,
+            w.batches,
+            w.stalls,
+            w.busy.as_secs_f64() * 1e3,
+        );
+    }
+    Ok(out)
 }
 
 fn compare(args: &Args) -> CliResult {
@@ -255,11 +335,9 @@ fn autotune_cmd(args: &Args) -> CliResult {
 fn fuse_cmd(args: &Args) -> CliResult {
     let g = load(args.positional(0, "graph file")?)?;
     let ra = RateAnalysis::analyze_single_io(&g)?;
-    let planner =
-        Planner::new(params_of(args)?).with_strategy(strategy_of(args)?);
+    let planner = Planner::new(params_of(args)?).with_strategy(strategy_of(args)?);
     let (p, bw, used) = planner.partition(&g, &ra)?;
-    let fused = ccs_partition::fusion::fuse(&g, &ra, &p)
-        .ok_or("partition is not well ordered")?;
+    let fused = ccs_partition::fusion::fuse(&g, &ra, &p).ok_or("partition is not well ordered")?;
     let summary = format!(
         "fused {} modules into {} via {used} (bandwidth {bw})",
         g.node_count(),
@@ -316,11 +394,7 @@ mod tests {
     fn gen_app_and_partition() {
         let path = tmp("g2.json");
         run("gen", &args(&["app", "fm-radio", "-o", &path])).unwrap();
-        let out = run(
-            "partition",
-            &args(&[&path, "--m", "1088", "--b", "16"]),
-        )
-        .unwrap();
+        let out = run("partition", &args(&[&path, "--m", "1088", "--b", "16"])).unwrap();
         assert!(out.contains("components"));
         assert!(out.contains("bandwidth"));
         std::fs::remove_file(path).ok();
@@ -342,6 +416,49 @@ mod tests {
         let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert!(parsed["misses"].as_u64().unwrap() > 0);
         assert_eq!(parsed["graph_nodes"].as_u64().unwrap(), 12);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_dag_text_and_json() {
+        let path = tmp("g7.json");
+        run(
+            "gen",
+            &args(&["pipeline", "--len", "10", "--state", "64", "-o", &path]),
+        )
+        .unwrap();
+        let out = run(
+            "run-dag",
+            &args(&[&path, "--m", "1024", "--workers", "2", "--rounds", "3"]),
+        )
+        .unwrap();
+        assert!(out.contains("segments"), "{out}");
+        assert!(out.contains("worker 0:"), "{out}");
+        let out = run(
+            "run-dag",
+            &args(&[
+                &path,
+                "--m",
+                "1024",
+                "--workers",
+                "2",
+                "--rounds",
+                "3",
+                "--placement",
+                "greedy",
+                "--json",
+            ]),
+        )
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed["workers"].as_u64(), Some(2));
+        assert_eq!(parsed["placement"].as_str(), Some("comm-greedy"));
+        assert!(parsed["items_per_sec"].as_f64().unwrap() > 0.0);
+        assert!(run(
+            "run-dag",
+            &args(&[&path, "--m", "256", "--placement", "bogus"]),
+        )
+        .is_err());
         std::fs::remove_file(path).ok();
     }
 
@@ -388,11 +505,7 @@ mod tests {
         assert!(out.contains("winner:"), "{out}");
 
         let fused_path = tmp("g6-fused.json");
-        let out = run(
-            "fuse",
-            &args(&[&path, "--m", "1024", "-o", &fused_path]),
-        )
-        .unwrap();
+        let out = run("fuse", &args(&[&path, "--m", "1024", "-o", &fused_path])).unwrap();
         assert!(out.contains("fused 16 modules into"), "{out}");
         // Fused graph is loadable and smaller.
         let report = run("analyze", &args(&[&fused_path])).unwrap();

@@ -69,7 +69,7 @@ pub fn autotune(
             components: plan.partition.num_components(),
             bandwidth: plan.bandwidth.to_f64(),
         });
-        if best.map_or(true, |(b, _)| mpo < b) {
+        if best.is_none_or(|(b, _)| mpo < b) {
             best = Some((mpo, strategy));
         }
     }
@@ -130,13 +130,7 @@ mod tests {
     fn autotune_small_dag_includes_exact() {
         let g = gen::split_join(2, 2, StateDist::Fixed(24), 1);
         let planner = Planner::new(CacheParams::new(512, 16));
-        let tuned = autotune(
-            &planner,
-            &g,
-            Horizon::Rounds(1),
-            Horizon::Rounds(2),
-        )
-        .unwrap();
+        let tuned = autotune(&planner, &g, Horizon::Rounds(1), Horizon::Rounds(2)).unwrap();
         assert!(tuned
             .trials
             .iter()
@@ -147,12 +141,6 @@ mod tests {
     fn autotune_errors_when_nothing_fits() {
         let g = gen::pipeline_uniform(4, 100_000);
         let planner = Planner::new(CacheParams::new(256, 16));
-        assert!(autotune(
-            &planner,
-            &g,
-            Horizon::Rounds(1),
-            Horizon::Rounds(1)
-        )
-        .is_err());
+        assert!(autotune(&planner, &g, Horizon::Rounds(1), Horizon::Rounds(1)).is_err());
     }
 }

@@ -14,11 +14,7 @@ use ccs_partition::{dag_exact, pipeline};
 
 /// Theorem 3 lower-bound quantity for a pipeline (per-input bandwidth of
 /// the gain-minimizing cross edges).
-pub fn pipeline_lb_gain(
-    g: &StreamGraph,
-    ra: &RateAnalysis,
-    m: u64,
-) -> Option<Ratio> {
+pub fn pipeline_lb_gain(g: &StreamGraph, ra: &RateAnalysis, m: u64) -> Option<Ratio> {
     pipeline::theorem3_lower_bound_gain(g, ra, m).ok()
 }
 

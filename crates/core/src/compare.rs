@@ -27,7 +27,13 @@ fn run_one(
     params: CacheParams,
     run: SchedRun,
 ) -> Option<Comparison> {
-    let mut ex = Executor::new(g, ra, run.capacities.clone(), params, ExecOptions::default());
+    let mut ex = Executor::new(
+        g,
+        ra,
+        run.capacities.clone(),
+        params,
+        ExecOptions::default(),
+    );
     ex.run(&run.firings).ok()?;
     let rep = ex.report();
     let outputs = rep.outputs.max(1);
@@ -91,7 +97,12 @@ pub fn compare_schedulers(
     ));
 
     // Phased (Karczmarek-style breadth-synchronous iterations).
-    rows.extend(run_one(g, &ra, params, baseline::phased(g, &ra, iterations)));
+    rows.extend(run_one(
+        g,
+        &ra,
+        params,
+        baseline::phased(g, &ra, iterations),
+    ));
 
     // Kohli greedy (pipelines only). The heuristic targets buffers that
     // fit in cache *alongside* module state, so give it a quarter of M.
@@ -127,13 +138,21 @@ pub fn compare_schedulers(
     if g.total_state() <= params.capacity / 2 {
         let p = ccs_partition::Partition::whole(g);
         let run = if g.is_homogeneous() {
-            partitioned::homogeneous(g, &ra, &p, params.capacity, rounds_for(
-                g, &ra, params.capacity, sink_target,
-            ))
+            partitioned::homogeneous(
+                g,
+                &ra,
+                &p,
+                params.capacity,
+                rounds_for(g, &ra, params.capacity, sink_target),
+            )
         } else {
-            partitioned::inhomogeneous(g, &ra, &p, params.capacity, rounds_for(
-                g, &ra, params.capacity, sink_target,
-            ))
+            partitioned::inhomogeneous(
+                g,
+                &ra,
+                &p,
+                params.capacity,
+                rounds_for(g, &ra, params.capacity, sink_target),
+            )
         };
         if let Ok(mut run) = run {
             run.label = "whole-graph".into();
@@ -144,12 +163,7 @@ pub fn compare_schedulers(
     rows
 }
 
-fn rounds_for(
-    g: &StreamGraph,
-    ra: &RateAnalysis,
-    m_items: u64,
-    sink_target: u64,
-) -> u64 {
+fn rounds_for(g: &StreamGraph, ra: &RateAnalysis, m_items: u64, sink_target: u64) -> u64 {
     let sink = ra.sink.expect("single sink");
     let t = partitioned::granularity_t(g, ra, m_items).unwrap_or(m_items.max(1));
     let per_round = (ccs_graph::Ratio::integer(t as i128) * ra.gain(sink))
@@ -192,9 +206,10 @@ mod tests {
         assert!(labels.contains(&"single-appearance"), "{labels:?}");
         assert!(labels.contains(&"demand-driven"));
         assert!(labels.contains(&"kohli-greedy"));
-        assert!(labels
-            .iter()
-            .any(|l| l.starts_with("partitioned")), "{labels:?}");
+        assert!(
+            labels.iter().any(|l| l.starts_with("partitioned")),
+            "{labels:?}"
+        );
         // Every row produced at least the target outputs.
         for r in &rows {
             assert!(r.outputs >= 200, "{}: {}", r.label, r.outputs);

@@ -37,19 +37,18 @@ pub mod compare;
 pub mod planner;
 pub mod report;
 
-pub use planner::{Horizon, Plan, PlanError, Planner, Strategy};
+pub use planner::{Horizon, ParallelRun, Plan, PlanError, Planner, Strategy};
 
 /// Convenient glob import for downstream code and examples.
 pub mod prelude {
     pub use crate::autotune::{autotune, Tuned};
     pub use crate::bounds;
-    pub use crate::report::Report;
     pub use crate::compare::{compare_schedulers, format_table, Comparison};
-    pub use crate::planner::{Horizon, Plan, PlanError, Planner, Strategy};
+    pub use crate::planner::{Horizon, ParallelRun, Plan, PlanError, Planner, Strategy};
+    pub use crate::report::Report;
     pub use ccs_cachesim::{CacheParams, CacheStats};
-    pub use ccs_graph::{
-        GraphBuilder, NodeId, RateAnalysis, Ratio, StreamGraph,
-    };
+    pub use ccs_exec::{execute_dag, DagRunStats, Placement};
+    pub use ccs_graph::{GraphBuilder, NodeId, RateAnalysis, Ratio, StreamGraph};
     pub use ccs_partition::Partition;
     pub use ccs_sched::{EvalReport, SchedRun};
 }

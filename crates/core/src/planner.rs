@@ -1,8 +1,10 @@
 //! The high-level planner: graph + cache → partition + schedule.
 
 use ccs_cachesim::CacheParams;
+use ccs_exec::{execute_dag, DagExecError, DagRunStats, Placement};
 use ccs_graph::{RateAnalysis, RateError, Ratio, StreamGraph};
 use ccs_partition::{dag_exact, dag_greedy, dag_local, pipeline, Partition};
+use ccs_runtime::Instance;
 use ccs_sched::{partitioned, EvalReport, ExecError, ExecOptions, Executor, SchedRun};
 use std::fmt;
 
@@ -44,10 +46,15 @@ pub enum PlanError {
     Pipeline(pipeline::PipelineError),
     Sched(partitioned::PartSchedError),
     Exec(ExecError),
+    /// The parallel dag executor rejected the plan.
+    Parallel(DagExecError),
     /// Strategy requires a pipeline but the graph is not one.
     NotAPipeline,
     /// No bounded partition exists (a module exceeds the bound).
-    Infeasible { bound: u64, max_state: u64 },
+    Infeasible {
+        bound: u64,
+        max_state: u64,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -57,6 +64,9 @@ impl fmt::Display for PlanError {
             PlanError::Pipeline(e) => write!(f, "pipeline partitioning failed: {e}"),
             PlanError::Sched(e) => write!(f, "scheduling failed: {e}"),
             PlanError::Exec(e) => write!(f, "execution failed: {e}"),
+            PlanError::Parallel(e) => {
+                write!(f, "parallel execution failed: {e}")
+            }
             PlanError::NotAPipeline => write!(f, "strategy requires a pipeline"),
             PlanError::Infeasible { bound, max_state } => write!(
                 f,
@@ -87,6 +97,24 @@ impl From<ExecError> for PlanError {
     fn from(e: ExecError) -> Self {
         PlanError::Exec(e)
     }
+}
+impl From<DagExecError> for PlanError {
+    fn from(e: DagExecError) -> Self {
+        PlanError::Parallel(e)
+    }
+}
+
+/// Outcome of [`Planner::plan_and_run_parallel`]: the chosen partition
+/// plus the real multicore execution's statistics.
+#[derive(Debug)]
+pub struct ParallelRun {
+    pub partition: Partition,
+    /// Exact bandwidth of the partition (items crossing per source firing).
+    pub bandwidth: Ratio,
+    /// Which partitioner produced it.
+    pub strategy_used: &'static str,
+    /// Aggregate and per-worker execution statistics.
+    pub stats: DagRunStats,
 }
 
 /// A complete cache-conscious execution plan.
@@ -261,10 +289,9 @@ impl Planner {
                     // Sink firings per round: T·gain(sink).
                     let sink = ra.sink.expect("single sink");
                     let tgran = partitioned::granularity_t(g, &ra, m_items)?;
-                    let per_round = (Ratio::integer(tgran as i128)
-                        * ra.gain(sink))
-                    .floor()
-                    .max(1) as u64;
+                    let per_round = (Ratio::integer(tgran as i128) * ra.gain(sink))
+                        .floor()
+                        .max(1) as u64;
                     t.div_ceil(per_round)
                 }
             };
@@ -278,16 +305,44 @@ impl Planner {
         // Predicted DAM cost per input: cross traffic (bandwidth/B) plus
         // the amortized state reload term Σ s(V_i) / (M·B) per input.
         let b = self.params.block as f64;
-        let state_term = g.total_state() as f64
-            / (self.params.capacity as f64 * b);
-        let predicted =
-            bandwidth.to_f64() * 2.0 / b + state_term + 2.0 / b;
+        let state_term = g.total_state() as f64 / (self.params.capacity as f64 * b);
+        let predicted = bandwidth.to_f64() * 2.0 / b + state_term + 2.0 / b;
         Ok(Plan {
             partition,
             bandwidth,
             strategy_used,
             run,
             predicted_misses_per_input: predicted,
+        })
+    }
+
+    /// Partition the bound instance's graph, then run it for real on
+    /// `workers` segment-affine threads via the cache-aware dag executor
+    /// (`ccs-exec`): `rounds` granularity-`T` batches per segment, with
+    /// the configured partitioning strategy and `placement` policy.
+    pub fn plan_and_run_parallel(
+        &self,
+        inst: Instance,
+        rounds: u64,
+        workers: usize,
+        placement: Placement,
+    ) -> Result<ParallelRun, PlanError> {
+        let ra = RateAnalysis::analyze_single_io(&inst.graph)?;
+        let (partition, bandwidth, strategy_used) = self.partition(&inst.graph, &ra)?;
+        let stats = execute_dag(
+            inst,
+            &ra,
+            &partition,
+            self.params.capacity,
+            rounds,
+            workers,
+            placement,
+        )?;
+        Ok(ParallelRun {
+            partition,
+            bandwidth,
+            strategy_used,
+            stats,
         })
     }
 
@@ -359,8 +414,8 @@ mod tests {
     #[test]
     fn infeasible_when_module_exceeds_bound() {
         let g = gen::pipeline_uniform(4, 4096);
-        let planner = Planner::new(CacheParams::new(256, 16))
-            .with_strategy(Strategy::DagGreedyRefined);
+        let planner =
+            Planner::new(CacheParams::new(256, 16)).with_strategy(Strategy::DagGreedyRefined);
         let err = planner.plan(&g, Horizon::Rounds(1)).unwrap_err();
         assert!(matches!(err, PlanError::Infeasible { .. }));
     }
@@ -376,8 +431,7 @@ mod tests {
             },
             5,
         );
-        let planner = Planner::new(CacheParams::new(512, 16))
-            .with_strategy(Strategy::PipelineDp);
+        let planner = Planner::new(CacheParams::new(512, 16)).with_strategy(Strategy::PipelineDp);
         let plan = planner.plan(&g, Horizon::Rounds(2)).unwrap();
         assert_eq!(plan.strategy_used, "pipeline-dp");
         assert!(plan.partition.max_component_state(&g) <= 256);

@@ -48,8 +48,7 @@ impl Report {
             inputs: eval.inputs,
             outputs: eval.outputs,
             misses_per_input: eval.misses_per_input(),
-            misses_per_output: eval.stats.misses as f64
-                / eval.outputs.max(1) as f64,
+            misses_per_output: eval.stats.misses as f64 / eval.outputs.max(1) as f64,
             buffer_words: plan.run.buffer_words(),
             footprint_words: eval.footprint,
         }

@@ -1,0 +1,46 @@
+//! # ccs-exec — cache-aware multicore DAG executor
+//!
+//! Where `ccs-runtime::parallel_pipeline` runs *chains* on worker threads
+//! and `ccs-runtime::parallel` runs *homogeneous* graphs, this crate runs
+//! an arbitrary well-ordered c-bounded [`ccs_partition::Partition`] of a
+//! general streaming dag on real threads:
+//!
+//! * **Segment affinity.** Every segment (partition component) is
+//!   pinned to exactly one worker thread for the whole run, so a
+//!   segment's module state stays in the cache of whichever core runs
+//!   that worker — the multicore reading of the paper's two-level
+//!   schedule, where a "component load" becomes a per-worker working
+//!   set. (Affinity is segment→thread; threads are not bound to cores,
+//!   so the OS may still migrate a worker. Explicit core pinning is a
+//!   ROADMAP item.)
+//! * **×T batches.** Each segment executes its local steady-state
+//!   schedule in batches of the §3 granularity `T`
+//!   ([`ccs_sched::partitioned::granularity_t`]): one batch moves exactly
+//!   `T·gain(e)` items over every incident cross edge, so segment loads
+//!   amortize over `Ω(M)` items of traffic.
+//! * **Half-full/half-empty continuity.** Cross-segment channels are
+//!   lock-free [`ccs_runtime::SpscRing`]s of capacity `2·T·gain(e)`
+//!   (double-buffered). A segment is *schedulable* when every input ring
+//!   holds at least one batch and every output ring has room for one —
+//!   exactly the paper's §3 rule, generalized from chains to dags. A
+//!   ring's producer and consumer segments run concurrently; the SPSC
+//!   protocol plus static pinning (one pushing worker, one popping
+//!   worker per ring) makes that safe without locks on the data plane.
+//! * **Determinism.** Synchronous dataflow is schedule-deterministic, so
+//!   the sink digest is bit-identical to the serial executor's for the
+//!   same number of batches, at every worker count and placement — the
+//!   correctness contract the test suite enforces.
+//!
+//! Layers: [`plan::ExecPlan`] (batch schedules + ring capacities),
+//! [`place`] (segment→worker placement), [`run::execute_dag`] (the
+//! worker loop), [`stats`] (per-worker and aggregate reports).
+
+pub mod place;
+pub mod plan;
+pub mod run;
+pub mod stats;
+
+pub use place::Placement;
+pub use plan::{DagExecError, ExecPlan, SegmentPlan};
+pub use run::execute_dag;
+pub use stats::{DagRunStats, WorkerStats};

@@ -1,0 +1,184 @@
+//! Segment → worker placement.
+//!
+//! Pinning decides which core's cache each segment's state lives in, and
+//! which cross edges become cross-core traffic. Two policies:
+//!
+//! * [`Placement::RoundRobin`] — segments (in contracted topological
+//!   order) dealt to workers cyclically; balances segment counts and
+//!   spreads a pipeline across cores.
+//! * [`Placement::CommGreedy`] — communication-volume-greedy, in the
+//!   spirit of communication-affine core mapping: walk segments in
+//!   contracted topological order and put each on the worker with which
+//!   it already shares the most per-iteration cross-edge traffic
+//!   ([`RateAnalysis::edge_traffic`]), breaking ties toward the
+//!   least-loaded worker (by placed segment state).
+
+use crate::plan::ExecPlan;
+use ccs_graph::{RateAnalysis, StreamGraph};
+
+/// Placement policy for pinning segments to workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Segment `i` (contracted topological order) goes to worker
+    /// `i mod workers`.
+    #[default]
+    RoundRobin,
+    /// Greedy maximization of intra-worker communication volume.
+    CommGreedy,
+}
+
+impl Placement {
+    /// Parse a CLI-style name.
+    pub fn parse(name: &str) -> Option<Placement> {
+        match name {
+            "rr" | "round-robin" => Some(Placement::RoundRobin),
+            "greedy" | "comm-greedy" => Some(Placement::CommGreedy),
+            _ => None,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Placement::RoundRobin => "round-robin",
+            Placement::CommGreedy => "comm-greedy",
+        }
+    }
+}
+
+/// Assign each segment of `plan` to a worker in `0..workers`.
+pub fn assign(
+    g: &StreamGraph,
+    ra: &RateAnalysis,
+    plan: &ExecPlan,
+    workers: usize,
+    placement: Placement,
+) -> Vec<usize> {
+    assert!(workers >= 1, "at least one worker required");
+    let k = plan.segments.len();
+    match placement {
+        Placement::RoundRobin => (0..k).map(|i| i % workers).collect(),
+        Placement::CommGreedy => {
+            let mut owner = vec![usize::MAX; k];
+            let mut load = vec![0u64; workers];
+            // Load cap: affinity may not pile everything on one core.
+            // A worker is "open" for a segment while admitting it would
+            // keep the worker within its fair share of the total state.
+            let total: u64 = plan.segments.iter().map(|s| s.state_words).sum();
+            let fair = total.div_ceil(workers as u64).max(1);
+            for si in 0..k {
+                // Traffic between segment si and each worker's placed
+                // segments, per steady-state iteration.
+                let mut affinity = vec![0u64; workers];
+                let seg = &plan.segments[si];
+                for &(e, _) in seg.in_batch.iter().chain(&seg.out_batch) {
+                    let edge = g.edge(e);
+                    let other = if plan.seg_of_node[edge.src.idx()] == si {
+                        plan.seg_of_node[edge.dst.idx()]
+                    } else {
+                        plan.seg_of_node[edge.src.idx()]
+                    };
+                    if owner[other] != usize::MAX {
+                        affinity[owner[other]] += ra.edge_traffic(g, e);
+                    }
+                }
+                // Among open workers: max affinity, ties toward least
+                // state already placed, then lowest id (deterministic).
+                // If every worker is at its fair share, fall back to the
+                // least loaded.
+                let pick_among = |ws: &mut dyn Iterator<Item = usize>| {
+                    ws.max_by(|&a, &b| {
+                        affinity[a]
+                            .cmp(&affinity[b])
+                            .then(load[b].cmp(&load[a]))
+                            .then(b.cmp(&a))
+                    })
+                };
+                let w =
+                    pick_among(&mut (0..workers).filter(|&w| load[w] + seg.state_words <= fair))
+                        .or_else(|| (0..workers).min_by_key(|&w| (load[w], w)))
+                        .expect("workers >= 1");
+                owner[si] = w;
+                load[w] += seg.state_words;
+            }
+            owner
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ExecPlan;
+    use ccs_graph::gen::{self, LayeredCfg, StateDist};
+    use ccs_partition::dag_greedy;
+
+    fn setup() -> (ccs_graph::StreamGraph, RateAnalysis, ExecPlan) {
+        let g = gen::layered(
+            &LayeredCfg {
+                layers: 5,
+                max_width: 4,
+                density: 0.4,
+                state: StateDist::Uniform(8, 32),
+                max_q: 2,
+            },
+            7,
+        );
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let p = dag_greedy::greedy_topo(&g, 64);
+        let plan = ExecPlan::build(&g, &ra, &p, 32).unwrap();
+        (g, ra, plan)
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let (g, ra, plan) = setup();
+        let owner = assign(&g, &ra, &plan, 3, Placement::RoundRobin);
+        for (i, &w) in owner.iter().enumerate() {
+            assert_eq!(w, i % 3);
+        }
+    }
+
+    #[test]
+    fn greedy_uses_all_requested_workers_or_fewer_segments() {
+        let (g, ra, plan) = setup();
+        for workers in [1usize, 2, 4] {
+            let owner = assign(&g, &ra, &plan, workers, Placement::CommGreedy);
+            assert_eq!(owner.len(), plan.segments.len());
+            assert!(owner.iter().all(|&w| w < workers));
+        }
+    }
+
+    #[test]
+    fn greedy_balances_state_across_workers() {
+        // Many equal segments on two workers: affinity must not pile
+        // everything onto one core once it reaches its fair share.
+        let g = gen::pipeline_uniform(16, 32);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let p = dag_greedy::greedy_topo(&g, 64);
+        let plan = ExecPlan::build(&g, &ra, &p, 32).unwrap();
+        assert!(plan.segments.len() >= 4);
+        let owner = assign(&g, &ra, &plan, 2, Placement::CommGreedy);
+        assert!(owner.contains(&0) && owner.contains(&1), "{owner:?}");
+        // Chain affinity keeps each worker's share contiguous.
+        let switches = owner.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(switches, 1, "{owner:?}");
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let (g, ra, plan) = setup();
+        let a = assign(&g, &ra, &plan, 3, Placement::CommGreedy);
+        let b = assign(&g, &ra, &plan, 3, Placement::CommGreedy);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn placement_names_roundtrip() {
+        for p in [Placement::RoundRobin, Placement::CommGreedy] {
+            assert_eq!(Placement::parse(p.name()), Some(p));
+        }
+        assert_eq!(Placement::parse("rr"), Some(Placement::RoundRobin));
+        assert_eq!(Placement::parse("greedy"), Some(Placement::CommGreedy));
+        assert_eq!(Placement::parse("nope"), None);
+    }
+}

@@ -1,0 +1,379 @@
+//! The segment-affine worker loop.
+//!
+//! Each worker owns a fixed set of segments (kernels, scratch, and — by
+//! the SPSC discipline — the relevant ring endpoints). A worker cycles
+//! over its segments; whenever the half-full/half-empty gate admits a
+//! segment that still owes batches, the worker executes one full batch
+//! of its local schedule. Segments pinned to different workers run
+//! concurrently; a producer and consumer of the same ring may both be
+//! mid-batch at once, which is where the dag parallelism comes from.
+//!
+//! Termination is deterministic: every segment executes exactly `rounds`
+//! batches, so node `v` fires `rounds·T·gain(v)` times and the sink
+//! digest is comparable with a serial schedule of the same length.
+
+use crate::place::{assign, Placement};
+use crate::plan::{DagExecError, ExecPlan};
+use crate::stats::{DagRunStats, WorkerStats};
+use ccs_graph::RateAnalysis;
+use ccs_partition::Partition;
+use ccs_runtime::instance::Instance;
+use ccs_runtime::kernel::Kernel;
+use ccs_runtime::ring::SpscRing;
+use ccs_runtime::serial::RunStats;
+use std::time::{Duration, Instant};
+
+/// One pinned segment's runtime state: kernels and pre-sized scratch,
+/// owned exclusively by its worker thread.
+struct SegTask {
+    seg: usize,
+    /// Batches completed so far.
+    done: u64,
+    /// Kernels, parallel to `plan.segments[seg].nodes`.
+    kernels: Vec<Box<dyn Kernel>>,
+    /// Firing sequence as local node indices into `kernels`.
+    firings_local: Vec<usize>,
+    /// Scratch per local node per port, sized to the rates.
+    in_scratch: Vec<Vec<Vec<f32>>>,
+    out_scratch: Vec<Vec<Vec<f32>>>,
+}
+
+/// Execute `rounds` granularity-`T` batches of every segment of `p` on
+/// `workers` threads (segments stay on their assigned worker for the
+/// whole run; threads themselves are not core-bound). Fires node `v` exactly
+/// `rounds·T·gain(v)` times; returns aggregate and per-worker stats,
+/// with the sink digest for equivalence checking.
+pub fn execute_dag(
+    inst: Instance,
+    ra: &RateAnalysis,
+    p: &Partition,
+    m_items: u64,
+    rounds: u64,
+    workers: usize,
+    placement: Placement,
+) -> Result<DagRunStats, DagExecError> {
+    let g = &inst.graph;
+    let plan = ExecPlan::build(g, ra, p, m_items)?;
+    let owner = assign(g, ra, &plan, workers, placement);
+
+    // Rings sized by the plan: cross edges double-buffered, internal
+    // edges at their dry-run highwater.
+    let rings: Vec<SpscRing> = plan
+        .capacities
+        .iter()
+        .map(|&c| SpscRing::new(usize::try_from(c.max(1)).expect("ring fits")))
+        .collect();
+
+    // Local index of each node within its segment.
+    let mut local_of = vec![usize::MAX; g.node_count()];
+    for seg in &plan.segments {
+        for (i, &v) in seg.nodes.iter().enumerate() {
+            local_of[v.idx()] = i;
+        }
+    }
+
+    // Move kernels out of the instance into per-segment tasks.
+    let mut kernel_slots: Vec<Option<Box<dyn Kernel>>> =
+        inst.kernels.into_iter().map(Some).collect();
+    let mut tasks: Vec<Option<SegTask>> = plan
+        .segments
+        .iter()
+        .enumerate()
+        .map(|(si, seg)| {
+            let kernels: Vec<Box<dyn Kernel>> = seg
+                .nodes
+                .iter()
+                .map(|&v| kernel_slots[v.idx()].take().expect("each node once"))
+                .collect();
+            let in_scratch = seg
+                .nodes
+                .iter()
+                .map(|&v| {
+                    g.in_edges(v)
+                        .iter()
+                        .map(|&e| vec![0.0f32; g.edge(e).consume as usize])
+                        .collect()
+                })
+                .collect();
+            let out_scratch = seg
+                .nodes
+                .iter()
+                .map(|&v| {
+                    g.out_edges(v)
+                        .iter()
+                        .map(|&e| vec![0.0f32; g.edge(e).produce as usize])
+                        .collect()
+                })
+                .collect();
+            Some(SegTask {
+                seg: si,
+                done: 0,
+                kernels,
+                firings_local: seg.firings.iter().map(|&v| local_of[v.idx()]).collect(),
+                in_scratch,
+                out_scratch,
+            })
+        })
+        .collect();
+
+    // Deal tasks to their pinned workers.
+    let mut per_worker: Vec<Vec<SegTask>> = (0..workers).map(|_| Vec::new()).collect();
+    for (si, &w) in owner.iter().enumerate() {
+        per_worker[w].push(tasks[si].take().expect("each segment once"));
+    }
+
+    let graph = g;
+    let plan_ref = &plan;
+    let rings_ref: &[SpscRing] = &rings;
+
+    let start = Instant::now();
+    let mut results: Vec<(Vec<SegTask>, WorkerStats)> = Vec::with_capacity(workers);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (w, my_tasks) in per_worker.into_iter().enumerate() {
+            handles.push(
+                scope.spawn(move |_| worker_loop(graph, plan_ref, rings_ref, w, my_tasks, rounds)),
+            );
+        }
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope failed");
+    let wall = start.elapsed();
+
+    // Gather the sink digest and aggregate counts.
+    let sink = graph.single_sink();
+    let mut digest = None;
+    let mut worker_stats = Vec::with_capacity(workers);
+    for (tasks, ws) in results {
+        if let Some(s) = sink {
+            for task in &tasks {
+                let seg = &plan.segments[task.seg];
+                if let Some(i) = seg.nodes.iter().position(|&v| v == s) {
+                    digest = task.kernels[i].digest();
+                }
+            }
+        }
+        worker_stats.push(ws);
+    }
+    worker_stats.sort_by_key(|w| w.worker);
+
+    let firings: u64 = rounds * plan.firings_per_round();
+    let sink_items = match sink {
+        Some(s) => {
+            let consume: u64 = graph
+                .in_edges(s)
+                .iter()
+                .map(|&e| graph.edge(e).consume)
+                .sum();
+            rounds * plan.quota[s.idx()] * consume
+        }
+        None => 0,
+    };
+    let segments = plan.segments.len();
+    Ok(DagRunStats {
+        run: RunStats {
+            wall,
+            firings,
+            sink_items,
+            digest,
+        },
+        workers: worker_stats,
+        t: plan.t,
+        rounds,
+        segments,
+    })
+}
+
+/// The §3 gate, generalized to dags: every input ring holds at least one
+/// batch, every output ring has room for one.
+#[inline]
+fn schedulable(plan: &ExecPlan, rings: &[SpscRing], seg: usize) -> bool {
+    let s = &plan.segments[seg];
+    s.in_batch
+        .iter()
+        .all(|&(e, n)| rings[e.idx()].len() as u64 >= n)
+        && s.out_batch
+            .iter()
+            .all(|&(e, n)| rings[e.idx()].space() as u64 >= n)
+}
+
+fn worker_loop(
+    g: &ccs_graph::StreamGraph,
+    plan: &ExecPlan,
+    rings: &[SpscRing],
+    worker: usize,
+    mut tasks: Vec<SegTask>,
+    rounds: u64,
+) -> (Vec<SegTask>, WorkerStats) {
+    let mut stats = WorkerStats {
+        worker,
+        segments: tasks.iter().map(|t| t.seg).collect(),
+        firings: 0,
+        batches: 0,
+        stalls: 0,
+        busy: Duration::ZERO,
+    };
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for task in &mut tasks {
+            if task.done >= rounds {
+                continue;
+            }
+            all_done = false;
+            if !schedulable(plan, rings, task.seg) {
+                continue;
+            }
+            let t0 = Instant::now();
+            run_batch(g, plan, rings, task, &mut stats.firings);
+            stats.busy += t0.elapsed();
+            task.done += 1;
+            stats.batches += 1;
+            progressed = true;
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            stats.stalls += 1;
+            std::thread::yield_now();
+        }
+    }
+    (tasks, stats)
+}
+
+/// Execute one batch: the segment's local schedule, once.
+fn run_batch(
+    g: &ccs_graph::StreamGraph,
+    plan: &ExecPlan,
+    rings: &[SpscRing],
+    task: &mut SegTask,
+    firings: &mut u64,
+) {
+    let seg = &plan.segments[task.seg];
+    for (&i, &v) in task.firings_local.iter().zip(&seg.firings) {
+        let vin = &mut task.in_scratch[i];
+        for (j, &e) in g.in_edges(v).iter().enumerate() {
+            rings[e.idx()].pop_slice(&mut vin[j]);
+        }
+        let vout = &mut task.out_scratch[i];
+        task.kernels[i].fire(vin, vout);
+        for (j, &e) in g.out_edges(v).iter().enumerate() {
+            rings[e.idx()].push_slice(&vout[j]);
+        }
+    }
+    *firings += seg.firings.len() as u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_graph::gen::{self, LayeredCfg, PipelineCfg, StateDist};
+    use ccs_partition::dag_greedy;
+    use ccs_sched::partitioned;
+
+    /// Serial reference: same number of granularity-T rounds through the
+    /// serial executor.
+    fn serial_digest(
+        g: &ccs_graph::StreamGraph,
+        ra: &RateAnalysis,
+        p: &Partition,
+        m: u64,
+        rounds: u64,
+    ) -> Option<u64> {
+        let run = partitioned::inhomogeneous(g, ra, p, m, rounds).unwrap();
+        let mut inst = Instance::synthetic(g.clone());
+        ccs_runtime::serial::execute(&mut inst, &run).digest
+    }
+
+    #[test]
+    fn matches_serial_on_layered_dags() {
+        let cfg = LayeredCfg {
+            layers: 4,
+            max_width: 3,
+            density: 0.3,
+            state: StateDist::Uniform(8, 48),
+            max_q: 3,
+        };
+        for seed in 0..5u64 {
+            let g = gen::layered(&cfg, seed);
+            let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+            let p = dag_greedy::greedy_topo(&g, 96);
+            let want = serial_digest(&g, &ra, &p, 48, 3);
+            for workers in [1usize, 2, 4] {
+                let inst = Instance::synthetic(g.clone());
+                let stats =
+                    execute_dag(inst, &ra, &p, 48, 3, workers, Placement::RoundRobin).unwrap();
+                assert_eq!(stats.run.digest, want, "seed {seed} workers {workers}");
+                assert_eq!(
+                    stats.workers.iter().map(|w| w.batches).sum::<u64>(),
+                    3 * stats.segments as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_rated_pipelines() {
+        for seed in 0..4u64 {
+            let cfg = PipelineCfg {
+                len: 10,
+                state: StateDist::Uniform(8, 48),
+                max_q: 3,
+                max_rate_scale: 2,
+            };
+            let g = gen::pipeline(&cfg, seed);
+            let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+            let pp = ccs_partition::pipeline::greedy_theorem5(&g, &ra, 48).unwrap();
+            let want = serial_digest(&g, &ra, &pp.partition, 48, 2);
+            for placement in [Placement::RoundRobin, Placement::CommGreedy] {
+                let inst = Instance::synthetic(g.clone());
+                let stats = execute_dag(inst, &ra, &pp.partition, 48, 2, 3, placement).unwrap();
+                assert_eq!(
+                    stats.run.digest, want,
+                    "seed {seed} placement {placement:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn firings_and_sink_items_are_exact() {
+        let g = gen::pipeline_uniform(8, 32);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let p = dag_greedy::greedy_topo(&g, 64);
+        let inst = Instance::synthetic(g.clone());
+        let stats = execute_dag(inst, &ra, &p, 16, 4, 2, Placement::RoundRobin).unwrap();
+        // Homogeneous: T = m, every node fires T times per round.
+        assert_eq!(stats.t, 16);
+        assert_eq!(stats.run.firings, 4 * 16 * g.node_count() as u64);
+        assert_eq!(stats.run.sink_items, 4 * 16);
+        let total: u64 = stats.workers.iter().map(|w| w.firings).sum();
+        assert_eq!(total, stats.run.firings);
+    }
+
+    #[test]
+    fn single_segment_runs_serially() {
+        let g = gen::pipeline_uniform(5, 16);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let p = Partition::whole(&g);
+        let want = serial_digest(&g, &ra, &p, 32, 2);
+        let inst = Instance::synthetic(g.clone());
+        let stats = execute_dag(inst, &ra, &p, 32, 2, 4, Placement::CommGreedy).unwrap();
+        assert_eq!(stats.segments, 1);
+        assert_eq!(stats.run.digest, want);
+    }
+
+    #[test]
+    fn zero_rounds_is_a_noop() {
+        let g = gen::pipeline_uniform(4, 8);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let p = dag_greedy::greedy_topo(&g, 16);
+        let inst = Instance::synthetic(g.clone());
+        let stats = execute_dag(inst, &ra, &p, 8, 0, 2, Placement::RoundRobin).unwrap();
+        assert_eq!(stats.run.firings, 0);
+        assert_eq!(stats.run.sink_items, 0);
+    }
+}

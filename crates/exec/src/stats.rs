@@ -1,0 +1,55 @@
+//! Per-worker and aggregate execution statistics.
+
+use ccs_runtime::serial::RunStats;
+use std::time::Duration;
+
+/// What one pinned worker did during a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Segment indices (contracted topological order) pinned here.
+    pub segments: Vec<usize>,
+    /// Module firings executed by this worker.
+    pub firings: u64,
+    /// Batches (granularity-`T` rounds of one segment) executed.
+    pub batches: u64,
+    /// Scheduling passes in which no pinned segment was schedulable
+    /// (the worker yielded) — the executor's stall measure.
+    pub stalls: u64,
+    /// Time spent actually firing kernels (excludes stall spins).
+    pub busy: Duration,
+}
+
+/// Outcome of a parallel dag execution.
+#[derive(Clone, Debug)]
+pub struct DagRunStats {
+    /// Aggregate outcome, shaped like the serial executor's
+    /// [`RunStats`] so existing reporting code can consume it.
+    pub run: RunStats,
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerStats>,
+    /// The §3 granularity `T` used for batching.
+    pub t: u64,
+    /// Batches executed per segment.
+    pub rounds: u64,
+    /// Number of segments.
+    pub segments: usize,
+}
+
+impl DagRunStats {
+    /// Sink throughput in items per second.
+    pub fn items_per_sec(&self) -> f64 {
+        let secs = self.run.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.run.sink_items as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Total stall passes across workers.
+    pub fn total_stalls(&self) -> u64 {
+        self.workers.iter().map(|w| w.stalls).sum()
+    }
+}

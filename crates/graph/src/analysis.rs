@@ -81,19 +81,14 @@ impl RateAnalysis {
                 let edge = g.edge(e);
                 // r(dst) = r(v) * produce / consume
                 let rw = rv
-                    .checked_mul(Ratio::new(
-                        edge.produce as i128,
-                        edge.consume as i128,
-                    ))
+                    .checked_mul(Ratio::new(edge.produce as i128, edge.consume as i128))
                     .ok_or(RateError::Overflow)?;
                 match ratio[edge.dst.idx()] {
                     None => {
                         ratio[edge.dst.idx()] = Some(rw);
                         queue.push_back(edge.dst);
                     }
-                    Some(prev) if prev != rw => {
-                        return Err(RateError::NotRateMatched { edge: e })
-                    }
+                    Some(prev) if prev != rw => return Err(RateError::NotRateMatched { edge: e }),
                     Some(_) => {}
                 }
             }
@@ -101,19 +96,14 @@ impl RateAnalysis {
                 let edge = g.edge(e);
                 // r(src) = r(v) * consume / produce
                 let ru = rv
-                    .checked_mul(Ratio::new(
-                        edge.consume as i128,
-                        edge.produce as i128,
-                    ))
+                    .checked_mul(Ratio::new(edge.consume as i128, edge.produce as i128))
                     .ok_or(RateError::Overflow)?;
                 match ratio[edge.src.idx()] {
                     None => {
                         ratio[edge.src.idx()] = Some(ru);
                         queue.push_back(edge.src);
                     }
-                    Some(prev) if prev != ru => {
-                        return Err(RateError::NotRateMatched { edge: e })
-                    }
+                    Some(prev) if prev != ru => return Err(RateError::NotRateMatched { edge: e }),
                     Some(_) => {}
                 }
             }
@@ -143,9 +133,7 @@ impl RateAnalysis {
         }
         let repetitions: Vec<u64> = scaled
             .iter()
-            .map(|&v| {
-                u64::try_from(v / g_all).map_err(|_| RateError::Overflow)
-            })
+            .map(|&v| u64::try_from(v / g_all).map_err(|_| RateError::Overflow))
             .collect::<Result<_, _>>()?;
         Ok(RateAnalysis {
             repetitions,
@@ -227,8 +215,7 @@ impl RateAnalysis {
         g.edge_ids().all(|e| {
             let edge = g.edge(e);
             self.repetitions[edge.src.idx()] as u128 * edge.produce as u128
-                == self.repetitions[edge.dst.idx()] as u128
-                    * edge.consume as u128
+                == self.repetitions[edge.dst.idx()] as u128 * edge.consume as u128
         })
     }
 }

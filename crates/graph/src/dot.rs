@@ -10,11 +10,7 @@ pub fn to_dot(g: &StreamGraph) -> String {
     s.push_str("digraph stream {\n  rankdir=LR;\n  node [shape=box];\n");
     for v in g.node_ids() {
         let n = g.node(v);
-        let _ = writeln!(
-            s,
-            "  n{} [label=\"{}\\ns={}\"];",
-            v.0, n.name, n.state
-        );
+        let _ = writeln!(s, "  n{} [label=\"{}\\ns={}\"];", v.0, n.name, n.state);
     }
     for e in g.edge_ids() {
         let edge = g.edge(e);

@@ -140,11 +140,11 @@ pub fn layered(cfg: &LayeredCfg, seed: u64) -> StreamGraph {
     // Node repetition targets; derive all edge rates from these.
     let mut q_of: Vec<u64> = Vec::new();
     let push_node = |b: &mut GraphBuilder,
-                         name: String,
-                         rng: &mut SmallRng,
-                         q_of: &mut Vec<u64>,
-                         state: u64,
-                         q: u64|
+                     name: String,
+                     rng: &mut SmallRng,
+                     q_of: &mut Vec<u64>,
+                     state: u64,
+                     q: u64|
      -> NodeId {
         let id = b.node(name, state);
         debug_assert_eq!(id.idx(), q_of.len());
@@ -164,14 +164,7 @@ pub fn layered(cfg: &LayeredCfg, seed: u64) -> StreamGraph {
         for i in 0..width {
             let st = cfg.state.sample(&mut rng);
             let q = rng.gen_range(1..=cfg.max_q);
-            let v = push_node(
-                &mut b,
-                format!("l{l}n{i}"),
-                &mut rng,
-                &mut q_of,
-                st,
-                q,
-            );
+            let v = push_node(&mut b, format!("l{l}n{i}"), &mut rng, &mut q_of, st, q);
             // Spanning edge from a random node in the previous layer keeps
             // every node reachable from the source.
             let u = prev_layer[rng.gen_range(0..prev_layer.len())];
@@ -201,9 +194,9 @@ pub fn layered(cfg: &LayeredCfg, seed: u64) -> StreamGraph {
         edges.push((v, sink));
         has_out[v.idx()] = true;
     }
-    for i in 0..q_of.len() {
+    for (i, &out) in has_out.iter().enumerate() {
         let v = NodeId(i as u32);
-        if v != sink && !has_out[i] {
+        if v != sink && !out {
             edges.push((v, sink));
         }
     }
@@ -217,12 +210,7 @@ pub fn layered(cfg: &LayeredCfg, seed: u64) -> StreamGraph {
 
 /// A split-join (StreamIt-style): source -> split -> `branches` chains of
 /// `chain_len` modules -> join -> sink. Homogeneous rates.
-pub fn split_join(
-    branches: usize,
-    chain_len: usize,
-    state: StateDist,
-    seed: u64,
-) -> StreamGraph {
+pub fn split_join(branches: usize, chain_len: usize, state: StateDist, seed: u64) -> StreamGraph {
     assert!(branches >= 1 && chain_len >= 1);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new();
@@ -311,8 +299,7 @@ pub fn series_parallel(size_budget: usize, state: StateDist, seed: u64) -> Strea
                     if end == from {
                         // Degenerate branch: insert a pass-through node so
                         // the two parallel edges are distinguishable.
-                        let x = b
-                            .node(format!("sp{}", b.node_count()), state.sample(rng));
+                        let x = b.node(format!("sp{}", b.node_count()), state.sample(rng));
                         *budget = budget.saturating_sub(1);
                         b.edge(from, x, 1, 1);
                         b.edge(x, joined, 1, 1);
@@ -478,7 +465,7 @@ mod tests {
             p_large: 0.5,
         };
         let samples: Vec<u64> = (0..64).map(|_| d.sample(&mut rng)).collect();
-        assert!(samples.iter().any(|&s| s == 2));
-        assert!(samples.iter().any(|&s| s == 1000));
+        assert!(samples.contains(&2));
+        assert!(samples.contains(&1000));
     }
 }

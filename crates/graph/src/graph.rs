@@ -9,15 +9,11 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a module (vertex) in a [`StreamGraph`].
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 /// Identifier of a channel (edge) in a [`StreamGraph`].
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct EdgeId(pub u32);
 
 impl NodeId {
@@ -303,13 +299,7 @@ impl GraphBuilder {
 
     /// Add a channel `src -> dst` producing `produce` items per firing of
     /// `src` and consuming `consume` items per firing of `dst`.
-    pub fn edge(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        produce: u64,
-        consume: u64,
-    ) -> EdgeId {
+    pub fn edge(&mut self, src: NodeId, dst: NodeId, produce: u64, consume: u64) -> EdgeId {
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(Edge {
             src,
@@ -330,9 +320,7 @@ impl GraphBuilder {
         if self.nodes.is_empty() {
             return Err(GraphError::Empty);
         }
-        if self.nodes.len() > u32::MAX as usize
-            || self.edges.len() > u32::MAX as usize
-        {
+        if self.nodes.len() > u32::MAX as usize || self.edges.len() > u32::MAX as usize {
             return Err(GraphError::TooLarge);
         }
         let n = self.nodes.len();
@@ -360,12 +348,8 @@ impl GraphBuilder {
             in_edges,
         };
         // Kahn's algorithm to reject cycles.
-        let mut indeg: Vec<usize> =
-            g.node_ids().map(|v| g.in_edges(v).len()).collect();
-        let mut queue: Vec<NodeId> = g
-            .node_ids()
-            .filter(|v| indeg[v.idx()] == 0)
-            .collect();
+        let mut indeg: Vec<usize> = g.node_ids().map(|v| g.in_edges(v).len()).collect();
+        let mut queue: Vec<NodeId> = g.node_ids().filter(|v| indeg[v.idx()] == 0).collect();
         let mut seen = 0usize;
         while let Some(v) = queue.pop() {
             seen += 1;
@@ -449,7 +433,10 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert!(matches!(GraphBuilder::new().build(), Err(GraphError::Empty)));
+        assert!(matches!(
+            GraphBuilder::new().build(),
+            Err(GraphError::Empty)
+        ));
     }
 
     #[test]

@@ -234,7 +234,8 @@ impl std::ops::Mul for Ratio {
 impl std::ops::Div for Ratio {
     type Output = Ratio;
     fn div(self, rhs: Ratio) -> Ratio {
-        self.checked_div(rhs).expect("Ratio div by zero or overflow")
+        self.checked_div(rhs)
+            .expect("Ratio div by zero or overflow")
     }
 }
 

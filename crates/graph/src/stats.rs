@@ -59,11 +59,7 @@ pub fn stats(g: &StreamGraph, ra: &RateAnalysis) -> GraphStats {
         mean_state: g.total_state() as f64 / n.max(1) as f64,
         depth,
         width: width_at.into_iter().max().unwrap_or(0),
-        max_in_degree: g
-            .node_ids()
-            .map(|v| g.in_edges(v).len())
-            .max()
-            .unwrap_or(0),
+        max_in_degree: g.node_ids().map(|v| g.in_edges(v).len()).max().unwrap_or(0),
         max_out_degree: g
             .node_ids()
             .map(|v| g.out_edges(v).len())
@@ -71,10 +67,7 @@ pub fn stats(g: &StreamGraph, ra: &RateAnalysis) -> GraphStats {
             .unwrap_or(0),
         is_pipeline: g.is_pipeline(),
         is_homogeneous: g.is_homogeneous(),
-        iteration_traffic: g
-            .edge_ids()
-            .map(|e| ra.edge_traffic(g, e))
-            .sum(),
+        iteration_traffic: g.edge_ids().map(|e| ra.edge_traffic(g, e)).sum(),
         iteration_firings: ra.repetitions.iter().sum(),
     }
 }

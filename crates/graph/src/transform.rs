@@ -74,10 +74,7 @@ pub fn reverse(g: &StreamGraph) -> StreamGraph {
 /// The subgraph induced by `nodes` (which must be non-empty). Node ids
 /// are renumbered densely in the order given; returns the new graph and
 /// the old→new id mapping for the retained nodes.
-pub fn induced_subgraph(
-    g: &StreamGraph,
-    nodes: &[NodeId],
-) -> (StreamGraph, Vec<Option<NodeId>>) {
+pub fn induced_subgraph(g: &StreamGraph, nodes: &[NodeId]) -> (StreamGraph, Vec<Option<NodeId>>) {
     assert!(!nodes.is_empty());
     let mut map: Vec<Option<NodeId>> = vec![None; g.node_count()];
     let mut b = GraphBuilder::new();
@@ -91,10 +88,7 @@ pub fn induced_subgraph(
             b.edge(u, v, edge.produce, edge.consume);
         }
     }
-    (
-        b.build().expect("induced subgraph of a dag is a dag"),
-        map,
-    )
+    (b.build().expect("induced subgraph of a dag is a dag"), map)
 }
 
 #[cfg(test)]
@@ -113,10 +107,7 @@ mod tests {
             assert_eq!(ra.repetitions, ra2.repetitions, "k={k}");
             // Traffic scales by k.
             for e in g.edge_ids() {
-                assert_eq!(
-                    ra2.edge_traffic(&g2, e),
-                    k * ra.edge_traffic(&g, e)
-                );
+                assert_eq!(ra2.edge_traffic(&g2, e), k * ra.edge_traffic(&g, e));
             }
         }
     }

@@ -50,13 +50,7 @@ fn cross_weight(g: &StreamGraph, ra: &RateAnalysis, asg: &[u32]) -> i128 {
 }
 
 /// Weight delta if `v` moves to component `to`.
-fn move_delta(
-    g: &StreamGraph,
-    ra: &RateAnalysis,
-    asg: &[u32],
-    v: NodeId,
-    to: u32,
-) -> i128 {
+fn move_delta(g: &StreamGraph, ra: &RateAnalysis, asg: &[u32], v: NodeId, to: u32) -> i128 {
     let from = asg[v.idx()];
     let mut delta = 0i128;
     for &e in g.in_edges(v).iter().chain(g.out_edges(v)) {
@@ -116,8 +110,7 @@ pub fn anneal(
             continue;
         }
         let delta = move_delta(g, ra, &asg, v, to);
-        let accept = delta <= 0
-            || rng.gen_bool((-(delta as f64) / temp.max(1e-9)).exp().min(1.0));
+        let accept = delta <= 0 || rng.gen_bool((-(delta as f64) / temp.max(1e-9)).exp().min(1.0));
         if !accept {
             continue;
         }

@@ -88,8 +88,7 @@ pub fn min_bandwidth_exact(
             let union = s as u32 | a;
             // Ideal extension: every predecessor of a node in A must lie
             // in S ∪ A.
-            if pred_union[a as usize] & !union == 0 && state_sum[a as usize] <= bound
-            {
+            if pred_union[a as usize] & !union == 0 && state_sum[a as usize] <= bound {
                 // Cost: weighted in-edges of A with tail in S \ A = S.
                 let mut cost: u128 = 0;
                 let mut bits = a;
@@ -251,8 +250,7 @@ mod tests {
         // One of the two heavy edges must be internal.
         let heavy_internal = p.component_of(ccs_graph::NodeId(0))
             == p.component_of(ccs_graph::NodeId(1))
-            || p.component_of(ccs_graph::NodeId(1))
-                == p.component_of(ccs_graph::NodeId(3));
+            || p.component_of(ccs_graph::NodeId(1)) == p.component_of(ccs_graph::NodeId(3));
         assert!(heavy_internal, "assignment {:?}", p.assignment());
     }
 
@@ -289,7 +287,7 @@ mod tests {
                 let p = Partition::from_assignment(asg);
                 if p.validate(&g, bound).is_ok() {
                     let bw = p.bandwidth(&g, &ra);
-                    if best.as_ref().map_or(true, |b| bw < *b) {
+                    if best.as_ref().is_none_or(|b| bw < *b) {
                         best = Some(bw);
                     }
                 }

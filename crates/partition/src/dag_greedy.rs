@@ -21,11 +21,7 @@ use ccs_graph::{NodeId, RateAnalysis, Ratio, StreamGraph};
 /// fits.
 ///
 /// Panics if a single module exceeds `bound`.
-pub fn segment_topo_order(
-    g: &StreamGraph,
-    order: &[NodeId],
-    bound: u64,
-) -> Partition {
+pub fn segment_topo_order(g: &StreamGraph, order: &[NodeId], bound: u64) -> Partition {
     assert_eq!(order.len(), g.node_count());
     let mut assignment = vec![0u32; g.node_count()];
     let mut comp = 0u32;
@@ -56,19 +52,12 @@ pub fn greedy_topo(g: &StreamGraph, bound: u64) -> Partition {
 /// Heavy edges are thereby pulled inside components, which directly
 /// targets the bandwidth objective (cross-edge gain), unlike an arbitrary
 /// topological order.
-pub fn greedy_affinity(
-    g: &StreamGraph,
-    ra: &RateAnalysis,
-    bound: u64,
-) -> Partition {
+pub fn greedy_affinity(g: &StreamGraph, ra: &RateAnalysis, bound: u64) -> Partition {
     let n = g.node_count();
     let mut indeg: Vec<usize> = g.node_ids().map(|v| g.in_edges(v).len()).collect();
     // Affinity of each ready node to the current component.
     let mut order: Vec<NodeId> = Vec::with_capacity(n);
-    let mut ready: Vec<NodeId> = g
-        .node_ids()
-        .filter(|v| indeg[v.idx()] == 0)
-        .collect();
+    let mut ready: Vec<NodeId> = g.node_ids().filter(|v| indeg[v.idx()] == 0).collect();
     // Nodes currently assigned to the open component.
     let mut open: Vec<bool> = vec![false; n];
     let mut acc = 0u64;
@@ -87,7 +76,15 @@ pub fn greedy_affinity(
             // Prefer fitting nodes, then higher affinity, then smaller
             // state, then lower id for determinism.
             let fits = g.state(v) + acc <= bound;
-            (i, (fits, aff, std::cmp::Reverse(g.state(v)), std::cmp::Reverse(v.0)))
+            (
+                i,
+                (
+                    fits,
+                    aff,
+                    std::cmp::Reverse(g.state(v)),
+                    std::cmp::Reverse(v.0),
+                ),
+            )
         })
         .max_by(|a, b| a.1.cmp(&b.1))
     {
@@ -115,11 +112,7 @@ pub fn greedy_affinity(
 }
 
 /// Run both greedy strategies and return the one with smaller bandwidth.
-pub fn greedy_best(
-    g: &StreamGraph,
-    ra: &RateAnalysis,
-    bound: u64,
-) -> Partition {
+pub fn greedy_best(g: &StreamGraph, ra: &RateAnalysis, bound: u64) -> Partition {
     let a = greedy_topo(g, bound);
     let b = greedy_affinity(g, ra, bound);
     if a.bandwidth(g, ra) <= b.bandwidth(g, ra) {

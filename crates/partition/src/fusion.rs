@@ -37,11 +37,7 @@ pub fn fuse(g: &StreamGraph, ra: &RateAnalysis, p: &Partition) -> Option<FusedGr
     let mut component_q = Vec::with_capacity(comps.len());
     let mut b = GraphBuilder::new();
     for comp in &comps {
-        let q_c = comp
-            .iter()
-            .map(|&v| ra.q(v))
-            .fold(0u64, gcd_u64)
-            .max(1);
+        let q_c = comp.iter().map(|&v| ra.q(v)).fold(0u64, gcd_u64).max(1);
         component_q.push(q_c);
         let name = comp
             .iter()
@@ -50,28 +46,17 @@ pub fn fuse(g: &StreamGraph, ra: &RateAnalysis, p: &Partition) -> Option<FusedGr
             .join("+");
         b.node(name, g.state_of(comp));
     }
-    let node_map: Vec<u32> = g
-        .node_ids()
-        .map(|v| p.component_of(v))
-        .collect();
+    let node_map: Vec<u32> = g.node_ids().map(|v| p.component_of(v)).collect();
     for e in g.edge_ids() {
         let edge = g.edge(e);
-        let (cu, cv) = (
-            p.component_of(edge.src),
-            p.component_of(edge.dst),
-        );
+        let (cu, cv) = (p.component_of(edge.src), p.component_of(edge.dst));
         if cu == cv {
             continue; // fused away
         }
         // One fused firing of C(u) performs q(u)/q_C(u) firings of u.
         let fu = ra.q(edge.src) / component_q[cu as usize];
         let fv = ra.q(edge.dst) / component_q[cv as usize];
-        b.edge(
-            NodeId(cu),
-            NodeId(cv),
-            edge.produce * fu,
-            edge.consume * fv,
-        );
+        b.edge(NodeId(cu), NodeId(cv), edge.produce * fu, edge.consume * fv);
     }
     let graph = b.build().ok()?;
     Some(FusedGraph {
@@ -182,7 +167,13 @@ mod tests {
         let iters = 256u64;
 
         let naive = baseline::single_appearance(&g, &ra, iters);
-        let mut ex = Executor::new(&g, &ra, naive.capacities.clone(), params, ExecOptions::default());
+        let mut ex = Executor::new(
+            &g,
+            &ra,
+            naive.capacities.clone(),
+            params,
+            ExecOptions::default(),
+        );
         ex.run(&naive.firings).unwrap();
         let misses_fine = ex.report().stats.misses;
 

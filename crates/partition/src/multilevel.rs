@@ -75,10 +75,8 @@ fn coarsen_once(g: &StreamGraph, ra: &RateAnalysis, bound: u64) -> Option<Level>
         if g.state(u) + g.state(v) > bound {
             continue;
         }
-        let u_exits_only_to_v =
-            g.out_edges(u).iter().all(|&e2| g.edge(e2).dst == v);
-        let v_enters_only_from_u =
-            g.in_edges(v).iter().all(|&e2| g.edge(e2).src == u);
+        let u_exits_only_to_v = g.out_edges(u).iter().all(|&e2| g.edge(e2).dst == v);
+        let v_enters_only_from_u = g.in_edges(v).iter().all(|&e2| g.edge(e2).src == u);
         if !(u_exits_only_to_v || v_enters_only_from_u) {
             continue;
         }
@@ -192,8 +190,7 @@ pub fn multilevel(
             .map(|j| partition.component_of(NodeId(map[j])))
             .collect();
         partition = Partition::from_assignment(assignment);
-        partition =
-            dag_local::refine(fine_graph, fine_ra, bound, &partition, cfg.refine_passes);
+        partition = dag_local::refine(fine_graph, fine_ra, bound, &partition, cfg.refine_passes);
     }
 
     debug_assert!(partition.validate(g, bound).is_ok());
@@ -222,8 +219,7 @@ mod tests {
         for seed in 0..10u64 {
             let g = gen::layered(&cfg, seed);
             let ra = analyzed(&g);
-            let total_traffic: u64 =
-                g.edge_ids().map(|e| ra.edge_traffic(&g, e)).sum();
+            let total_traffic: u64 = g.edge_ids().map(|e| ra.edge_traffic(&g, e)).sum();
             if let Some(level) = coarsen_once(&g, &ra, 1 << 20) {
                 assert!(level.graph.node_count() < g.node_count(), "seed {seed}");
                 let cra = RateAnalysis::analyze(&level.graph).unwrap();

@@ -72,12 +72,7 @@ impl Segmentation {
     }
 
     /// Bandwidth of this segmentation: sum of the cut edges' gains.
-    pub fn bandwidth(
-        &self,
-        g: &StreamGraph,
-        ra: &RateAnalysis,
-        order: &[NodeId],
-    ) -> Ratio {
+    pub fn bandwidth(&self, g: &StreamGraph, ra: &RateAnalysis, order: &[NodeId]) -> Ratio {
         self.cuts
             .iter()
             .map(|&i| chain_edge_gain(g, ra, order, i))
@@ -87,12 +82,7 @@ impl Segmentation {
 
 /// Gain of the chain edge at position `i` (connecting `order[i]` to
 /// `order[i+1]`).
-fn chain_edge_gain(
-    g: &StreamGraph,
-    ra: &RateAnalysis,
-    order: &[NodeId],
-    i: usize,
-) -> Ratio {
+fn chain_edge_gain(g: &StreamGraph, ra: &RateAnalysis, order: &[NodeId], i: usize) -> Ratio {
     let e = g.out_edges(order[i])[0];
     debug_assert_eq!(g.edge(e).dst, order[i + 1]);
     ra.edge_gain(g, e)
@@ -113,11 +103,7 @@ fn chain_order(g: &StreamGraph) -> Result<Vec<NodeId>, PipelineError> {
     g.pipeline_order().ok_or(PipelineError::NotAPipeline)
 }
 
-fn check_module_bound(
-    g: &StreamGraph,
-    order: &[NodeId],
-    bound: u64,
-) -> Result<(), PipelineError> {
+fn check_module_bound(g: &StreamGraph, order: &[NodeId], bound: u64) -> Result<(), PipelineError> {
     for &v in order {
         if g.state(v) > bound {
             return Err(PipelineError::ModuleTooLarge {
@@ -191,8 +177,7 @@ pub fn dp_min_bandwidth(
     let mut dp: Vec<Ratio> = vec![Ratio::ZERO; n + 1];
     let mut parent: Vec<usize> = vec![0; n + 1];
     // Monotone deque of (j, f(j)) with f increasing.
-    let mut deque: std::collections::VecDeque<(usize, Ratio)> =
-        std::collections::VecDeque::new();
+    let mut deque: std::collections::VecDeque<(usize, Ratio)> = std::collections::VecDeque::new();
     let f0 = Ratio::ZERO; // j = 0: no cut cost
     deque.push_back((0, f0));
     let mut lo = 0usize;
@@ -265,14 +250,13 @@ pub fn brute_force_min_bandwidth(
     let edges = n - 1;
     let mut best: Option<(Ratio, Vec<usize>)> = None;
     for mask in 0u32..(1u32 << edges) {
-        let cuts: Vec<usize> =
-            (0..edges).filter(|&i| mask >> i & 1 == 1).collect();
+        let cuts: Vec<usize> = (0..edges).filter(|&i| mask >> i & 1 == 1).collect();
         // Check the bound.
         let mut ok = true;
         let mut seg_state = 0u64;
         let mut cut_iter = cuts.iter().peekable();
-        for pos in 0..n {
-            seg_state += g.state(order[pos]);
+        for (pos, &v) in order.iter().enumerate().take(n) {
+            seg_state += g.state(v);
             let at_cut = cut_iter.peek() == Some(&&pos);
             if at_cut {
                 cut_iter.next();
@@ -292,7 +276,7 @@ pub fn brute_force_min_bandwidth(
             .iter()
             .map(|&i| chain_edge_gain(g, ra, &order, i))
             .sum();
-        if best.as_ref().map_or(true, |(b, _)| bw < *b) {
+        if best.as_ref().is_none_or(|(b, _)| bw < *b) {
             best = Some((bw, cuts));
         }
     }
@@ -319,9 +303,9 @@ fn w_segments(g: &StreamGraph, order: &[NodeId], m: u64) -> Vec<(usize, usize)> 
     let mut start = 0usize;
     let mut acc = 0u64;
     let mut consumed = 0u64;
-    for pos in 0..n {
-        acc += g.state(order[pos]);
-        consumed += g.state(order[pos]);
+    for (pos, &v) in order.iter().enumerate().take(n) {
+        acc += g.state(v);
+        consumed += g.state(v);
         if acc > 2 * m {
             let remaining = total - consumed;
             if remaining > 2 * m {

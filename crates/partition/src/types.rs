@@ -197,10 +197,7 @@ impl Partition {
             .into_iter()
             .map(|e| {
                 let edge = g.edge(e);
-                (
-                    self.component_of(edge.src),
-                    self.component_of(edge.dst),
-                )
+                (self.component_of(edge.src), self.component_of(edge.dst))
             })
             .collect()
     }
@@ -220,11 +217,11 @@ impl Partition {
             adj[a as usize].push(b);
             indeg[b as usize] += 1;
         }
-        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<ComponentId>> =
-            (0..k as ComponentId)
-                .filter(|&c| indeg[c as usize] == 0)
-                .map(std::cmp::Reverse)
-                .collect();
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<ComponentId>> = (0..k
+            as ComponentId)
+            .filter(|&c| indeg[c as usize] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
         let mut order = Vec::with_capacity(k);
         while let Some(std::cmp::Reverse(c)) = heap.pop() {
             order.push(c);
@@ -250,11 +247,7 @@ impl Partition {
 
     /// Full §3 validity check: assignment shape, well-orderedness, and the
     /// state bound.
-    pub fn validate(
-        &self,
-        g: &StreamGraph,
-        bound: u64,
-    ) -> Result<(), PartitionError> {
+    pub fn validate(&self, g: &StreamGraph, bound: u64) -> Result<(), PartitionError> {
         if self.assignment.len() != g.node_count() {
             return Err(PartitionError::WrongLength {
                 got: self.assignment.len(),

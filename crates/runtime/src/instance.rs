@@ -78,8 +78,6 @@ mod tests {
     #[should_panic(expected = "must match")]
     fn mismatched_factory_rejected() {
         let g = gen::pipeline_uniform(3, 64);
-        Instance::with_factory(g, |_, _| {
-            Box::new(SyntheticKernel::new(3, false))
-        });
+        Instance::with_factory(g, |_, _| Box::new(SyntheticKernel::new(3, false)));
     }
 }

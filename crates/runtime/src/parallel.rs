@@ -169,9 +169,7 @@ pub fn execute_parallel(
     for task in tasks {
         let task = task.into_inner();
         firings += task.nodes.len() as u64 * m_items * rounds;
-        if let (Some(sink), Some(pos)) =
-            (sink, task.nodes.iter().position(|&v| Some(v) == sink))
-        {
+        if let (Some(sink), Some(pos)) = (sink, task.nodes.iter().position(|&v| Some(v) == sink)) {
             digest = task.kernels[pos].digest();
             let _ = sink;
         }
@@ -192,12 +190,7 @@ pub fn execute_parallel(
 /// order, repeated `m` times (the paper's homogeneous low-level
 /// schedule). Scratch is sized per node up front; the loop is
 /// allocation-free.
-fn run_batch(
-    g: &StreamGraph,
-    rings: &[SpscRing],
-    task: &mut ComponentTask,
-    m: usize,
-) {
+fn run_batch(g: &StreamGraph, rings: &[SpscRing], task: &mut ComponentTask, m: usize) {
     let mut in_scratch: Vec<Vec<Vec<f32>>> = task
         .nodes
         .iter()
@@ -242,12 +235,7 @@ mod tests {
     use ccs_partition::dag_greedy;
     use ccs_sched::partitioned;
 
-    fn serial_digest(
-        g: &StreamGraph,
-        p: &Partition,
-        m: u64,
-        rounds: u64,
-    ) -> Option<u64> {
+    fn serial_digest(g: &StreamGraph, p: &Partition, m: u64, rounds: u64) -> Option<u64> {
         let ra = RateAnalysis::analyze_single_io(g).unwrap();
         let run = partitioned::homogeneous(g, &ra, p, m, rounds).unwrap();
         let mut inst = Instance::synthetic(g.clone());

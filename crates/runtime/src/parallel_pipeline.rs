@@ -79,9 +79,7 @@ pub fn execute_parallel_pipeline(
             if p.component_of(edge.src) == p.component_of(edge.dst) {
                 SpscRing::new(buffers::min_buf_safe(g, e).max(2) as usize)
             } else {
-                SpscRing::new(
-                    (2 * m_items.max(edge.produce + edge.consume)) as usize,
-                )
+                SpscRing::new((2 * m_items.max(edge.produce + edge.consume)) as usize)
             }
         })
         .collect();
@@ -135,8 +133,7 @@ pub fn execute_parallel_pipeline(
         let input_ok = match cross_in_ref[c] {
             Some(e) => {
                 let r = &rings_ref[e.idx()];
-                2 * r.len() > r.capacity()
-                    || r.len() >= graph.edge(e).consume as usize
+                2 * r.len() > r.capacity() || r.len() >= graph.edge(e).consume as usize
             }
             None => true,
         };
@@ -246,11 +243,12 @@ fn run_until_blocked(
         .collect();
 
     let can_fire = |v: NodeId| -> bool {
-        g.in_edges(v).iter().all(|&e| {
-            rings[e.idx()].len() >= g.edge(e).consume as usize
-        }) && g.out_edges(v).iter().all(|&e| {
-            rings[e.idx()].space() >= g.edge(e).produce as usize
-        })
+        g.in_edges(v)
+            .iter()
+            .all(|&e| rings[e.idx()].len() >= g.edge(e).consume as usize)
+            && g.out_edges(v)
+                .iter()
+                .all(|&e| rings[e.idx()].space() >= g.edge(e).produce as usize)
     };
 
     loop {
@@ -258,7 +256,9 @@ fn run_until_blocked(
             return;
         }
         // Deepest fireable module (nodes are in chain order).
-        let Some(i) = (0..task.nodes.len()).rev().find(|&i| can_fire(task.nodes[i]))
+        let Some(i) = (0..task.nodes.len())
+            .rev()
+            .find(|&i| can_fire(task.nodes[i]))
         else {
             return;
         };
@@ -334,14 +334,7 @@ mod tests {
         let want = serial_reference(&g, &ra, &pp.partition, 64, 200);
         for threads in [1usize, 2, 4] {
             let inst = Instance::synthetic(g.clone());
-            let stats = execute_parallel_pipeline(
-                inst,
-                &ra,
-                &pp.partition,
-                64,
-                200,
-                threads,
-            );
+            let stats = execute_parallel_pipeline(inst, &ra, &pp.partition, 64, 200, threads);
             assert_eq!(stats.firings, 200, "threads {threads}");
             assert_eq!(stats.digest, want, "threads {threads}");
         }
@@ -361,14 +354,7 @@ mod tests {
             let pp = ppart::greedy_theorem5(&g, &ra, 48).unwrap();
             let want = serial_reference(&g, &ra, &pp.partition, 48, 120);
             let inst = Instance::synthetic(g.clone());
-            let stats = execute_parallel_pipeline(
-                inst,
-                &ra,
-                &pp.partition,
-                48,
-                120,
-                3,
-            );
+            let stats = execute_parallel_pipeline(inst, &ra, &pp.partition, 48, 120, 3);
             assert_eq!(stats.firings, 120, "seed {seed}");
             assert_eq!(stats.digest, want, "seed {seed}");
         }

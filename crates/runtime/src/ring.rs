@@ -134,7 +134,10 @@ impl SpscRing {
     pub fn push_slice(&self, items: &[f32]) {
         let tail = self.tail.load(Ordering::Relaxed);
         let head = self.head.load(Ordering::Acquire);
-        assert!(items.len() <= self.capacity - (tail - head), "spsc overflow");
+        assert!(
+            items.len() <= self.capacity - (tail - head),
+            "spsc overflow"
+        );
         // SAFETY: slots [tail, tail+len) are unoccupied; only this
         // producer writes them.
         let buf = unsafe { &mut *self.buf.get() };
@@ -219,8 +222,7 @@ mod tests {
                         std::hint::spin_loop();
                         continue;
                     }
-                    let chunk: Vec<f32> =
-                        (sent..sent + n).map(|i| i as f32).collect();
+                    let chunk: Vec<f32> = (sent..sent + n).map(|i| i as f32).collect();
                     r.push_slice(&chunk);
                     sent += n;
                 }

@@ -33,28 +33,18 @@ pub fn sas_capacities(g: &StreamGraph, ra: &RateAnalysis, scale: u64) -> Vec<u64
 /// Fires `v` exactly `q(v)` times consecutively, nodes in topological
 /// order, per iteration. Requires per-edge capacity of one iteration's
 /// traffic (see [`sas_capacities`]).
-pub fn single_appearance(
-    g: &StreamGraph,
-    ra: &RateAnalysis,
-    iterations: u64,
-) -> SchedRun {
+pub fn single_appearance(g: &StreamGraph, ra: &RateAnalysis, iterations: u64) -> SchedRun {
     scaled_sas(g, ra, 1, iterations)
 }
 
 /// Sermulins-style scaled single-appearance schedule: per iteration, each
 /// module fires `scale·q(v)` times consecutively. One iteration of the
 /// scaled schedule covers `scale` steady-state iterations.
-pub fn scaled_sas(
-    g: &StreamGraph,
-    ra: &RateAnalysis,
-    scale: u64,
-    iterations: u64,
-) -> SchedRun {
+pub fn scaled_sas(g: &StreamGraph, ra: &RateAnalysis, scale: u64, iterations: u64) -> SchedRun {
     assert!(scale >= 1);
     let order = ccs_graph::topo::topo_order(g);
     let per_iter: u64 = order.iter().map(|&v| ra.q(v) * scale).sum();
-    let mut firings =
-        Vec::with_capacity(usize::try_from(per_iter * iterations).expect("fits"));
+    let mut firings = Vec::with_capacity(usize::try_from(per_iter * iterations).expect("fits"));
     for _ in 0..iterations {
         for &v in &order {
             for _ in 0..ra.q(v) * scale {
@@ -87,15 +77,8 @@ pub fn choose_scale(g: &StreamGraph, ra: &RateAnalysis, budget: u64) -> u64 {
 /// Demand-driven schedule with minimal (`p + c`) buffers: repeatedly fire
 /// the topologically deepest module that can fire, until the sink has
 /// fired `sink_firings` times.
-pub fn demand_driven(
-    g: &StreamGraph,
-    ra: &RateAnalysis,
-    sink_firings: u64,
-) -> SchedRun {
-    let capacities: Vec<u64> = g
-        .edge_ids()
-        .map(|e| buffers::min_buf_safe(g, e))
-        .collect();
+pub fn demand_driven(g: &StreamGraph, ra: &RateAnalysis, sink_firings: u64) -> SchedRun {
+    let capacities: Vec<u64> = g.edge_ids().map(|e| buffers::min_buf_safe(g, e)).collect();
     let order = ccs_graph::topo::topo_order(g);
     let mut occupancy = vec![0u64; g.edge_count()];
     let sink = ra.sink.expect("demand-driven needs a unique sink");
@@ -106,9 +89,9 @@ pub fn demand_driven(
         g.in_edges(v)
             .iter()
             .all(|&e| occupancy[e.idx()] >= g.edge(e).consume)
-            && g.out_edges(v).iter().all(|&e| {
-                occupancy[e.idx()] + g.edge(e).produce <= capacities[e.idx()]
-            })
+            && g.out_edges(v)
+                .iter()
+                .all(|&e| occupancy[e.idx()] + g.edge(e).produce <= capacities[e.idx()])
     };
 
     while fired_sink < sink_firings {
@@ -142,11 +125,7 @@ pub fn demand_driven(
 /// fire does so once, repeating until the iteration's quota is met. The
 /// breadth-synchronous structure keeps buffers near `minBuf` like
 /// demand-driven scheduling, but with a statically regular shape.
-pub fn phased(
-    g: &StreamGraph,
-    ra: &RateAnalysis,
-    iterations: u64,
-) -> SchedRun {
+pub fn phased(g: &StreamGraph, ra: &RateAnalysis, iterations: u64) -> SchedRun {
     let capacities: Vec<u64> = g
         .edge_ids()
         .map(|e| 2 * buffers::min_buf_safe(g, e))
@@ -159,14 +138,13 @@ pub fn phased(
         g.in_edges(v)
             .iter()
             .all(|&e| occupancy[e.idx()] >= g.edge(e).consume)
-            && g.out_edges(v).iter().all(|&e| {
-                occupancy[e.idx()] + g.edge(e).produce <= capacities[e.idx()]
-            })
+            && g.out_edges(v)
+                .iter()
+                .all(|&e| occupancy[e.idx()] + g.edge(e).produce <= capacities[e.idx()])
     };
 
     for _ in 0..iterations {
-        let mut remaining: Vec<u64> =
-            g.node_ids().map(|v| ra.q(v)).collect();
+        let mut remaining: Vec<u64> = g.node_ids().map(|v| ra.q(v)).collect();
         let mut left: u64 = remaining.iter().sum();
         while left > 0 {
             let mut fired_this_phase = false;
@@ -230,9 +208,9 @@ pub fn kohli_greedy(
         g.in_edges(v)
             .iter()
             .all(|&e| occupancy[e.idx()] >= g.edge(e).consume)
-            && g.out_edges(v).iter().all(|&e| {
-                occupancy[e.idx()] + g.edge(e).produce <= capacities[e.idx()]
-            })
+            && g.out_edges(v)
+                .iter()
+                .all(|&e| occupancy[e.idx()] + g.edge(e).produce <= capacities[e.idx()])
     };
 
     while fired_sink < sink_firings {
@@ -278,7 +256,13 @@ mod tests {
 
     fn check_runs(g: &StreamGraph, ra: &RateAnalysis, run: &SchedRun) {
         let params = CacheParams::new(1 << 14, 16);
-        let mut ex = Executor::new(g, ra, run.capacities.clone(), params, ExecOptions::default());
+        let mut ex = Executor::new(
+            g,
+            ra,
+            run.capacities.clone(),
+            params,
+            ExecOptions::default(),
+        );
         ex.run(&run.firings)
             .unwrap_or_else(|e| panic!("{}: illegal schedule: {e}", run.label));
     }
@@ -346,10 +330,7 @@ mod tests {
             let run = demand_driven(&g, &ra, 5);
             check_runs(&g, &ra, &run);
             let sink = ra.sink.unwrap();
-            assert_eq!(
-                run.firings.iter().filter(|&&v| v == sink).count(),
-                5
-            );
+            assert_eq!(run.firings.iter().filter(|&&v| v == sink).count(), 5);
         }
     }
 
@@ -410,10 +391,7 @@ mod tests {
         let ra = RateAnalysis::analyze_single_io(&g).unwrap();
         let run = phased(&g, &ra, 2);
         for e in g.edge_ids() {
-            assert_eq!(
-                run.capacities[e.idx()],
-                2 * buffers::min_buf_safe(&g, e)
-            );
+            assert_eq!(run.capacities[e.idx()], 2 * buffers::min_buf_safe(&g, e));
         }
     }
 

@@ -74,8 +74,7 @@ pub fn predict_partitioned(
     let mut internal_buffers = 0.0;
     for e in g.edge_ids() {
         let edge = g.edge(e);
-        let traffic_round =
-            t as f64 * (ra.q(edge.src) as f64 * edge.produce as f64) / qs;
+        let traffic_round = t as f64 * (ra.q(edge.src) as f64 * edge.produce as f64) / qs;
         if p.component_of(edge.src) != p.component_of(edge.dst) {
             cross_traffic += rounds_f * 2.0 * (traffic_round / b + 1.0);
         } else {
@@ -150,14 +149,9 @@ impl Accuracy {
 
 /// Convenience: the bandwidth-based headline prediction of the paper,
 /// `(T_total/B)·bandwidth + state term`, per input.
-pub fn headline_per_input(
-    g: &StreamGraph,
-    bandwidth: Ratio,
-    params: CacheParams,
-) -> f64 {
+pub fn headline_per_input(g: &StreamGraph, bandwidth: Ratio, params: CacheParams) -> f64 {
     let b = params.block as f64;
-    2.0 * bandwidth.to_f64() / b
-        + g.total_state() as f64 / (params.capacity as f64 * b)
+    2.0 * bandwidth.to_f64() / b + g.total_state() as f64 / (params.capacity as f64 * b)
 }
 
 #[cfg(test)]
@@ -183,8 +177,7 @@ mod tests {
             let params = CacheParams::new(8 * m, 16);
             let pp = ppart::greedy_theorem5(&g, &ra, m).unwrap();
             let rounds = 3u64;
-            let run = partitioned::inhomogeneous(&g, &ra, &pp.partition, m, rounds)
-                .unwrap();
+            let run = partitioned::inhomogeneous(&g, &ra, &pp.partition, m, rounds).unwrap();
             let t = partitioned::granularity_t(&g, &ra, m).unwrap();
 
             let mut ex = Executor::new(
@@ -197,9 +190,7 @@ mod tests {
             ex.run(&run.firings).unwrap();
             let measured = ex.report().stats.misses;
 
-            let predicted =
-                predict_partitioned(&g, &ra, &pp.partition, params, t, rounds)
-                    .total();
+            let predicted = predict_partitioned(&g, &ra, &pp.partition, params, t, rounds).total();
             let acc = Accuracy {
                 predicted,
                 measured,
@@ -248,9 +239,7 @@ mod tests {
         assert!(c.tapes > 0.0);
         let total = c.total();
         assert!(
-            (total - (c.state_loads + c.cross_traffic + c.internal_buffers + c.tapes))
-                .abs()
-                < 1e-9
+            (total - (c.state_loads + c.cross_traffic + c.internal_buffers + c.tapes)).abs() < 1e-9
         );
         assert!(c.per_input(2048) > 0.0);
     }

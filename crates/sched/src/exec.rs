@@ -352,8 +352,13 @@ impl<'g, C: BlockCache> Executor<'g, C> {
             let e = self.g.in_edges(v)[i];
             let consume = self.g.edge(e).consume;
             let region = self.layout.buffer[e.idx()];
-            self.mem
-                .touch_ring(region, self.head[e.idx()], consume, false, self.buffer_tag(e));
+            self.mem.touch_ring(
+                region,
+                self.head[e.idx()],
+                consume,
+                false,
+                self.buffer_tag(e),
+            );
             self.head[e.idx()] += consume;
             self.occupancy[e.idx()] -= consume;
         }
@@ -362,8 +367,13 @@ impl<'g, C: BlockCache> Executor<'g, C> {
             let e = self.g.out_edges(v)[i];
             let produce = self.g.edge(e).produce;
             let region = self.layout.buffer[e.idx()];
-            self.mem
-                .touch_ring(region, self.tail[e.idx()], produce, true, self.buffer_tag(e));
+            self.mem.touch_ring(
+                region,
+                self.tail[e.idx()],
+                produce,
+                true,
+                self.buffer_tag(e),
+            );
             self.tail[e.idx()] += produce;
             self.occupancy[e.idx()] += produce;
         }
@@ -455,7 +465,14 @@ mod tests {
         let (g, ra) = chain3();
         let mut ex = Executor::new(&g, &ra, vec![4, 4], params(), ExecOptions::default());
         let err = ex.fire(NodeId(1)).unwrap_err();
-        assert!(matches!(err, ExecError::Underflow { need: 1, have: 0, .. }));
+        assert!(matches!(
+            err,
+            ExecError::Underflow {
+                need: 1,
+                have: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -486,7 +503,10 @@ mod tests {
             ex.fire(NodeId(0)).unwrap();
         }
         let rep = ex.report();
-        assert_eq!(rep.state_misses[0], 2, "16-word state = 2 blocks, loaded once");
+        assert_eq!(
+            rep.state_misses[0], 2,
+            "16-word state = 2 blocks, loaded once"
+        );
         assert_eq!(rep.buffer_misses[0], 1, "8 items fill one block");
         assert_eq!(rep.inputs, 8);
         assert_eq!(rep.tape_misses, 1, "8 input words = 1 block");
@@ -592,14 +612,8 @@ mod tests {
         two.run(&firings).unwrap();
         assert!(two.report().stats.misses <= lru.report().stats.misses);
         let clock = ccs_cachesim::ClockCache::new(params().blocks());
-        let mut ck = Executor::with_cache(
-            &g,
-            &ra,
-            vec![4, 4],
-            params(),
-            ExecOptions::default(),
-            clock,
-        );
+        let mut ck =
+            Executor::with_cache(&g, &ra, vec![4, 4], params(), ExecOptions::default(), clock);
         ck.run(&firings).unwrap();
         assert!(ck.report().stats.misses > 0);
     }

@@ -72,11 +72,7 @@ impl std::error::Error for PartSchedError {}
 /// every `v` (which also makes `T·gain(u,v)` integral and divisible by
 /// both edge rates). Cross-edge buffers sized at `T·gain(u,v)` then hold
 /// at least `M` items each, so component loads amortize.
-pub fn granularity_t(
-    g: &StreamGraph,
-    ra: &RateAnalysis,
-    m: u64,
-) -> Result<u64, PartSchedError> {
+pub fn granularity_t(g: &StreamGraph, ra: &RateAnalysis, m: u64) -> Result<u64, PartSchedError> {
     let s = ra.source.expect("granularity needs a unique source");
     let qs = ra.q(s);
     let mut t0: u64 = 1;
@@ -113,7 +109,7 @@ fn round_quota(ra: &RateAnalysis, t: u64) -> Result<Vec<u64>, PartSchedError> {
         .iter()
         .map(|&qv| {
             let num = t as u128 * qv as u128;
-            if num % qs != 0 {
+            if !num.is_multiple_of(qs) {
                 return Err(PartSchedError::Overflow);
             }
             u64::try_from(num / qs).map_err(|_| PartSchedError::Overflow)
@@ -121,12 +117,64 @@ fn round_quota(ra: &RateAnalysis, t: u64) -> Result<Vec<u64>, PartSchedError> {
         .collect()
 }
 
+/// One component's share of a granularity-`T` round, executed
+/// symbolically: repeatedly fire the topologically deepest module that
+/// still owes firings this round, has its inputs available in
+/// `occupancy`, and (when `capacities` is given) has room on its
+/// outputs (`u64::MAX` entries mean unbounded). Updates `occupancy` and
+/// `highwater` in place; returns the firing sequence, or `None` if the
+/// component wedges.
+///
+/// Shared by the serial [`inhomogeneous`] scheduler and `ccs-exec`'s
+/// batch planner, so the serial reference and the parallel executor run
+/// bit-identical local schedules.
+pub fn component_round_schedule(
+    g: &StreamGraph,
+    rank: &[usize],
+    quota: &[u64],
+    comp: &[NodeId],
+    capacities: Option<&[u64]>,
+    occupancy: &mut [u64],
+    highwater: &mut [u64],
+) -> Option<Vec<NodeId>> {
+    let mut remaining: Vec<u64> = comp.iter().map(|v| quota[v.idx()]).collect();
+    let mut left: u64 = remaining.iter().sum();
+    let mut seq = Vec::with_capacity(usize::try_from(left).unwrap_or(0));
+    while left > 0 {
+        let pick = comp
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| {
+                remaining[i] > 0
+                    && g.in_edges(v)
+                        .iter()
+                        .all(|&e| occupancy[e.idx()] >= g.edge(e).consume)
+                    && capacities.is_none_or(|caps| {
+                        g.out_edges(v).iter().all(|&e| {
+                            caps[e.idx()] == u64::MAX
+                                || occupancy[e.idx()] + g.edge(e).produce <= caps[e.idx()]
+                        })
+                    })
+            })
+            .max_by_key(|&(_, &v)| rank[v.idx()]);
+        let (i, &v) = pick?;
+        for &e in g.in_edges(v) {
+            occupancy[e.idx()] -= g.edge(e).consume;
+        }
+        for &e in g.out_edges(v) {
+            occupancy[e.idx()] += g.edge(e).produce;
+            highwater[e.idx()] = highwater[e.idx()].max(occupancy[e.idx()]);
+        }
+        remaining[i] -= 1;
+        left -= 1;
+        seq.push(v);
+    }
+    Some(seq)
+}
+
 /// Nodes of each component in global topological order, components in
 /// contracted topological order.
-fn ordered_components(
-    g: &StreamGraph,
-    p: &Partition,
-) -> Result<Vec<Vec<NodeId>>, PartSchedError> {
+fn ordered_components(g: &StreamGraph, p: &Partition) -> Result<Vec<Vec<NodeId>>, PartSchedError> {
     let comp_order = p
         .topo_order_components(g)
         .ok_or(PartSchedError::InvalidPartition)?;
@@ -179,8 +227,7 @@ pub fn homogeneous(
 
     let per_round: usize = comps.iter().map(|c| c.len()).sum::<usize>()
         * usize::try_from(m).map_err(|_| PartSchedError::Overflow)?;
-    let mut firings =
-        Vec::with_capacity(per_round * usize::try_from(rounds).unwrap_or(0));
+    let mut firings = Vec::with_capacity(per_round * usize::try_from(rounds).unwrap_or(0));
     for _ in 0..rounds {
         for comp in &comps {
             // Low level: each module once in topological order, repeated
@@ -240,41 +287,19 @@ pub fn inhomogeneous(
     let mut round_seq: Vec<NodeId> = Vec::new();
     let rank = ccs_graph::topo::topo_rank(g);
     for (ci, comp) in comps.iter().enumerate() {
-        let mut remaining: Vec<u64> = comp.iter().map(|v| quota[v.idx()]).collect();
-        let mut left: u64 = remaining.iter().sum();
-        while left > 0 {
-            // Deepest module with remaining quota whose inputs are
-            // available and whose cross-edge outputs have room.
-            let pick = comp
-                .iter()
-                .enumerate()
-                .filter(|&(i, &v)| {
-                    remaining[i] > 0
-                        && g.in_edges(v)
-                            .iter()
-                            .all(|&e| occupancy[e.idx()] >= g.edge(e).consume)
-                        && g.out_edges(v).iter().all(|&e| {
-                            capacities[e.idx()] == u64::MAX
-                                || occupancy[e.idx()] + g.edge(e).produce
-                                    <= capacities[e.idx()]
-                        })
-                })
-                .max_by_key(|&(_, &v)| rank[v.idx()]);
-            let (i, &v) = match pick {
-                Some(x) => x,
-                None => return Err(PartSchedError::Deadlock { component: ci as u32 }),
-            };
-            for &e in g.in_edges(v) {
-                occupancy[e.idx()] -= g.edge(e).consume;
-            }
-            for &e in g.out_edges(v) {
-                occupancy[e.idx()] += g.edge(e).produce;
-                highwater[e.idx()] = highwater[e.idx()].max(occupancy[e.idx()]);
-            }
-            remaining[i] -= 1;
-            left -= 1;
-            round_seq.push(v);
-        }
+        let seq = component_round_schedule(
+            g,
+            &rank,
+            &quota,
+            comp,
+            Some(&capacities),
+            &mut occupancy,
+            &mut highwater,
+        )
+        .ok_or(PartSchedError::Deadlock {
+            component: ci as u32,
+        })?;
+        round_seq.extend(seq);
     }
     debug_assert!(
         occupancy.iter().all(|&o| o == 0),
@@ -286,13 +311,11 @@ pub fn inhomogeneous(
     for e in g.edge_ids() {
         if capacities[e.idx()] == u64::MAX {
             let edge = g.edge(e);
-            capacities[e.idx()] =
-                highwater[e.idx()].max(edge.produce).max(edge.consume);
+            capacities[e.idx()] = highwater[e.idx()].max(edge.produce).max(edge.consume);
         }
     }
 
-    let mut firings =
-        Vec::with_capacity(round_seq.len() * usize::try_from(rounds).unwrap_or(0));
+    let mut firings = Vec::with_capacity(round_seq.len() * usize::try_from(rounds).unwrap_or(0));
     for _ in 0..rounds {
         firings.extend_from_slice(&round_seq);
     }
@@ -325,8 +348,8 @@ pub fn pipeline_dynamic(
 
     // Chain cross edges in order, one per component boundary.
     let mut cross: Vec<EdgeId> = Vec::new();
-    for pos in 0..order.len().saturating_sub(1) {
-        let e = g.out_edges(order[pos])[0];
+    for &u in &order[..order.len().saturating_sub(1)] {
+        let e = g.out_edges(u)[0];
         let edge = g.edge(e);
         if p.component_of(edge.src) != p.component_of(edge.dst) {
             cross.push(e);
@@ -354,9 +377,9 @@ pub fn pipeline_dynamic(
         g.in_edges(v)
             .iter()
             .all(|&e| occupancy[e.idx()] >= g.edge(e).consume)
-            && g.out_edges(v).iter().all(|&e| {
-                occupancy[e.idx()] + g.edge(e).produce <= capacities[e.idx()]
-            })
+            && g.out_edges(v)
+                .iter()
+                .all(|&e| occupancy[e.idx()] + g.edge(e).produce <= capacities[e.idx()])
     };
 
     while sink_fired < sink_target {
@@ -419,7 +442,13 @@ mod tests {
 
     fn exec_check(g: &StreamGraph, ra: &RateAnalysis, run: &SchedRun) -> crate::exec::EvalReport {
         let params = CacheParams::new(1 << 14, 16);
-        let mut ex = Executor::new(g, ra, run.capacities.clone(), params, ExecOptions::default());
+        let mut ex = Executor::new(
+            g,
+            ra,
+            run.capacities.clone(),
+            params,
+            ExecOptions::default(),
+        );
         ex.run(&run.firings)
             .unwrap_or_else(|e| panic!("{}: illegal schedule: {e}", run.label));
         ex.report()
@@ -569,14 +598,26 @@ mod tests {
 
         let iters = 2048u64; // = 1 partitioned round of M sink firings
         let naive = crate::baseline::single_appearance(&g, &ra, iters);
-        let mut ex1 = Executor::new(&g, &ra, naive.capacities.clone(), params, ExecOptions::default());
+        let mut ex1 = Executor::new(
+            &g,
+            &ra,
+            naive.capacities.clone(),
+            params,
+            ExecOptions::default(),
+        );
         ex1.run(&naive.firings).unwrap();
         let rep_naive = ex1.report();
 
         let pp = ppart::greedy_theorem5(&g, &ra, cache_words / 8).unwrap();
         assert!(pp.max_component_state <= cache_words);
         let run = homogeneous(&g, &ra, &pp.partition, cache_words, iters / cache_words).unwrap();
-        let mut ex2 = Executor::new(&g, &ra, run.capacities.clone(), params, ExecOptions::default());
+        let mut ex2 = Executor::new(
+            &g,
+            &ra,
+            run.capacities.clone(),
+            params,
+            ExecOptions::default(),
+        );
         ex2.run(&run.firings).unwrap();
         let rep_part = ex2.report();
 

@@ -13,7 +13,13 @@ fn exec(
     run: &SchedRun,
     params: CacheParams,
 ) -> ccs_sched::EvalReport {
-    let mut ex = Executor::new(g, ra, run.capacities.clone(), params, ExecOptions::default());
+    let mut ex = Executor::new(
+        g,
+        ra,
+        run.capacities.clone(),
+        params,
+        ExecOptions::default(),
+    );
     ex.run(&run.firings)
         .unwrap_or_else(|e| panic!("{}: {e}", run.label));
     ex.report()

@@ -38,10 +38,7 @@ fn main() {
         p0.bandwidth(&graph, &ra),
     );
     for (i, comp) in p.components().iter().enumerate() {
-        let names: Vec<&str> = comp
-            .iter()
-            .map(|&v| graph.node(v).name.as_str())
-            .collect();
+        let names: Vec<&str> = comp.iter().map(|&v| graph.node(v).name.as_str()).collect();
         println!("  component {i}: {}", names.join(", "));
     }
 

@@ -30,7 +30,10 @@ fn main() {
     // least 8x the largest module, the Theorem 5 partition parameter).
     let m = (total_state / 5).max(8 * graph.max_state());
     let params = CacheParams::new(m.next_multiple_of(16), 16);
-    println!("cache: M = {} words, B = {} words", params.capacity, params.block);
+    println!(
+        "cache: M = {} words, B = {} words",
+        params.capacity, params.block
+    );
 
     let rows = compare_schedulers(&graph, params, 4000);
     println!();
@@ -64,8 +67,12 @@ fn main() {
     );
     let t1 = naive_stats.wall.as_secs_f64() / naive_stats.sink_items.max(1) as f64;
     let t2 = part_stats.wall.as_secs_f64() / part_stats.sink_items.max(1) as f64;
-    println!("  wall-clock per item: naive {:.1}ns vs partitioned {:.1}ns ({:.2}x)",
-             t1 * 1e9, t2 * 1e9, t1 / t2);
+    println!(
+        "  wall-clock per item: naive {:.1}ns vs partitioned {:.1}ns ({:.2}x)",
+        t1 * 1e9,
+        t2 * 1e9,
+        t1 / t2
+    );
 
     // SDF determinism: identical output streams.
     assert_eq!(

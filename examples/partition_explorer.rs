@@ -11,9 +11,7 @@
 //! ```
 
 use cache_conscious_streaming::graph::dot;
-use cache_conscious_streaming::partition::{
-    dag_exact, dag_greedy, dag_local, pipeline,
-};
+use cache_conscious_streaming::partition::{dag_exact, dag_greedy, dag_local, pipeline};
 use cache_conscious_streaming::{apps, prelude::*};
 
 fn main() {
@@ -65,12 +63,7 @@ fn main() {
             ));
             if g.node_count() <= dag_exact::MAX_EXACT_NODES {
                 if let Some((pe, bw)) = dag_exact::min_bandwidth_exact(g, &ra, bound) {
-                    results.push((
-                        "exact",
-                        bw,
-                        pe.num_components(),
-                        pe.max_component_state(g),
-                    ));
+                    results.push(("exact", bw, pe.num_components(), pe.max_component_state(g)));
                 }
             }
         }

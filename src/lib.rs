@@ -12,6 +12,8 @@
 //! * [`sched`] — partitioned two-level schedulers plus literature baselines,
 //!   and the symbolic executor that turns schedules into memory traces.
 //! * [`runtime`] — real executors (serial + parallel) over ring buffers.
+//! * [`exec`] — the cache-aware multicore dag executor with
+//!   segment-affine workers.
 //! * [`apps`] — StreamIt-style application suite.
 //! * [`core`] — the high-level [`core::Planner`] API and lower-bound
 //!   calculators.
@@ -21,10 +23,10 @@
 pub use ccs_apps as apps;
 pub use ccs_cachesim as cachesim;
 pub use ccs_core as core;
+pub use ccs_exec as exec;
 pub use ccs_graph as graph;
 pub use ccs_partition as partition;
 pub use ccs_runtime as runtime;
 pub use ccs_sched as sched;
 
 pub use ccs_core::prelude;
-

@@ -22,9 +22,7 @@ fn plan_and_evaluate_every_app() {
             .plan(g, Horizon::Rounds(2))
             .unwrap_or_else(|e| panic!("{}: planning failed: {e}", app.name));
         assert!(
-            plan.partition
-                .validate(g, 8 * params.capacity)
-                .is_ok(),
+            plan.partition.validate(g, 8 * params.capacity).is_ok(),
             "{}: invalid partition",
             app.name
         );
@@ -32,7 +30,11 @@ fn plan_and_evaluate_every_app() {
             .evaluate(g, &plan)
             .unwrap_or_else(|e| panic!("{}: evaluation failed: {e}", app.name));
         assert!(rep.outputs > 0, "{}: no outputs", app.name);
-        assert!(rep.stats.misses > 0, "{}: zero misses is impossible", app.name);
+        assert!(
+            rep.stats.misses > 0,
+            "{}: zero misses is impossible",
+            app.name
+        );
     }
 }
 

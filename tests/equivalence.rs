@@ -73,11 +73,7 @@ fn partitioned_static_matches_baselines_exactly() {
         let part_sink = part.count(sink);
 
         let demand = baseline::demand_driven(&g, &ra, part_sink);
-        assert_eq!(
-            digest_of(&g, &part),
-            digest_of(&g, &demand),
-            "seed {seed}"
-        );
+        assert_eq!(digest_of(&g, &part), digest_of(&g, &demand), "seed {seed}");
     }
 }
 

@@ -23,7 +23,10 @@ fn graph_construction_rejects_malformed() {
     assert!(matches!(b.build(), Err(GraphError::ZeroRate { .. })));
 
     // Empty.
-    assert!(matches!(GraphBuilder::new().build(), Err(GraphError::Empty)));
+    assert!(matches!(
+        GraphBuilder::new().build(),
+        Err(GraphError::Empty)
+    ));
 }
 
 #[test]
@@ -63,7 +66,10 @@ fn planner_propagates_rate_errors() {
     let g = b.build().unwrap();
     let planner = Planner::new(CacheParams::new(256, 16));
     let err = planner.plan(&g, Horizon::Rounds(1)).unwrap_err();
-    assert!(matches!(err, PlanError::Rates(RateError::MultipleSources { .. })));
+    assert!(matches!(
+        err,
+        PlanError::Rates(RateError::MultipleSources { .. })
+    ));
 }
 
 #[test]
@@ -139,14 +145,9 @@ fn partitioned_scheduler_rejects_bad_partitions() {
 #[test]
 fn exact_partitioner_refuses_oversized_graphs() {
     use ccs_partition::dag_exact;
-    let g = ccs_graph::gen::pipeline_uniform(
-        dag_exact::MAX_EXACT_NODES + 1,
-        4,
-    );
+    let g = ccs_graph::gen::pipeline_uniform(dag_exact::MAX_EXACT_NODES + 1, 4);
     let ra = RateAnalysis::analyze_single_io(&g).unwrap();
-    let result = std::panic::catch_unwind(|| {
-        dag_exact::min_bandwidth_exact(&g, &ra, 1000)
-    });
+    let result = std::panic::catch_unwind(|| dag_exact::min_bandwidth_exact(&g, &ra, 1000));
     assert!(result.is_err(), "must assert on too-large graphs");
 }
 
@@ -161,8 +162,7 @@ fn runtime_capacity_mismatch_panics_cleanly() {
         capacities: vec![4, 4],
     };
     let mut inst = Instance::synthetic(g);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        execute(&mut inst, &run)
-    }));
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(&mut inst, &run)));
     assert!(result.is_err(), "real executor must refuse illegal pops");
 }

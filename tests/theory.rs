@@ -24,8 +24,7 @@ fn pipeline_upper_bound_tracks_bandwidth() {
         let b = 16u64;
         let params = CacheParams::new(8 * m, b); // O(1) augmentation
         let pp = ppart::greedy_theorem5(&g, &ra, m).unwrap();
-        let run =
-            partitioned::pipeline_dynamic(&g, &ra, &pp.partition, 8 * m, 4000).unwrap();
+        let run = partitioned::pipeline_dynamic(&g, &ra, &pp.partition, 8 * m, 4000).unwrap();
         let mut ex = Executor::new(
             &g,
             &ra,
@@ -43,8 +42,8 @@ fn pipeline_upper_bound_tracks_bandwidth() {
         let t = rep.inputs as f64;
         let bw = pp.bandwidth.to_f64();
         let buffer_term = 4.0 * t * bw / b as f64;
-        let state_term =
-            (t / m as f64) * (g.total_state() as f64 / b as f64) + g.total_state() as f64 / b as f64;
+        let state_term = (t / m as f64) * (g.total_state() as f64 / b as f64)
+            + g.total_state() as f64 / b as f64;
         let predicted = buffer_term + state_term + 64.0;
         assert!(
             (rep.interior_misses() as f64) <= 4.0 * predicted,
@@ -107,8 +106,7 @@ fn dag_alpha_approximation_preserved() {
         }
         let ra = RateAnalysis::analyze_single_io(&g).unwrap();
         let bound = 144u64.max(g.max_state());
-        let Some((p_opt, bw_opt)) = dag_exact::min_bandwidth_exact(&g, &ra, bound)
-        else {
+        let Some((p_opt, bw_opt)) = dag_exact::min_bandwidth_exact(&g, &ra, bound) else {
             continue;
         };
         let p_heur = ccs_partition::dag_greedy::greedy_topo(&g, bound);
@@ -184,8 +182,8 @@ fn granularity_conditions_hold() {
 fn schedulers_converge_when_everything_fits() {
     let g = gen::pipeline_uniform(12, 64); // 768 words
     let params = CacheParams::new(1 << 16, 16); // 64K-word cache
-    // Enough outputs to amortize away the differing cold-miss footprints
-    // of each scheduler's buffers.
+                                                // Enough outputs to amortize away the differing cold-miss footprints
+                                                // of each scheduler's buffers.
     let rows = compare_schedulers(&g, params, 16_384);
     let min = rows
         .iter()
@@ -228,7 +226,10 @@ fn scaling_is_not_partitioning() {
     let scaled = baseline::scaled_sas(&g, &ra, scale, 64);
     let planner = Planner::new(params);
     let plan = planner
-        .plan(&g, Horizon::SinkFirings(64 * scale * ra.q(ra.sink.unwrap())))
+        .plan(
+            &g,
+            Horizon::SinkFirings(64 * scale * ra.q(ra.sink.unwrap())),
+        )
         .unwrap();
 
     let eval = |run: &SchedRun| {

@@ -61,11 +61,7 @@ fn opt_lower_bounds_every_policy_on_schedule_traces() {
             ("clock", replay(&trace, ClockCache::new(blocks))),
             ("8way", replay(&trace, SetAssocCache::new(blocks, 8))),
         ] {
-            assert!(
-                misses >= opt,
-                "{}/{name}: {misses} < OPT {opt}",
-                run.label
-            );
+            assert!(misses >= opt, "{}/{name}: {misses} < OPT {opt}", run.label);
         }
     }
 }

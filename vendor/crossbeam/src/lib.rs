@@ -1,0 +1,116 @@
+//! Offline shim of `crossbeam`, vendored because the build environment
+//! has no network access. `crossbeam::scope` maps onto
+//! `std::thread::scope` (stable since Rust 1.63), and
+//! `utils::CachePadded` is an alignment wrapper. Only the surface this
+//! workspace uses is provided; spawned closures receive a placeholder
+//! `&()` instead of a nested scope handle (no call site uses it).
+
+use std::any::Any;
+
+/// Scope handle passed to the closure given to [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to the scope. The closure's argument is a
+    /// placeholder (crossbeam passes a nested scope; no caller here
+    /// uses it).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&())),
+        }
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the caller.
+/// All spawned threads are joined before this returns. Unlike crossbeam,
+/// a panic in an unjoined child propagates as a panic rather than an
+/// `Err` (both fail tests identically).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod utils {
+    /// Pads and aligns a value to 128 bytes to avoid false sharing.
+    #[derive(Debug, Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                handles.push(s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    7usize
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(out, 28);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn cache_padded_is_aligned() {
+        let p = super::utils::CachePadded::new(3u64);
+        assert_eq!(*p, 3);
+        assert_eq!((&p as *const _ as usize) % 128, 0);
+        assert_eq!(p.into_inner(), 3);
+    }
+}

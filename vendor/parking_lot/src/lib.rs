@@ -1,0 +1,58 @@
+//! Offline shim of `parking_lot`, vendored because the build
+//! environment has no network access: the `Mutex` API (no lock
+//! poisoning, `lock()` returns the guard directly) over
+//! `std::sync::Mutex`.
+
+use std::sync::PoisonError;
+
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock; like parking_lot, poisoning does not exist
+    /// (a poisoned std mutex just yields its data).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(5u32);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert!(m.try_lock().is_some());
+        assert_eq!(m.into_inner(), 6);
+    }
+}

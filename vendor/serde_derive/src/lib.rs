@@ -1,0 +1,224 @@
+//! Offline shim of `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for plain structs (named fields or tuple structs), targeting the
+//! vendored `serde` crate's `Value` data model.
+//!
+//! The workspace vendors its external dependencies because the build
+//! environment has no network access; this derive handles exactly the
+//! shapes the workspace uses (non-generic structs) and fails loudly on
+//! anything else.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Parse `[attrs] [pub] struct Name { fields }` or
+/// `[attrs] [pub] struct Name(types);`.
+fn parse_struct(input: TokenStream) -> Result<Parsed, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes and visibility until the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => match iter.next() {
+                Some(TokenTree::Ident(n)) => {
+                    name = Some(n.to_string());
+                    break;
+                }
+                other => return Err(format!("expected struct name, got {other:?}")),
+            },
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("serde shim: derive on enums is not supported".into());
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or("no `struct` keyword found")?;
+    // Generics unsupported: next token must be a body group.
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Parsed {
+            name,
+            shape: Shape::Named(named_fields(g.stream())?),
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Parsed {
+            name,
+            shape: Shape::Tuple(count_tuple_fields(g.stream())),
+        }),
+        other => Err(format!(
+            "serde shim: unsupported struct shape after `{name}`: {other:?}"
+        )),
+    }
+}
+
+/// Field names of a named-field body: skip attributes and visibility,
+/// take the ident before `:`, then consume the type up to a top-level
+/// comma (angle-bracket depth tracked so `Vec<(A, B)>` splits right).
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    'fields: loop {
+        // Skip attributes `#[...]` and `pub` / `pub(...)`.
+        loop {
+            match iter.peek() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(_)) = iter.peek() {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+                _ => break,
+            }
+        }
+        let fname = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:`, got {other:?}")),
+        }
+        // Consume the type until a comma at angle depth 0.
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        iter.next();
+                        break;
+                    }
+                    iter.next();
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(fname);
+    }
+    Ok(fields)
+}
+
+/// Count tuple-struct fields: top-level commas at angle depth 0, plus one.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tt in body {
+        any = true;
+        if let TokenTree::Punct(p) = &tt {
+            let c = p.as_char();
+            if c == '<' {
+                depth += 1;
+            } else if c == '>' {
+                depth -= 1;
+            } else if c == ',' && depth == 0 {
+                commas += 1;
+            }
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(p) => p,
+        Err(e) => return error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{f}\"), \
+                         serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(p) => p,
+        Err(e) => return error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(\
+                         __v.field(\"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(__v)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(__v.index({i})?)?"))
+                .collect();
+            format!("Ok({name}({}))", items.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) \
+             -> Result<Self, serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}

@@ -1,0 +1,420 @@
+//! Offline shim of `serde_json` over the vendored `serde` value model:
+//! JSON printing (compact and pretty), a recursive-descent parser, and a
+//! `json!` macro covering object/array/expression literals.
+
+use std::fmt;
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// JSON error (parse or shape mismatch).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize to human-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Convert any serializable value into a [`Value`].
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                let s = format!("{f}");
+                out.push_str(&s);
+                // Keep floats recognizable as floats on re-parse.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            }
+            newline(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => {
+                            return Err(Error(format!("expected `,` or `]` at byte {}", self.pos)))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value()?;
+                    pairs.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => {
+                            return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos)))
+                        }
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(Error("unterminated string".into()));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(e) = self.peek() else {
+                        return Err(Error("bad escape".into()));
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("bad \\u".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| Error("bad \\u".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u".into()))?;
+                            self.pos += 4;
+                            s.push(char::from_u32(code).ok_or_else(|| Error("bad \\u".into()))?);
+                        }
+                        other => return Err(Error(format!("bad escape \\{}", other as char))),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0b1100_0000 == 0b1000_0000 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error("invalid utf-8".into()))?;
+                    s.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("bad number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error(format!("bad float `{text}`")))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|_| Error(format!("bad integer `{text}`")))
+        }
+    }
+}
+
+/// Build a [`Value`] from a JSON-shaped literal: objects with
+/// string-literal keys, arrays, `null`, and serializable expressions.
+/// Unlike real `serde_json`, nested object literals must be wrapped in
+/// their own `json!(...)` call.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![
+            $( $crate::to_value(&$item).expect("json! value serializes") ),*
+        ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (
+                String::from($key),
+                $crate::to_value(&$val).expect("json! value serializes"),
+            ) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_nesting() {
+        let v = json!({
+            "a": 1u64,
+            "b": json!([1u64, 2u64, 3u64]),
+            "c": json!({"d": "text", "e": 2.5f64}),
+            "f": json!(null),
+            "neg": -7i64,
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back["a"].as_u64(), Some(1));
+        assert_eq!(back["c"]["d"].as_str(), Some("text"));
+        assert_eq!(back["c"]["e"].as_f64(), Some(2.5));
+        assert!(back["f"].is_null());
+        assert_eq!(back["neg"].as_i64(), Some(-7));
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line\nquote\"slash\\tab\tunicode\u{1F600}".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let text = to_string(&4.0f64).unwrap();
+        assert_eq!(text, "4.0");
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back.as_f64(), Some(4.0));
+        assert!(matches!(back, Value::Float(_)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}
