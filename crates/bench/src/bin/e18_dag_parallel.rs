@@ -60,8 +60,9 @@ fn main() {
         for placement in [Placement::RoundRobin, Placement::CommGreedy] {
             for workers in [1usize, 2, 4] {
                 let inst = Instance::synthetic(g.clone());
+                let cfg = RunConfig::new(workers).with_placement(placement);
                 let pr = planner
-                    .plan_and_run_parallel(inst, rounds, workers, placement)
+                    .plan_and_run_parallel(inst, rounds, &cfg)
                     .unwrap_or_else(|e| panic!("{name}: {e}"));
                 let stats = &pr.stats;
                 match reference {

@@ -5,7 +5,9 @@ use ccs_cachesim::CacheParams;
 use ccs_core::compare::{compare_schedulers, format_table};
 use ccs_core::report::Report;
 use ccs_core::{Horizon, Planner, Strategy};
+use ccs_exec::RunConfig;
 use ccs_graph::{RateAnalysis, StreamGraph};
+use ccs_topo::{format_cpulist, TopoSpec, Topology};
 use std::error::Error;
 
 type CliResult = Result<String, Box<dyn Error>>;
@@ -18,6 +20,7 @@ pub fn run(cmd: &str, args: &Args) -> CliResult {
         "partition" => partition(args),
         "simulate" => simulate(args),
         "run-dag" => run_dag(args),
+        "topo" => topo_cmd(args),
         "compare" => compare(args),
         "autotune" => autotune_cmd(args),
         "fuse" => fuse_cmd(args),
@@ -39,8 +42,12 @@ USAGE:
   ccs partition FILE --m M [--b B] [--strategy greedy2m|dp|dag|exact]
   ccs simulate FILE --m M [--b B] [--outputs T] [--json]
   ccs run-dag  FILE --m M [--b B] [--workers N] [--rounds R]
-               [--placement rr|greedy] [--strategy ...] [--json]
-               (real multicore execution with segment-affine workers)
+               [--placement rr|greedy|llc] [--topo NxCxK] [--pin-cores]
+               [--strategy ...] [--json]
+               (real multicore execution with segment-affine workers;
+                llc placement + pinning use the machine topology)
+  ccs topo [--topo NxCxK] [--json]
+               (print the discovered or synthetic machine topology)
   ccs compare FILE --m M [--b B] [--outputs T]
   ccs autotune FILE --m M [--b B] [--outputs T]
   ccs fuse FILE --m M [--b B] [-o FILE]       (partition, then fuse)
@@ -212,6 +219,14 @@ fn simulate(args: &Args) -> CliResult {
     }
 }
 
+/// Topology from `--topo NxCxK` (synthetic) or host discovery.
+fn topo_of(args: &Args) -> Result<Option<Topology>, Box<dyn Error>> {
+    match args.flag("topo") {
+        None => Ok(None),
+        Some(spec) => Ok(Some(Topology::synthetic(&spec.parse::<TopoSpec>()?))),
+    }
+}
+
 fn run_dag(args: &Args) -> CliResult {
     let g = load(args.positional(0, "graph file")?)?;
     let planner = Planner::new(params_of(args)?).with_strategy(strategy_of(args)?);
@@ -220,10 +235,16 @@ fn run_dag(args: &Args) -> CliResult {
     let placement = match args.flag("placement") {
         None => ccs_exec::Placement::RoundRobin,
         Some(name) => ccs_exec::Placement::parse(name)
-            .ok_or_else(|| format!("unknown placement '{name}' (rr|greedy)"))?,
+            .ok_or_else(|| format!("unknown placement '{name}' (rr|greedy|llc)"))?,
     };
+    let mut cfg = RunConfig::new(workers)
+        .with_placement(placement)
+        .with_pinning(args.has("pin-cores"));
+    if let Some(topo) = topo_of(args)? {
+        cfg = cfg.with_topology(topo);
+    }
     let inst = ccs_runtime::Instance::synthetic(g);
-    let pr = planner.plan_and_run_parallel(inst, rounds, workers, placement)?;
+    let pr = planner.plan_and_run_parallel(inst, rounds, &cfg)?;
     let stats = &pr.stats;
     if args.has("json") {
         let workers_json: Vec<serde_json::Value> = stats
@@ -236,13 +257,17 @@ fn run_dag(args: &Args) -> CliResult {
                     "firings": w.firings,
                     "batches": w.batches,
                     "stalls": w.stalls,
+                    "stall_ms": w.stall_time.as_secs_f64() * 1e3,
                     "busy_ms": w.busy.as_secs_f64() * 1e3,
+                    "pinned_cpu": w.pinned_cpu,
                 })
             })
             .collect();
         return Ok(serde_json::to_string_pretty(&serde_json::json!({
             "strategy": pr.strategy_used,
             "placement": placement.name(),
+            "pin_cores": cfg.pin_cores,
+            "pinned_workers": stats.pinned_workers(),
             "segments": stats.segments,
             "workers": workers,
             "granularity_t": stats.t,
@@ -251,6 +276,7 @@ fn run_dag(args: &Args) -> CliResult {
             "firings": stats.run.firings,
             "sink_items": stats.run.sink_items,
             "wall_ms": stats.run.wall.as_secs_f64() * 1e3,
+            "stall_ms": stats.total_stall_time().as_secs_f64() * 1e3,
             "items_per_sec": stats.items_per_sec(),
             "digest": format!("{:016x}", stats.run.digest.unwrap_or(0)),
             "per_worker": workers_json,
@@ -260,11 +286,16 @@ fn run_dag(args: &Args) -> CliResult {
     use std::fmt::Write as _;
     let _ = writeln!(
         out,
-        "strategy {} | placement {} | {} segments on {} workers | T = {}",
+        "strategy {} | placement {} | {} segments on {} workers{} | T = {}",
         pr.strategy_used,
         placement.name(),
         stats.segments,
         workers,
+        if cfg.pin_cores {
+            format!(" ({} pinned)", stats.pinned_workers())
+        } else {
+            String::new()
+        },
         stats.t
     );
     let _ = writeln!(
@@ -279,14 +310,69 @@ fn run_dag(args: &Args) -> CliResult {
     for w in &stats.workers {
         let _ = writeln!(
             out,
-            "  worker {}: segments {:?}, {} firings, {} batches, {} stalls, busy {:.2} ms",
+            "  worker {}{}: segments {:?}, {} firings, {} batches, {} stalls ({:.2} ms), busy {:.2} ms",
             w.worker,
+            match w.pinned_cpu {
+                Some(cpu) => format!(" @cpu{cpu}"),
+                None => String::new(),
+            },
             w.segments,
             w.firings,
             w.batches,
             w.stalls,
+            w.stall_time.as_secs_f64() * 1e3,
             w.busy.as_secs_f64() * 1e3,
         );
+    }
+    Ok(out)
+}
+
+fn topo_cmd(args: &Args) -> CliResult {
+    let topo = match topo_of(args)? {
+        Some(t) => t,
+        None => Topology::discover(),
+    };
+    if args.has("json") {
+        let clusters: Vec<serde_json::Value> = topo
+            .clusters()
+            .iter()
+            .map(|c| {
+                let cpus: Vec<usize> = c.cores.iter().map(|&i| topo.core(i).cpu).collect();
+                serde_json::json!({
+                    "node": c.node,
+                    "os_node": topo.node(c.node).os_node,
+                    "cpus": cpus,
+                    "cpulist": format_cpulist(&cpus),
+                })
+            })
+            .collect();
+        return Ok(serde_json::to_string_pretty(&serde_json::json!({
+            "source": topo.source().name(),
+            "nodes": topo.node_count(),
+            "llc_clusters": topo.cluster_count(),
+            "cores": topo.core_count(),
+            "clusters": clusters,
+        }))?);
+    }
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "{}", topo.summary());
+    for (n, node) in topo.nodes().iter().enumerate() {
+        if node.os_node == n {
+            let _ = writeln!(out, "node {n}:");
+        } else {
+            // Dense index for placement math, OS id for numactl/lscpu.
+            let _ = writeln!(out, "node {n} (os node {}):", node.os_node);
+        }
+        for &ci in &node.clusters {
+            let cpus: Vec<usize> = topo
+                .cluster(ci)
+                .cores
+                .iter()
+                .map(|&i| topo.core(i).cpu)
+                .collect();
+            let _ = writeln!(out, "  llc {ci}: cpus {}", format_cpulist(&cpus));
+        }
     }
     Ok(out)
 }
@@ -460,6 +546,64 @@ mod tests {
         )
         .is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_dag_llc_with_topology_and_pinning() {
+        let path = tmp("g8.json");
+        run(
+            "gen",
+            &args(&["pipeline", "--len", "12", "--state", "64", "-o", &path]),
+        )
+        .unwrap();
+        let base = [&path, "--m", "1024", "--workers", "4", "--rounds", "2"];
+        let mut with_llc: Vec<&str> = base.to_vec();
+        with_llc.extend([
+            "--placement",
+            "llc",
+            "--topo",
+            "1x2x2",
+            "--pin-cores",
+            "--json",
+        ]);
+        let out = run("run-dag", &args(&with_llc)).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed["placement"].as_str(), Some("llc"));
+        assert_eq!(parsed["pin_cores"].as_bool(), Some(true));
+        assert!(parsed["stall_ms"].as_f64().is_some());
+        assert!(parsed["per_worker"][0]["stall_ms"].as_f64().is_some());
+        let llc_digest = parsed["digest"].as_str().unwrap().to_string();
+        // Same schedule length under the default placement: digests match.
+        let mut plain: Vec<&str> = base.to_vec();
+        plain.push("--json");
+        let out = run("run-dag", &args(&plain)).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed["digest"].as_str(), Some(llc_digest.as_str()));
+        // Bad topology spec is an error.
+        let mut bad: Vec<&str> = base.to_vec();
+        bad.extend(["--topo", "0x1"]);
+        assert!(run("run-dag", &args(&bad)).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn topo_prints_synthetic_and_discovered() {
+        let out = run("topo", &args(&["--topo", "2x2x2"])).unwrap();
+        assert!(
+            out.contains("synthetic: 2 nodes x 4 llc clusters x 8 cores"),
+            "{out}"
+        );
+        assert!(out.contains("llc 0: cpus 0-1"), "{out}");
+        let out = run("topo", &args(&["--topo", "2x2x2", "--json"])).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed["source"].as_str(), Some("synthetic"));
+        assert_eq!(parsed["cores"].as_u64(), Some(8));
+        assert_eq!(parsed["clusters"][3]["node"].as_u64(), Some(1));
+        // Host discovery always yields at least one core.
+        let out = run("topo", &args(&["--json"])).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(parsed["cores"].as_u64().unwrap() >= 1);
+        assert!(run("topo", &args(&["--topo", "junk"])).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The high-level planner: graph + cache → partition + schedule.
 
 use ccs_cachesim::CacheParams;
-use ccs_exec::{execute_dag, DagExecError, DagRunStats, Placement};
+use ccs_exec::{execute_dag_cfg, DagExecError, DagRunStats, RunConfig};
 use ccs_graph::{RateAnalysis, RateError, Ratio, StreamGraph};
 use ccs_partition::{dag_exact, dag_greedy, dag_local, pipeline, Partition};
 use ccs_runtime::Instance;
@@ -317,27 +317,33 @@ impl Planner {
     }
 
     /// Partition the bound instance's graph, then run it for real on
-    /// `workers` segment-affine threads via the cache-aware dag executor
+    /// segment-affine threads via the cache-aware dag executor
     /// (`ccs-exec`): `rounds` granularity-`T` batches per segment, with
-    /// the configured partitioning strategy and `placement` policy.
+    /// the configured partitioning strategy and the worker count,
+    /// placement policy, machine topology, and core pinning of `cfg`.
+    ///
+    /// Multi-source/multi-sink graphs (which the paper's schedulers
+    /// reject) are accepted: the instance is automatically rebuilt over
+    /// `add_super_endpoints` — a unit-state super-source/super-sink pair
+    /// restores the single-I/O form while preserving rate matching and
+    /// the original kernels.
     pub fn plan_and_run_parallel(
         &self,
         inst: Instance,
         rounds: u64,
-        workers: usize,
-        placement: Placement,
+        cfg: &RunConfig,
     ) -> Result<ParallelRun, PlanError> {
+        let inst = if inst.graph.single_source().is_none() || inst.graph.single_sink().is_none() {
+            // Surface unbalanced rates as a planning error instead of
+            // letting the augmentation panic on them.
+            RateAnalysis::analyze(&inst.graph)?;
+            inst.with_super_endpoints()
+        } else {
+            inst
+        };
         let ra = RateAnalysis::analyze_single_io(&inst.graph)?;
         let (partition, bandwidth, strategy_used) = self.partition(&inst.graph, &ra)?;
-        let stats = execute_dag(
-            inst,
-            &ra,
-            &partition,
-            self.params.capacity,
-            rounds,
-            workers,
-            placement,
-        )?;
+        let stats = execute_dag_cfg(inst, &ra, &partition, self.params.capacity, rounds, cfg)?;
         Ok(ParallelRun {
             partition,
             bandwidth,
@@ -436,6 +442,53 @@ mod tests {
         assert_eq!(plan.strategy_used, "pipeline-dp");
         assert!(plan.partition.max_component_state(&g) <= 256);
         planner.evaluate(&g, &plan).unwrap();
+    }
+
+    #[test]
+    fn parallel_run_with_llc_placement_and_topology() {
+        use ccs_exec::Placement;
+        use ccs_topo::{TopoSpec, Topology};
+        let g = gen::pipeline_uniform(12, 64);
+        let planner = Planner::new(CacheParams::new(512, 16));
+        let topo = Topology::synthetic(&TopoSpec::new(1, 2, 2));
+        let cfg = RunConfig::new(4)
+            .with_placement(Placement::Llc)
+            .with_topology(topo);
+        let inst = Instance::synthetic(g);
+        let pr = planner.plan_and_run_parallel(inst, 2, &cfg).unwrap();
+        assert!(pr.stats.run.digest.is_some());
+        assert!(pr.partition.num_components() > 1);
+    }
+
+    #[test]
+    fn parallel_run_auto_augments_multi_io() {
+        use ccs_exec::Placement;
+        // Fan-in/fan-out: two sources, two sinks. The planner must
+        // apply the super-endpoint transform instead of failing rate
+        // analysis.
+        let mut b = ccs_graph::GraphBuilder::new();
+        let s1 = b.node("src1", 16);
+        let s2 = b.node("src2", 16);
+        let m = b.node("mix", 32);
+        let t1 = b.node("sink1", 16);
+        let t2 = b.node("sink2", 16);
+        b.edge(s1, m, 1, 1);
+        b.edge(s2, m, 1, 1);
+        b.edge(m, t1, 1, 1);
+        b.edge(m, t2, 1, 1);
+        let g = b.build().unwrap();
+        assert!(g.single_source().is_none());
+        let planner = Planner::new(CacheParams::new(64, 8));
+        let cfg = RunConfig::new(2).with_placement(Placement::CommGreedy);
+        let inst = Instance::synthetic(g.clone());
+        let pr = planner.plan_and_run_parallel(inst, 2, &cfg).unwrap();
+        assert!(pr.stats.run.digest.is_some());
+        // Identical reruns are bit-identical (the augmentation is
+        // deterministic).
+        let again = planner
+            .plan_and_run_parallel(Instance::synthetic(g), 2, &cfg)
+            .unwrap();
+        assert_eq!(pr.stats.run.digest, again.stats.run.digest);
     }
 
     #[test]

@@ -26,21 +26,28 @@
 //!   ring's producer and consumer segments run concurrently; the SPSC
 //!   protocol plus static pinning (one pushing worker, one popping
 //!   worker per ring) makes that safe without locks on the data plane.
+//! * **Topology awareness.** [`Placement::Llc`] scores candidate
+//!   workers by cross-edge traffic discounted by hardware distance over
+//!   a `ccs-topo` machine tree (same core > same LLC > same node >
+//!   cross node), and [`run::RunConfig::pin_cores`] binds each worker
+//!   to its planned core so the OS can't migrate the working set away.
 //! * **Determinism.** Synchronous dataflow is schedule-deterministic, so
 //!   the sink digest is bit-identical to the serial executor's for the
-//!   same number of batches, at every worker count and placement — the
-//!   correctness contract the test suite enforces.
+//!   same number of batches, at every worker count, placement, and
+//!   pinning mode — the correctness contract the test suite enforces.
 //!
 //! Layers: [`plan::ExecPlan`] (batch schedules + ring capacities),
-//! [`place`] (segment→worker placement), [`run::execute_dag`] (the
-//! worker loop), [`stats`] (per-worker and aggregate reports).
+//! [`place`] (segment→worker placement, flat or topology-aware),
+//! [`run::execute_dag_cfg`] (the worker loop: bounded spin → condvar
+//! stall path, optional core pinning), [`stats`] (per-worker and
+//! aggregate reports, including wall-clock stall time).
 
 pub mod place;
 pub mod plan;
 pub mod run;
 pub mod stats;
 
-pub use place::Placement;
+pub use place::{assign_on, fair_share, Placement};
 pub use plan::{DagExecError, ExecPlan, SegmentPlan};
-pub use run::execute_dag;
+pub use run::{execute_dag, execute_dag_cfg, RunConfig};
 pub use stats::{DagRunStats, WorkerStats};

@@ -8,11 +8,20 @@
 //! concurrently; a producer and consumer of the same ring may both be
 //! mid-batch at once, which is where the dag parallelism comes from.
 //!
+//! A worker with nothing schedulable spins briefly (a stalled peer is
+//! usually mid-batch), then parks on a progress condvar that every
+//! completed batch signals — so oversubscribed runs (workers > cores)
+//! don't burn the very cores their peers need. With
+//! [`RunConfig::pin_cores`], workers additionally bind themselves to
+//! cores of the machine [`Topology`] in cache-compact order, closing
+//! the gap the OS scheduler leaves: segment state stays in the cache of
+//! the core it was placed for.
+//!
 //! Termination is deterministic: every segment executes exactly `rounds`
 //! batches, so node `v` fires `rounds·T·gain(v)` times and the sink
 //! digest is comparable with a serial schedule of the same length.
 
-use crate::place::{assign, Placement};
+use crate::place::{assign_on, Placement};
 use crate::plan::{DagExecError, ExecPlan};
 use crate::stats::{DagRunStats, WorkerStats};
 use ccs_graph::RateAnalysis;
@@ -21,7 +30,50 @@ use ccs_runtime::instance::Instance;
 use ccs_runtime::kernel::Kernel;
 use ccs_runtime::ring::SpscRing;
 use ccs_runtime::serial::RunStats;
+use ccs_topo::{pin_current_thread, plan_bindings, CoreBinding, Topology};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// How to run a partitioned dag: worker count, placement policy, and
+/// the machine model the policy (and optional core pinning) uses.
+#[derive(Clone, Debug, Default)]
+pub struct RunConfig {
+    /// Worker threads (>= 1).
+    pub workers: usize,
+    /// Segment → worker placement policy.
+    pub placement: Placement,
+    /// Machine topology for [`Placement::Llc`] and pinning. `None`
+    /// discovers the host topology (sysfs, with a flat fallback).
+    pub topology: Option<Topology>,
+    /// Bind each worker to its planned core via `sched_setaffinity`.
+    /// Pin failures (non-Linux, cpu outside the cpuset, synthetic cpu
+    /// ids) are recorded per worker and the run proceeds unpinned.
+    pub pin_cores: bool,
+}
+
+impl RunConfig {
+    pub fn new(workers: usize) -> RunConfig {
+        RunConfig {
+            workers,
+            ..RunConfig::default()
+        }
+    }
+
+    pub fn with_placement(mut self, placement: Placement) -> RunConfig {
+        self.placement = placement;
+        self
+    }
+
+    pub fn with_topology(mut self, topo: Topology) -> RunConfig {
+        self.topology = Some(topo);
+        self
+    }
+
+    pub fn with_pinning(mut self, pin: bool) -> RunConfig {
+        self.pin_cores = pin;
+        self
+    }
+}
 
 /// One pinned segment's runtime state: kernels and pre-sized scratch,
 /// owned exclusively by its worker thread.
@@ -38,11 +90,64 @@ struct SegTask {
     out_scratch: Vec<Vec<Vec<f32>>>,
 }
 
+/// Cross-worker progress signal: every completed batch bumps the epoch
+/// and wakes sleepers, so a worker whose gate is closed can park
+/// instead of spinning indefinitely.
+struct ProgressGate {
+    epoch: AtomicU64,
+    sleepers: AtomicUsize,
+    lock: parking_lot::Mutex<()>,
+    cv: parking_lot::Condvar,
+}
+
+/// Unproductive passes a worker spends yielding before it parks on the
+/// condvar. Short stalls (a peer is mid-batch) stay in the spin tier;
+/// only genuinely starved workers pay the syscall.
+const SPIN_PASSES: u32 = 64;
+
+/// Park timeout: a failsafe re-check so no missed-wakeup scenario (or a
+/// peer that exits without a final bump) can wedge a worker.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+impl ProgressGate {
+    fn new() -> ProgressGate {
+        ProgressGate {
+            epoch: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            lock: parking_lot::Mutex::new(()),
+            cv: parking_lot::Condvar::new(),
+        }
+    }
+
+    /// Publish progress: bump the epoch and wake parked workers. The
+    /// sleeper check keeps the contended-lock cost off the hot path
+    /// when nobody is parked (the common case).
+    fn bump(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(self.lock.lock());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Park until the epoch moves past `seen` (or the failsafe timeout).
+    /// The sleeper count is raised before the epoch re-check, pairing
+    /// with [`bump`](Self::bump)'s increment-then-check so one side
+    /// always sees the other.
+    fn park_if_stale(&self, seen: u64) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.lock.lock();
+        if self.epoch.load(Ordering::SeqCst) == seen {
+            self.cv.wait_for(&mut guard, PARK_TIMEOUT);
+        }
+        drop(guard);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Execute `rounds` granularity-`T` batches of every segment of `p` on
-/// `workers` threads (segments stay on their assigned worker for the
-/// whole run; threads themselves are not core-bound). Fires node `v` exactly
-/// `rounds·T·gain(v)` times; returns aggregate and per-worker stats,
-/// with the sink digest for equivalence checking.
+/// `workers` threads with the default placement and no pinning —
+/// shorthand for [`execute_dag_cfg`] with a plain [`RunConfig`].
 pub fn execute_dag(
     inst: Instance,
     ra: &RateAnalysis,
@@ -52,9 +157,50 @@ pub fn execute_dag(
     workers: usize,
     placement: Placement,
 ) -> Result<DagRunStats, DagExecError> {
+    execute_dag_cfg(
+        inst,
+        ra,
+        p,
+        m_items,
+        rounds,
+        &RunConfig::new(workers).with_placement(placement),
+    )
+}
+
+/// Execute `rounds` granularity-`T` batches of every segment of `p`
+/// under `cfg`: segments stay on their assigned worker for the whole
+/// run, and workers optionally bind to cores of the configured
+/// topology. Fires node `v` exactly `rounds·T·gain(v)` times; returns
+/// aggregate and per-worker stats, with the sink digest for
+/// equivalence checking.
+pub fn execute_dag_cfg(
+    inst: Instance,
+    ra: &RateAnalysis,
+    p: &Partition,
+    m_items: u64,
+    rounds: u64,
+    cfg: &RunConfig,
+) -> Result<DagRunStats, DagExecError> {
+    let workers = cfg.workers.max(1);
     let g = &inst.graph;
     let plan = ExecPlan::build(g, ra, p, m_items)?;
-    let owner = assign(g, ra, &plan, workers, placement);
+    // Only pay for host discovery (sysfs walks) when something will
+    // actually consume the topology; the flat machine is equivalent for
+    // distance-free placements without pinning.
+    let topo = match &cfg.topology {
+        Some(t) => t.clone(),
+        None if cfg.placement == Placement::Llc || cfg.pin_cores => Topology::discover(),
+        None => Topology::single_cluster(workers),
+    };
+    let owner = assign_on(g, ra, &plan, workers, cfg.placement, &topo, cfg.pin_cores);
+    let bindings: Vec<Option<CoreBinding>> = if cfg.pin_cores {
+        plan_bindings(&topo, workers)
+            .into_iter()
+            .map(Some)
+            .collect()
+    } else {
+        vec![None; workers]
+    };
 
     // Rings sized by the plan: cross edges double-buffered, internal
     // edges at their dry-run highwater.
@@ -125,15 +271,20 @@ pub fn execute_dag(
     let graph = g;
     let plan_ref = &plan;
     let rings_ref: &[SpscRing] = &rings;
+    let gate = ProgressGate::new();
+    let gate_ref = &gate;
 
     let start = Instant::now();
     let mut results: Vec<(Vec<SegTask>, WorkerStats)> = Vec::with_capacity(workers);
     crossbeam::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for (w, my_tasks) in per_worker.into_iter().enumerate() {
-            handles.push(
-                scope.spawn(move |_| worker_loop(graph, plan_ref, rings_ref, w, my_tasks, rounds)),
-            );
+            let binding = bindings[w];
+            handles.push(scope.spawn(move |_| {
+                worker_loop(
+                    graph, plan_ref, rings_ref, gate_ref, w, binding, my_tasks, rounds,
+                )
+            }));
         }
         for h in handles {
             results.push(h.join().expect("worker panicked"));
@@ -199,23 +350,34 @@ fn schedulable(plan: &ExecPlan, rings: &[SpscRing], seg: usize) -> bool {
             .all(|&(e, n)| rings[e.idx()].space() as u64 >= n)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     g: &ccs_graph::StreamGraph,
     plan: &ExecPlan,
     rings: &[SpscRing],
+    gate: &ProgressGate,
     worker: usize,
+    binding: Option<CoreBinding>,
     mut tasks: Vec<SegTask>,
     rounds: u64,
 ) -> (Vec<SegTask>, WorkerStats) {
+    let pinned_cpu = binding.and_then(|b| pin_current_thread(b.cpu).pinned().then_some(b.cpu));
     let mut stats = WorkerStats {
         worker,
         segments: tasks.iter().map(|t| t.seg).collect(),
         firings: 0,
         batches: 0,
         stalls: 0,
+        stall_time: Duration::ZERO,
         busy: Duration::ZERO,
+        pinned_cpu,
     };
+    let mut unproductive = 0u32;
     loop {
+        // Epoch snapshot *before* scanning: progress a peer makes during
+        // the scan moves the epoch past this value, so a post-scan park
+        // re-checks immediately instead of sleeping through the wakeup.
+        let epoch = gate.epoch.load(Ordering::SeqCst);
         let mut progressed = false;
         let mut all_done = true;
         for task in &mut tasks {
@@ -232,14 +394,24 @@ fn worker_loop(
             task.done += 1;
             stats.batches += 1;
             progressed = true;
+            gate.bump();
         }
         if all_done {
             break;
         }
-        if !progressed {
-            stats.stalls += 1;
-            std::thread::yield_now();
+        if progressed {
+            unproductive = 0;
+            continue;
         }
+        stats.stalls += 1;
+        unproductive += 1;
+        let t0 = Instant::now();
+        if unproductive <= SPIN_PASSES {
+            std::thread::yield_now();
+        } else {
+            gate.park_if_stale(epoch);
+        }
+        stats.stall_time += t0.elapsed();
     }
     (tasks, stats)
 }
@@ -273,6 +445,7 @@ mod tests {
     use ccs_graph::gen::{self, LayeredCfg, PipelineCfg, StateDist};
     use ccs_partition::dag_greedy;
     use ccs_sched::partitioned;
+    use ccs_topo::TopoSpec;
 
     /// Serial reference: same number of granularity-T rounds through the
     /// serial executor.
@@ -328,7 +501,7 @@ mod tests {
             let ra = RateAnalysis::analyze_single_io(&g).unwrap();
             let pp = ccs_partition::pipeline::greedy_theorem5(&g, &ra, 48).unwrap();
             let want = serial_digest(&g, &ra, &pp.partition, 48, 2);
-            for placement in [Placement::RoundRobin, Placement::CommGreedy] {
+            for placement in [Placement::RoundRobin, Placement::CommGreedy, Placement::Llc] {
                 let inst = Instance::synthetic(g.clone());
                 let stats = execute_dag(inst, &ra, &pp.partition, 48, 2, 3, placement).unwrap();
                 assert_eq!(
@@ -375,5 +548,57 @@ mod tests {
         let stats = execute_dag(inst, &ra, &p, 8, 0, 2, Placement::RoundRobin).unwrap();
         assert_eq!(stats.run.firings, 0);
         assert_eq!(stats.run.sink_items, 0);
+    }
+
+    #[test]
+    fn oversubscribed_run_parks_instead_of_spinning() {
+        // Far more workers than segments can occupy: the idle workers
+        // must fall through the spin tier into the condvar and still
+        // terminate with the right digest.
+        let g = gen::pipeline_uniform(12, 32);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let p = dag_greedy::greedy_topo(&g, 64);
+        let want = serial_digest(&g, &ra, &p, 32, 8);
+        let inst = Instance::synthetic(g.clone());
+        let stats = execute_dag(inst, &ra, &p, 32, 8, 8, Placement::RoundRobin).unwrap();
+        assert_eq!(stats.run.digest, want);
+        // Stall wall-clock is measured (some worker must have waited).
+        assert!(stats.total_stalls() > 0);
+        assert!(stats.total_stall_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn pinned_run_matches_unpinned_digest() {
+        let g = gen::pipeline_uniform(10, 32);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let p = dag_greedy::greedy_topo(&g, 64);
+        let topo = Topology::synthetic(&TopoSpec::new(1, 2, 2));
+        let mut digests = Vec::new();
+        for pin in [false, true] {
+            let cfg = RunConfig::new(3)
+                .with_placement(Placement::Llc)
+                .with_topology(topo.clone())
+                .with_pinning(pin);
+            let inst = Instance::synthetic(g.clone());
+            let stats = execute_dag_cfg(inst, &ra, &p, 32, 4, &cfg).unwrap();
+            digests.push(stats.run.digest);
+            if !pin {
+                assert!(stats.workers.iter().all(|w| w.pinned_cpu.is_none()));
+            }
+        }
+        assert_eq!(digests[0], digests[1]);
+    }
+
+    #[test]
+    fn run_config_builder() {
+        let topo = Topology::single_cluster(2);
+        let cfg = RunConfig::new(4)
+            .with_placement(Placement::Llc)
+            .with_topology(topo)
+            .with_pinning(true);
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.placement, Placement::Llc);
+        assert!(cfg.pin_cores);
+        assert!(cfg.topology.is_some());
     }
 }

@@ -15,10 +15,18 @@ pub struct WorkerStats {
     /// Batches (granularity-`T` rounds of one segment) executed.
     pub batches: u64,
     /// Scheduling passes in which no pinned segment was schedulable
-    /// (the worker yielded) — the executor's stall measure.
+    /// (the worker spun or slept) — the executor's stall count.
     pub stalls: u64,
-    /// Time spent actually firing kernels (excludes stall spins).
+    /// Wall-clock (monotonic) time spent in those unproductive passes:
+    /// yielding in the bounded spin plus blocking on the progress
+    /// condvar. `stall_time / (stall_time + busy)` is the worker's
+    /// stall overhead.
+    pub stall_time: Duration,
+    /// Time spent actually firing kernels (excludes stalls).
     pub busy: Duration,
+    /// OS cpu id this worker was successfully pinned to, if core
+    /// pinning was requested and `sched_setaffinity` accepted it.
+    pub pinned_cpu: Option<usize>,
 }
 
 /// Outcome of a parallel dag execution.
@@ -51,5 +59,18 @@ impl DagRunStats {
     /// Total stall passes across workers.
     pub fn total_stalls(&self) -> u64 {
         self.workers.iter().map(|w| w.stalls).sum()
+    }
+
+    /// Total wall-clock stall time across workers.
+    pub fn total_stall_time(&self) -> Duration {
+        self.workers.iter().map(|w| w.stall_time).sum()
+    }
+
+    /// Workers that were actually pinned to a core.
+    pub fn pinned_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.pinned_cpu.is_some())
+            .count()
     }
 }

@@ -1,6 +1,6 @@
 //! Binding a streaming graph to real kernels.
 
-use crate::kernel::{Kernel, SinkCollect, SourceGen, SyntheticKernel};
+use crate::kernel::{ForwardDigest, Kernel, SinkCollect, SourceGen, SyntheticKernel};
 use ccs_graph::{NodeId, StreamGraph};
 
 /// A runnable instantiation: one kernel per module of the graph.
@@ -50,6 +50,37 @@ impl Instance {
         })
     }
 
+    /// Rebuild this instance over
+    /// [`ccs_graph::gen::add_super_endpoints`]: a unit-state super-source
+    /// feeds every original source and a unit-state super-sink drains
+    /// every original sink, turning a multi-I/O graph into the
+    /// single-source/single-sink form the paper's schedulers assume.
+    /// Original kernels carry over unchanged, except that each original
+    /// sink is wrapped in [`ForwardDigest`] so its new output edge
+    /// carries a data-dependent stream (the super-sink's digest then
+    /// still witnesses the whole computation).
+    ///
+    /// Panics if the graph is not rate matched (the super-endpoint
+    /// rates come from its repetition vector); validate with
+    /// `RateAnalysis::analyze` first when the graph is untrusted.
+    pub fn with_super_endpoints(self) -> Instance {
+        let g2 = ccs_graph::gen::add_super_endpoints(&self.graph);
+        // add_super_endpoints builds: node 0 = super-source, originals
+        // shifted by one, last node = super-sink.
+        let sinks: Vec<usize> = self.graph.sinks().iter().map(|v| v.idx()).collect();
+        let mut kernels: Vec<Box<dyn Kernel>> = Vec::with_capacity(g2.node_count());
+        kernels.push(Box::new(SourceGen::new(1)));
+        for (i, k) in self.kernels.into_iter().enumerate() {
+            if sinks.contains(&i) {
+                kernels.push(Box::new(ForwardDigest::new(k)));
+            } else {
+                kernels.push(k);
+            }
+        }
+        kernels.push(Box::new(SinkCollect::new(1)));
+        Instance { graph: g2, kernels }
+    }
+
     /// The sink kernel's digest, if the sink accumulates one.
     pub fn sink_digest(&self) -> Option<u64> {
         let sink = self.graph.single_sink()?;
@@ -79,5 +110,53 @@ mod tests {
     fn mismatched_factory_rejected() {
         let g = gen::pipeline_uniform(3, 64);
         Instance::with_factory(g, |_, _| Box::new(SyntheticKernel::new(3, false)));
+    }
+
+    /// Two sources fan into a mixer that fans out to two sinks.
+    fn fan_in_fan_out() -> StreamGraph {
+        let mut b = ccs_graph::GraphBuilder::new();
+        let s1 = b.node("src1", 8);
+        let s2 = b.node("src2", 8);
+        let m = b.node("mix", 16);
+        let t1 = b.node("sink1", 8);
+        let t2 = b.node("sink2", 8);
+        b.edge(s1, m, 1, 1);
+        b.edge(s2, m, 1, 1);
+        b.edge(m, t1, 1, 1);
+        b.edge(m, t2, 1, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn super_endpoints_make_multi_io_single_io() {
+        let g = fan_in_fan_out();
+        assert!(g.single_source().is_none() && g.single_sink().is_none());
+        let inst = Instance::synthetic(g.clone()).with_super_endpoints();
+        assert_eq!(inst.graph.node_count(), g.node_count() + 2);
+        assert!(inst.graph.single_source().is_some());
+        assert!(inst.graph.single_sink().is_some());
+        assert_eq!(inst.kernels.len(), inst.graph.node_count());
+        // Kernel states still match the graph everywhere.
+        for v in inst.graph.node_ids() {
+            assert_eq!(
+                inst.kernels[v.idx()].state_words() as u64,
+                inst.graph.state(v).max(1)
+            );
+        }
+    }
+
+    #[test]
+    fn forward_digest_wrapper_is_data_dependent() {
+        use crate::kernel::{ForwardDigest, Kernel, SinkCollect};
+        let mut a = ForwardDigest::new(Box::new(SinkCollect::new(4)));
+        let mut b = ForwardDigest::new(Box::new(SinkCollect::new(4)));
+        let mut out_a = vec![vec![0.0f32]];
+        let mut out_b = vec![vec![0.0f32]];
+        a.fire(&[vec![1.0, 2.0]], &mut out_a);
+        b.fire(&[vec![2.0, 1.0]], &mut out_b);
+        // Different streams → different forwarded values and digests.
+        assert_ne!(out_a, out_b);
+        assert_ne!(a.digest(), b.digest());
+        assert!(a.digest().is_some());
     }
 }

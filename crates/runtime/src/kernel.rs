@@ -27,6 +27,17 @@ pub(crate) fn state_sweep(state: &[f32]) -> f32 {
     acc.iter().sum::<f32>() + tail
 }
 
+/// Fold one stream item into an FNV-1a digest over its bit pattern —
+/// the order-sensitive hash that defines the cross-executor equivalence
+/// contract ([`SinkCollect`] and [`ForwardDigest`] must agree on it).
+#[inline]
+pub(crate) fn fnv1a_fold(hash: u64, x: f32) -> u64 {
+    (hash ^ x.to_bits() as u64).wrapping_mul(0x100000001b3)
+}
+
+/// The FNV-1a offset basis both digest kernels start from.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
 /// A module implementation. One `fire` consumes `in(e)` items from each
 /// input buffer and fills `out(e)` items in each output buffer (buffer
 /// lengths are exactly the rates; the executor owns the ring buffers and
@@ -99,7 +110,7 @@ pub struct SinkCollect {
 impl SinkCollect {
     pub fn new(state_words: usize) -> SinkCollect {
         SinkCollect {
-            hash: 0xcbf29ce484222325, // FNV offset basis
+            hash: FNV_OFFSET,
             count: 0,
             table: (0..state_words.max(1)).map(|i| i as f32 * 0.11).collect(),
         }
@@ -119,9 +130,7 @@ impl Kernel for SinkCollect {
         let _ = state_sweep(&self.table);
         for input in inputs {
             for &x in input.iter() {
-                // FNV-1a over the bit pattern: order sensitive, exact.
-                self.hash ^= x.to_bits() as u64;
-                self.hash = self.hash.wrapping_mul(0x100000001b3);
+                self.hash = fnv1a_fold(self.hash, x);
                 self.count += 1;
             }
         }
@@ -237,6 +246,52 @@ impl Kernel for SyntheticKernel {
                 *slot = y;
             }
         }
+    }
+}
+
+/// Wraps an original sink's kernel when a super-sink is appended behind
+/// it (`Instance::with_super_endpoints`): the inner kernel still
+/// consumes the stream and keeps its digest, while the wrapper forwards
+/// a running hash of everything consumed on the node's new output edge
+/// — so the super-sink's digest stays sensitive to the actual data, not
+/// just the item count.
+pub struct ForwardDigest {
+    inner: Box<dyn Kernel>,
+    hash: u64,
+}
+
+impl ForwardDigest {
+    pub fn new(inner: Box<dyn Kernel>) -> ForwardDigest {
+        ForwardDigest {
+            inner,
+            hash: FNV_OFFSET,
+        }
+    }
+}
+
+impl Kernel for ForwardDigest {
+    fn state_words(&self) -> usize {
+        self.inner.state_words()
+    }
+
+    fn fire(&mut self, inputs: &[Vec<f32>], outputs: &mut [Vec<f32>]) {
+        for input in inputs {
+            for &x in input.iter() {
+                self.hash = fnv1a_fold(self.hash, x);
+            }
+        }
+        // The inner kernel was a sink: it expects no output ports.
+        self.inner.fire(inputs, &mut []);
+        let y = (self.hash >> 40) as f32 * (1.0 / (1 << 24) as f32);
+        for out in outputs.iter_mut() {
+            for slot in out.iter_mut() {
+                *slot = y;
+            }
+        }
+    }
+
+    fn digest(&self) -> Option<u64> {
+        self.inner.digest()
     }
 }
 

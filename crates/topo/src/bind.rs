@@ -1,0 +1,173 @@
+//! Binding worker threads to cores.
+//!
+//! Segment→worker affinity only pays off if the worker actually stays
+//! on one core: otherwise the OS migrates the thread and the segment's
+//! working set follows it from cache to cache. [`plan_bindings`] deals
+//! workers onto cores in the topology's cache-compact order (fill one
+//! LLC cluster before touching the next), and [`pin_current_thread`]
+//! applies a binding with `sched_setaffinity` — a raw syscall through
+//! the vendored `libc` shim on Linux, a graceful no-op elsewhere.
+
+use crate::Topology;
+
+/// One worker's planned core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreBinding {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Core index into [`Topology::cores`].
+    pub core: usize,
+    /// OS logical cpu id to pin to.
+    pub cpu: usize,
+}
+
+/// What happened when a thread tried to pin itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinOutcome {
+    /// The affinity mask was applied.
+    Pinned,
+    /// The kernel rejected the mask (cpu offline, outside the cgroup's
+    /// cpuset, or a synthetic cpu id this machine doesn't have). The
+    /// thread keeps its previous affinity and the run proceeds unpinned.
+    Failed,
+    /// Not a Linux host; pinning is compiled out.
+    Unsupported,
+}
+
+impl PinOutcome {
+    pub fn pinned(&self) -> bool {
+        matches!(self, PinOutcome::Pinned)
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            PinOutcome::Pinned => "pinned",
+            PinOutcome::Failed => "failed",
+            PinOutcome::Unsupported => "unsupported",
+        }
+    }
+}
+
+/// Deal `workers` workers onto cores: worker `w` takes core `w mod
+/// cores` in the topology's cache-compact core order, so consecutive
+/// workers pack one LLC cluster before spilling into the next, and
+/// oversubscribed runs (workers > cores) wrap around.
+pub fn plan_bindings(topo: &Topology, workers: usize) -> Vec<CoreBinding> {
+    (0..workers)
+        .map(|w| {
+            let core = w % topo.core_count();
+            CoreBinding {
+                worker: w,
+                core,
+                cpu: topo.core(core).cpu,
+            }
+        })
+        .collect()
+}
+
+/// Size of the affinity mask in 64-bit words (covers 1024 cpus, same as
+/// glibc's `cpu_set_t`).
+const MASK_WORDS: usize = 16;
+
+/// Pin the calling thread to `cpu` (no-op off Linux).
+pub fn pin_current_thread(cpu: usize) -> PinOutcome {
+    set_affinity(std::slice::from_ref(&cpu))
+}
+
+/// The set of cpus the calling thread may run on, ascending. `None`
+/// where unsupported or on syscall failure.
+#[cfg(target_os = "linux")]
+pub fn current_affinity() -> Option<Vec<usize>> {
+    let mut mask = [0u64; MASK_WORDS];
+    let rc = unsafe { libc::sched_getaffinity(0, MASK_WORDS * 8, mask.as_mut_ptr()) };
+    if rc != 0 {
+        return None;
+    }
+    let mut cpus = Vec::new();
+    for (w, &word) in mask.iter().enumerate() {
+        for b in 0..64 {
+            if word & (1u64 << b) != 0 {
+                cpus.push(w * 64 + b);
+            }
+        }
+    }
+    Some(cpus)
+}
+
+/// The set of cpus the calling thread may run on (`None` off Linux).
+#[cfg(not(target_os = "linux"))]
+pub fn current_affinity() -> Option<Vec<usize>> {
+    None
+}
+
+/// Restrict the calling thread to `cpus` (single-cpu pinning and
+/// restoring a previously observed set are both this call). `Failed`
+/// leaves the previous affinity intact.
+#[cfg(target_os = "linux")]
+pub fn set_affinity(cpus: &[usize]) -> PinOutcome {
+    let mut mask = [0u64; MASK_WORDS];
+    for &cpu in cpus {
+        if cpu >= MASK_WORDS * 64 {
+            return PinOutcome::Failed;
+        }
+        mask[cpu / 64] |= 1u64 << (cpu % 64);
+    }
+    let rc = unsafe { libc::sched_setaffinity(0, MASK_WORDS * 8, mask.as_ptr()) };
+    if rc == 0 {
+        PinOutcome::Pinned
+    } else {
+        PinOutcome::Failed
+    }
+}
+
+/// Restrict the calling thread to `cpus` (no-op off Linux).
+#[cfg(not(target_os = "linux"))]
+pub fn set_affinity(_cpus: &[usize]) -> PinOutcome {
+    PinOutcome::Unsupported
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopoSpec;
+
+    #[test]
+    fn bindings_fill_clusters_compactly() {
+        let t = Topology::synthetic(&TopoSpec::new(1, 2, 2));
+        let b = plan_bindings(&t, 6);
+        assert_eq!(b.len(), 6);
+        // Cores 0,1 are cluster 0; 2,3 cluster 1; then wrap.
+        let cores: Vec<usize> = b.iter().map(|x| x.core).collect();
+        assert_eq!(cores, vec![0, 1, 2, 3, 0, 1]);
+        assert!(b.iter().all(|x| x.cpu == t.core(x.core).cpu));
+        assert_eq!(t.core(b[0].core).cluster, t.core(b[1].core).cluster);
+        assert_ne!(t.core(b[1].core).cluster, t.core(b[2].core).cluster);
+    }
+
+    #[test]
+    fn absurd_cpu_id_fails_cleanly() {
+        let out = pin_current_thread(usize::MAX);
+        assert!(!out.pinned());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pin_and_restore_on_linux() {
+        let Some(before) = current_affinity() else {
+            return; // kernel said no; nothing to test
+        };
+        assert!(!before.is_empty());
+        let target = before[0];
+        assert_eq!(pin_current_thread(target), PinOutcome::Pinned);
+        assert_eq!(current_affinity(), Some(vec![target]));
+        assert_eq!(set_affinity(&before), PinOutcome::Pinned);
+        assert_eq!(current_affinity(), Some(before));
+    }
+
+    #[test]
+    fn outcome_names() {
+        assert_eq!(PinOutcome::Pinned.name(), "pinned");
+        assert!(PinOutcome::Pinned.pinned());
+        assert!(!PinOutcome::Unsupported.pinned());
+    }
+}

@@ -1,0 +1,86 @@
+//! The placement cost order between two cores.
+
+use std::fmt;
+
+/// How far apart two cores sit in the cache/interconnect tree. The
+/// derived `Ord` encodes the placement cost order the paper's
+/// cache-residency argument needs:
+/// `SameCore < SameLlc < SameNode < CrossNode`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Distance {
+    /// The same hardware execution context: traffic never leaves the
+    /// core's private caches.
+    SameCore,
+    /// Different cores sharing a last-level cache: cross traffic is an
+    /// LLC hit.
+    SameLlc,
+    /// Same NUMA node, different LLC: traffic goes through the on-die
+    /// interconnect but stays on local memory.
+    SameNode,
+    /// Different NUMA nodes: the expensive case every placement tries
+    /// to starve of traffic.
+    CrossNode,
+}
+
+impl Distance {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distance::SameCore => "same-core",
+            Distance::SameLlc => "same-llc",
+            Distance::SameNode => "same-node",
+            Distance::CrossNode => "cross-node",
+        }
+    }
+
+    /// Affinity weight for placement scoring: one unit of edge traffic
+    /// at this distance is worth this many score points, so a greedy
+    /// placement prefers keeping communicating segments as close as the
+    /// load cap allows. Monotone decreasing in distance; `CrossNode`
+    /// traffic is worthless.
+    pub fn affinity_weight(&self) -> u64 {
+        match self {
+            Distance::SameCore => 4,
+            Distance::SameLlc => 2,
+            Distance::SameNode => 1,
+            Distance::CrossNode => 0,
+        }
+    }
+}
+
+impl fmt::Display for Distance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_the_cost_order() {
+        assert!(Distance::SameCore < Distance::SameLlc);
+        assert!(Distance::SameLlc < Distance::SameNode);
+        assert!(Distance::SameNode < Distance::CrossNode);
+    }
+
+    #[test]
+    fn weights_decrease_with_distance() {
+        let ws: Vec<u64> = [
+            Distance::SameCore,
+            Distance::SameLlc,
+            Distance::SameNode,
+            Distance::CrossNode,
+        ]
+        .iter()
+        .map(|d| d.affinity_weight())
+        .collect();
+        assert!(ws.windows(2).all(|w| w[0] > w[1]), "{ws:?}");
+        assert_eq!(ws[3], 0);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(Distance::SameLlc.to_string(), "same-llc");
+    }
+}

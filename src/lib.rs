@@ -12,8 +12,10 @@
 //! * [`sched`] — partitioned two-level schedulers plus literature baselines,
 //!   and the symbolic executor that turns schedules into memory traces.
 //! * [`runtime`] — real executors (serial + parallel) over ring buffers.
+//! * [`topo`] — machine topology (NUMA nodes → LLC clusters → cores):
+//!   sysfs discovery, synthetic specs, distances, core pinning.
 //! * [`exec`] — the cache-aware multicore dag executor with
-//!   segment-affine workers.
+//!   segment-affine workers, topology-aware placement, and core pinning.
 //! * [`apps`] — StreamIt-style application suite.
 //! * [`core`] — the high-level [`core::Planner`] API and lower-bound
 //!   calculators.
@@ -28,5 +30,6 @@ pub use ccs_graph as graph;
 pub use ccs_partition as partition;
 pub use ccs_runtime as runtime;
 pub use ccs_sched as sched;
+pub use ccs_topo as topo;
 
 pub use ccs_core::prelude;

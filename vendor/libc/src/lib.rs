@@ -1,0 +1,38 @@
+//! Offline shim of `libc`, vendored because the build environment has no
+//! network access: only the CPU-affinity entry points `ccs-topo` uses.
+//!
+//! On Linux, Rust's `std` already links the platform C library, so these
+//! `extern "C"` declarations bind to the real glibc/musl symbols at link
+//! time — no new link flags needed. The mask is passed as `*const u64`
+//! words rather than a `cpu_set_t` struct; the kernel ABI is just a bit
+//! array, so the representations agree for any `cpusetsize` that is a
+//! multiple of 8.
+//!
+//! Off Linux the module is empty and callers must compile the calls out
+//! (`ccs-topo::bind` degrades to a no-op).
+
+#![allow(non_camel_case_types)]
+
+pub type pid_t = i32;
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    /// Restrict thread `pid` (0 = calling thread) to the CPUs set in
+    /// `mask`, a bit array of `cpusetsize` bytes. Returns 0 on success.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: usize, mask: *const u64) -> i32;
+
+    /// Read the affinity mask of thread `pid` (0 = calling thread) into
+    /// `mask`. Returns 0 on success.
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: usize, mask: *mut u64) -> i32;
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    #[test]
+    fn getaffinity_reports_at_least_one_cpu() {
+        let mut mask = [0u64; 16];
+        let rc = unsafe { super::sched_getaffinity(0, 16 * 8, mask.as_mut_ptr()) };
+        assert_eq!(rc, 0);
+        assert!(mask.iter().any(|&w| w != 0), "no CPU allowed?");
+    }
+}

@@ -1,15 +1,34 @@
 //! Offline shim of `parking_lot`, vendored because the build
-//! environment has no network access: the `Mutex` API (no lock
-//! poisoning, `lock()` returns the guard directly) over
-//! `std::sync::Mutex`.
+//! environment has no network access: the `Mutex` and `Condvar` APIs
+//! (no lock poisoning, `lock()` returns the guard directly, `wait`
+//! takes the guard by `&mut`) over their `std::sync` counterparts.
 
+use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
+use std::time::Duration;
 
 pub struct Mutex<T: ?Sized> {
     inner: std::sync::Mutex<T>,
 }
 
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// Guard wrapping `std`'s so [`Condvar::wait`] can take it by `&mut`
+/// (parking_lot's signature) while `std`'s `wait` consumes it.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
 
 impl<T> Mutex<T> {
     pub fn new(value: T) -> Mutex<T> {
@@ -29,21 +48,86 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock; like parking_lot, poisoning does not exist
     /// (a poisoned std mutex just yields its data).
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
 }
 
+/// Result of [`Condvar::wait_for`]: whether the wait hit its timeout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// parking_lot-shaped condition variable over `std::sync::Condvar`.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified, releasing the mutex while waiting. Spurious
+    /// wakeups are possible (as in parking_lot); callers must re-check
+    /// their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present");
+        guard.inner = Some(self.inner.wait(g).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present");
+        let (g, res) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Condvar, Mutex};
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn lock_and_into_inner() {
@@ -54,5 +138,32 @@ mod tests {
         }
         assert!(m.try_lock().is_some());
         assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notify() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(1));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn notify_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        h.join().unwrap();
     }
 }
