@@ -42,12 +42,15 @@ USAGE:
   ccs partition FILE --m M [--b B] [--strategy greedy2m|dp|dag|exact]
   ccs simulate FILE --m M [--b B] [--outputs T] [--json]
   ccs run-dag  FILE --m M [--b B] [--workers N] [--rounds R]
-               [--placement rr|greedy|llc] [--topo NxCxK] [--pin-cores]
-               [--strategy ...] [--json]
+               [--placement rr|greedy|llc] [--topo NxCxK | --topo-from DUMP]
+               [--pin-cores] [--counters] [--strategy ...] [--json]
                (real multicore execution with segment-affine workers;
-                llc placement + pinning use the machine topology)
-  ccs topo [--topo NxCxK] [--json]
-               (print the discovered or synthetic machine topology)
+                llc placement + pinning use the machine topology;
+                --counters samples hardware cache counters per worker)
+  ccs topo [--topo NxCxK | --from DUMP] [--json]
+               (print the discovered, synthetic, or replayed machine
+                topology plus perf-counter availability; the --json dump
+                is what --from / --topo-from replay)
   ccs compare FILE --m M [--b B] [--outputs T]
   ccs autotune FILE --m M [--b B] [--outputs T]
   ccs fuse FILE --m M [--b B] [-o FILE]       (partition, then fuse)
@@ -219,12 +222,54 @@ fn simulate(args: &Args) -> CliResult {
     }
 }
 
-/// Topology from `--topo NxCxK` (synthetic) or host discovery.
+/// Topology from `--topo NxCxK` (synthetic), `--topo-from`/`--from`
+/// (replay of a `ccs topo --json` dump), or `None` for host discovery.
 fn topo_of(args: &Args) -> Result<Option<Topology>, Box<dyn Error>> {
-    match args.flag("topo") {
-        None => Ok(None),
-        Some(spec) => Ok(Some(Topology::synthetic(&spec.parse::<TopoSpec>()?))),
+    let from = args.flag("topo-from").or_else(|| args.flag("from"));
+    match (args.flag("topo"), from) {
+        (Some(_), Some(_)) => Err("--topo and --topo-from/--from are mutually exclusive".into()),
+        (Some(spec), None) => Ok(Some(Topology::synthetic(&spec.parse::<TopoSpec>()?))),
+        (None, Some(path)) => Ok(Some(load_topo_dump(path)?)),
+        (None, None) => Ok(None),
     }
+}
+
+/// Rebuild a machine tree from a `ccs topo --json` dump: each entry of
+/// the `clusters` array is one LLC cluster, `(os_node, cpus)` — enough
+/// to replay another machine's topology here for placement inspection.
+fn load_topo_dump(path: &str) -> Result<Topology, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path} is not JSON: {e}"))?;
+    let serde_json::Value::Array(clusters) = &v["clusters"] else {
+        return Err(format!("{path}: no `clusters` array (want a `ccs topo --json` dump)").into());
+    };
+    let mut groups = Vec::with_capacity(clusters.len());
+    for c in clusters {
+        // `os_node` is the authoritative id; older dumps may only have
+        // the dense `node` index, which replays equivalently.
+        let node = c["os_node"]
+            .as_u64()
+            .or_else(|| c["node"].as_u64())
+            .ok_or_else(|| format!("{path}: cluster without os_node/node"))?
+            as usize;
+        let serde_json::Value::Array(cpu_vals) = &c["cpus"] else {
+            return Err(format!("{path}: cluster without a cpus array").into());
+        };
+        let cpus = cpu_vals
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .map(|u| u as usize)
+                    .ok_or_else(|| format!("{path}: non-integer cpu id"))
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+        groups.push((node, cpus));
+    }
+    if groups.iter().all(|(_, cpus)| cpus.is_empty()) {
+        return Err(format!("{path}: dump describes no cpus").into());
+    }
+    Ok(Topology::from_replay(groups))
 }
 
 fn run_dag(args: &Args) -> CliResult {
@@ -237,15 +282,18 @@ fn run_dag(args: &Args) -> CliResult {
         Some(name) => ccs_exec::Placement::parse(name)
             .ok_or_else(|| format!("unknown placement '{name}' (rr|greedy|llc)"))?,
     };
+    let counters = args.has("counters");
     let mut cfg = RunConfig::new(workers)
         .with_placement(placement)
-        .with_pinning(args.has("pin-cores"));
+        .with_pinning(args.has("pin-cores"))
+        .with_counters(counters);
     if let Some(topo) = topo_of(args)? {
         cfg = cfg.with_topology(topo);
     }
     let inst = ccs_runtime::Instance::synthetic(g);
     let pr = planner.plan_and_run_parallel(inst, rounds, &cfg)?;
     let stats = &pr.stats;
+    let totals = stats.counter_totals();
     if args.has("json") {
         let workers_json: Vec<serde_json::Value> = stats
             .workers
@@ -260,9 +308,24 @@ fn run_dag(args: &Args) -> CliResult {
                     "stall_ms": w.stall_time.as_secs_f64() * 1e3,
                     "busy_ms": w.busy.as_secs_f64() * 1e3,
                     "pinned_cpu": w.pinned_cpu,
+                    "counters": w.counters.as_ref().map(|s| s.to_json(None)),
                 })
             })
             .collect();
+        // Counter tri-state: "off" (not requested), "unavailable"
+        // (requested, nothing opened anywhere — containers, paranoid),
+        // or the aggregated readings.
+        let counters_json = if !counters {
+            serde_json::Value::String("off".into())
+        } else {
+            match &totals {
+                // Per-worker samples get no item denominator (items are
+                // a sink-level quantity), so only the aggregate carries
+                // llc_misses_per_item.
+                Some(t) => t.to_json(Some(stats.run.sink_items)),
+                None => serde_json::Value::String("unavailable".into()),
+            }
+        };
         return Ok(serde_json::to_string_pretty(&serde_json::json!({
             "strategy": pr.strategy_used,
             "placement": placement.name(),
@@ -279,6 +342,8 @@ fn run_dag(args: &Args) -> CliResult {
             "stall_ms": stats.total_stall_time().as_secs_f64() * 1e3,
             "items_per_sec": stats.items_per_sec(),
             "digest": format!("{:016x}", stats.run.digest.unwrap_or(0)),
+            "counters": counters_json,
+            "counted_workers": stats.counted_workers(),
             "per_worker": workers_json,
         }))?);
     }
@@ -307,10 +372,49 @@ fn run_dag(args: &Args) -> CliResult {
         stats.items_per_sec() / 1e6,
         stats.run.digest.unwrap_or(0),
     );
+    if counters {
+        match &totals {
+            Some(t) => {
+                use ccs_perf::CounterKind as K;
+                let _ = writeln!(
+                    out,
+                    "counters ({} worker{}): llc misses {}{} | mpki {} | ipc {}{}",
+                    stats.counted_workers(),
+                    if stats.counted_workers() == 1 {
+                        ""
+                    } else {
+                        "s"
+                    },
+                    t.get(K::LlcMisses).map_or("n/a".into(), |v| v.to_string()),
+                    stats
+                        .llc_misses_per_item()
+                        .map_or(String::new(), |v| format!(" ({v:.3}/item)")),
+                    t.mpki().map_or("n/a".into(), |v| format!("{v:.3}")),
+                    t.ipc().map_or("n/a".into(), |v| format!("{v:.2}")),
+                    if t.multiplexed() {
+                        " | multiplexed (scaled)"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            None => {
+                let probe = ccs_perf::probe();
+                let _ = writeln!(
+                    out,
+                    "counters: unavailable ({})",
+                    probe
+                        .reason
+                        .as_deref()
+                        .unwrap_or("no worker opened a group"),
+                );
+            }
+        }
+    }
     for w in &stats.workers {
         let _ = writeln!(
             out,
-            "  worker {}{}: segments {:?}, {} firings, {} batches, {} stalls ({:.2} ms), busy {:.2} ms",
+            "  worker {}{}: segments {:?}, {} firings, {} batches, {} stalls ({:.2} ms), busy {:.2} ms{}",
             w.worker,
             match w.pinned_cpu {
                 Some(cpu) => format!(" @cpu{cpu}"),
@@ -322,6 +426,10 @@ fn run_dag(args: &Args) -> CliResult {
             w.stalls,
             w.stall_time.as_secs_f64() * 1e3,
             w.busy.as_secs_f64() * 1e3,
+            w.counters
+                .as_ref()
+                .and_then(|s| s.get(ccs_perf::CounterKind::LlcMisses))
+                .map_or(String::new(), |m| format!(", {m} llc misses")),
         );
     }
     Ok(out)
@@ -332,6 +440,7 @@ fn topo_cmd(args: &Args) -> CliResult {
         Some(t) => t,
         None => Topology::discover(),
     };
+    let probe = ccs_perf::probe();
     if args.has("json") {
         let clusters: Vec<serde_json::Value> = topo
             .clusters()
@@ -352,11 +461,28 @@ fn topo_cmd(args: &Args) -> CliResult {
             "llc_clusters": topo.cluster_count(),
             "cores": topo.core_count(),
             "clusters": clusters,
+            "perf_counters": serde_json::json!({
+                "available": probe.available,
+                "events": probe.events,
+                "reason": probe.reason,
+            }),
         }))?);
     }
     let mut out = String::new();
     use std::fmt::Write as _;
     let _ = writeln!(out, "{}", topo.summary());
+    match &probe.reason {
+        None => {
+            let _ = writeln!(
+                out,
+                "perf counters: available ({})",
+                probe.events.join(", ")
+            );
+        }
+        Some(reason) => {
+            let _ = writeln!(out, "perf counters: unavailable ({reason})");
+        }
+    }
     for (n, node) in topo.nodes().iter().enumerate() {
         if node.os_node == n {
             let _ = writeln!(out, "node {n}:");
@@ -584,6 +710,100 @@ mod tests {
         bad.extend(["--topo", "0x1"]);
         assert!(run("run-dag", &args(&bad)).is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_dag_counters_tristate() {
+        let path = tmp("g9.json");
+        run(
+            "gen",
+            &args(&["pipeline", "--len", "8", "--state", "64", "-o", &path]),
+        )
+        .unwrap();
+        let base = [&path, "--m", "1024", "--workers", "2", "--rounds", "2"];
+        // Not requested: explicit "off".
+        let mut plain: Vec<&str> = base.to_vec();
+        plain.push("--json");
+        let parsed: serde_json::Value =
+            serde_json::from_str(&run("run-dag", &args(&plain)).unwrap()).unwrap();
+        assert_eq!(parsed["counters"].as_str(), Some("off"));
+        let digest = parsed["digest"].as_str().unwrap().to_string();
+        // Requested: either aggregated readings or the explicit
+        // "unavailable" fallback — never absent, never a crash; and the
+        // digest must be untouched by instrumentation.
+        let mut counted: Vec<&str> = base.to_vec();
+        counted.extend(["--counters", "--json"]);
+        let parsed: serde_json::Value =
+            serde_json::from_str(&run("run-dag", &args(&counted)).unwrap()).unwrap();
+        assert_eq!(parsed["digest"].as_str(), Some(digest.as_str()));
+        let c = &parsed["counters"];
+        if c.as_str() == Some("unavailable") {
+            assert_eq!(parsed["counted_workers"].as_u64(), Some(0));
+            assert!(parsed["per_worker"][0]["counters"].is_null());
+        } else {
+            // The object carries the headline metric (possibly null if
+            // the LLC event didn't open on this machine).
+            assert!(c["multiplexed"].as_bool().is_some(), "{c:?}");
+            assert!(parsed["counted_workers"].as_u64().unwrap() > 0);
+        }
+        // Text mode mentions counters when requested.
+        let mut text: Vec<&str> = base.to_vec();
+        text.push("--counters");
+        let out = run("run-dag", &args(&text)).unwrap();
+        assert!(out.contains("counters"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn topo_dump_replays_on_another_machine() {
+        // Dump a synthetic 2x2x2 box, then replay the dump and place
+        // against it — the `--topo-from` path end to end.
+        let dump = run("topo", &args(&["--topo", "2x2x2", "--json"])).unwrap();
+        let path = tmp("topo-dump.json");
+        std::fs::write(&path, &dump).unwrap();
+        let out = run("topo", &args(&["--from", &path])).unwrap();
+        assert!(
+            out.contains("replay: 2 nodes x 4 llc clusters x 8 cores"),
+            "{out}"
+        );
+        let parsed: serde_json::Value =
+            serde_json::from_str(&run("topo", &args(&["--from", &path, "--json"])).unwrap())
+                .unwrap();
+        assert_eq!(parsed["source"].as_str(), Some("replay"));
+        assert_eq!(parsed["cores"].as_u64(), Some(8));
+
+        let g = tmp("g10.json");
+        run(
+            "gen",
+            &args(&["pipeline", "--len", "10", "--state", "64", "-o", &g]),
+        )
+        .unwrap();
+        let out = run(
+            "run-dag",
+            &args(&[
+                &g,
+                "--m",
+                "1024",
+                "--workers",
+                "4",
+                "--placement",
+                "llc",
+                "--topo-from",
+                &path,
+                "--json",
+            ]),
+        )
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed["placement"].as_str(), Some("llc"));
+        // Mutually exclusive with --topo; garbage files are errors.
+        assert!(run("topo", &args(&["--topo", "1x1x1", "--from", &path])).is_err());
+        let bad = tmp("not-a-dump.json");
+        std::fs::write(&bad, "{\"clusters\": 7}").unwrap();
+        assert!(run("topo", &args(&["--from", &bad])).is_err());
+        std::fs::remove_file(bad).ok();
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(g).ok();
     }
 
     #[test]

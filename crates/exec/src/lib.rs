@@ -31,6 +31,12 @@
 //!   a `ccs-topo` machine tree (same core > same LLC > same node >
 //!   cross node), and [`run::RunConfig::pin_cores`] binds each worker
 //!   to its planned core so the OS can't migrate the working set away.
+//! * **Measured cache behavior.** With [`run::RunConfig::counters`],
+//!   each worker opens a `ccs-perf` hardware counter group after
+//!   pinning and samples it around its firing loop, so per-worker and
+//!   run-wide LLC misses/item, MPKI, and IPC are reported per placement
+//!   mode — the paper's cache claim, observed rather than inferred
+//!   (graceful `counters: None` where `perf_event_open` is denied).
 //! * **Determinism.** Synchronous dataflow is schedule-deterministic, so
 //!   the sink digest is bit-identical to the serial executor's for the
 //!   same number of batches, at every worker count, placement, and

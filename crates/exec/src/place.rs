@@ -12,8 +12,9 @@
 //!   it already shares the most per-iteration cross-edge traffic
 //!   ([`RateAnalysis::edge_traffic`]), breaking ties toward the
 //!   least-loaded worker (by placed segment state).
-//! * [`Placement::Llc`] — topology-aware: workers map to cores in the
-//!   machine's cache-compact order ([`ccs_topo::plan_bindings`]), and
+//! * [`Placement::Llc`] — topology-aware: workers map to cores via
+//!   [`ccs_topo::plan_worker_cores`] (one LLC cluster per worker while
+//!   workers fit, cache-compact packing after that), and
 //!   each segment scores candidate workers by cross-edge traffic to
 //!   already-placed neighbors *discounted by hardware distance*
 //!   ([`ccs_topo::Distance::affinity_weight`]: same core > same LLC >
@@ -96,14 +97,16 @@ pub fn assign(
 }
 
 /// Assign each segment of `plan` to a worker in `0..workers`, with
-/// worker `w` running on core `w mod topo.core_count()` in `topo`'s
-/// cache-compact core order (the same mapping
-/// [`ccs_topo::plan_bindings`] pins). `pinned` says whether workers
-/// will actually be bound to those cores: when they are not, two
-/// *distinct* workers wrapped onto one core index (oversubscription)
-/// get same-LLC rather than same-core credit, since the OS may run
-/// them anywhere — claiming same-core would deliberately split hot
-/// edges across unrelated threads.
+/// worker `w` running on the core [`ccs_topo::plan_worker_cores`]
+/// plans for it (one whole LLC cluster per worker while workers fit,
+/// cache-compact packing after that) — the same mapping
+/// [`ccs_topo::plan_bindings`] pins, so placement scores and pinned
+/// reality agree. `pinned` says whether workers will actually be bound
+/// to those cores: when they are not, two *distinct* workers wrapped
+/// onto one core index (oversubscription) get same-LLC rather than
+/// same-core credit, since the OS may run them anywhere — claiming
+/// same-core would deliberately split hot edges across unrelated
+/// threads.
 pub fn assign_on(
     g: &StreamGraph,
     ra: &RateAnalysis,
@@ -119,7 +122,7 @@ pub fn assign_on(
         Placement::RoundRobin => (0..k).map(|i| i % workers).collect(),
         Placement::CommGreedy => greedy_by_affinity(g, ra, plan, workers, |w, o| u64::from(w == o)),
         Placement::Llc => {
-            let core_of: Vec<usize> = (0..workers).map(|w| w % topo.core_count()).collect();
+            let core_of = ccs_topo::plan_worker_cores(topo, workers);
             greedy_by_affinity(g, ra, plan, workers, |w, o| {
                 let mut d = topo.distance(core_of[w], core_of[o]);
                 if w != o && d == ccs_topo::Distance::SameCore && !pinned {
@@ -298,12 +301,30 @@ mod tests {
         assert!(plan.segments.len() >= 4, "{}", plan.segments.len());
         let topo = Topology::synthetic(&TopoSpec::new(1, 2, 2));
         let owner = assign_on(&g, &ra, &plan, 4, Placement::Llc, &topo, true);
-        let cluster_of = |w: usize| topo.core(w % topo.core_count()).cluster;
+        let worker_cores = ccs_topo::plan_worker_cores(&topo, 4);
+        let cluster_of = |w: usize| topo.core(worker_cores[w]).cluster;
         let crossings = owner
             .windows(2)
             .filter(|w| cluster_of(w[0]) != cluster_of(w[1]))
             .count();
         assert!(crossings <= 1, "{owner:?}");
+    }
+
+    #[test]
+    fn llc_spread_gives_each_worker_its_own_cluster() {
+        // workers ≤ clusters: spread mode — every worker's planned core
+        // sits in a distinct LLC cluster, so no two workers' segment
+        // state contends for one cache.
+        let topo = Topology::synthetic(&TopoSpec::new(1, 4, 2));
+        let cores = ccs_topo::plan_worker_cores(&topo, 4);
+        let clusters: std::collections::HashSet<usize> =
+            cores.iter().map(|&c| topo.core(c).cluster).collect();
+        assert_eq!(clusters.len(), 4);
+        // Placement over the spread mapping is deterministic and in range.
+        let (g, ra, plan) = setup();
+        let a = assign_on(&g, &ra, &plan, 4, Placement::Llc, &topo, true);
+        assert_eq!(a, assign_on(&g, &ra, &plan, 4, Placement::Llc, &topo, true));
+        assert!(a.iter().all(|&w| w < 4));
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub struct RunConfig {
     /// Pin failures (non-Linux, cpu outside the cpuset, synthetic cpu
     /// ids) are recorded per worker and the run proceeds unpinned.
     pub pin_cores: bool,
+    /// Open hardware performance counters (`ccs-perf` cache suite) on
+    /// each worker thread and sample them around the firing loop.
+    /// Unavailability (containers, `perf_event_paranoid`, non-Linux)
+    /// degrades per worker to `counters: None`; the run itself — and
+    /// its digest — is unaffected either way.
+    pub counters: bool,
 }
 
 impl RunConfig {
@@ -71,6 +77,11 @@ impl RunConfig {
 
     pub fn with_pinning(mut self, pin: bool) -> RunConfig {
         self.pin_cores = pin;
+        self
+    }
+
+    pub fn with_counters(mut self, counters: bool) -> RunConfig {
+        self.counters = counters;
         self
     }
 }
@@ -280,9 +291,10 @@ pub fn execute_dag_cfg(
         let mut handles = Vec::with_capacity(workers);
         for (w, my_tasks) in per_worker.into_iter().enumerate() {
             let binding = bindings[w];
+            let counters = cfg.counters;
             handles.push(scope.spawn(move |_| {
                 worker_loop(
-                    graph, plan_ref, rings_ref, gate_ref, w, binding, my_tasks, rounds,
+                    graph, plan_ref, rings_ref, gate_ref, w, binding, counters, my_tasks, rounds,
                 )
             }));
         }
@@ -334,6 +346,7 @@ pub fn execute_dag_cfg(
         t: plan.t,
         rounds,
         segments,
+        counters_requested: cfg.counters,
     })
 }
 
@@ -358,10 +371,18 @@ fn worker_loop(
     gate: &ProgressGate,
     worker: usize,
     binding: Option<CoreBinding>,
+    counters: bool,
     mut tasks: Vec<SegTask>,
     rounds: u64,
 ) -> (Vec<SegTask>, WorkerStats) {
+    // Pin first, then open counters: the self-monitoring group then
+    // counts this thread on the core the placement chose for it.
     let pinned_cpu = binding.and_then(|b| pin_current_thread(b.cpu).pinned().then_some(b.cpu));
+    let counter_set = if counters {
+        ccs_perf::CounterBuilder::cache_suite().open_self_thread()
+    } else {
+        ccs_perf::CounterSet::unavailable("counters not requested")
+    };
     let mut stats = WorkerStats {
         worker,
         segments: tasks.iter().map(|t| t.seg).collect(),
@@ -371,8 +392,11 @@ fn worker_loop(
         stall_time: Duration::ZERO,
         busy: Duration::ZERO,
         pinned_cpu,
+        counters: None,
     };
     let mut unproductive = 0u32;
+    counter_set.reset();
+    counter_set.enable();
     loop {
         // Epoch snapshot *before* scanning: progress a peer makes during
         // the scan moves the epoch past this value, so a post-scan park
@@ -413,6 +437,8 @@ fn worker_loop(
         }
         stats.stall_time += t0.elapsed();
     }
+    counter_set.disable();
+    stats.counters = counter_set.sample();
     (tasks, stats)
 }
 

@@ -1,5 +1,6 @@
 //! Per-worker and aggregate execution statistics.
 
+use ccs_perf::{CounterKind, CounterSample};
 use ccs_runtime::serial::RunStats;
 use std::time::Duration;
 
@@ -27,6 +28,10 @@ pub struct WorkerStats {
     /// OS cpu id this worker was successfully pinned to, if core
     /// pinning was requested and `sched_setaffinity` accepted it.
     pub pinned_cpu: Option<usize>,
+    /// Hardware counters sampled around this worker's firing loop
+    /// ([`RunConfig::counters`](crate::RunConfig::counters)). `None`
+    /// when counters were off or unavailable on this thread.
+    pub counters: Option<CounterSample>,
 }
 
 /// Outcome of a parallel dag execution.
@@ -43,6 +48,9 @@ pub struct DagRunStats {
     pub rounds: u64,
     /// Number of segments.
     pub segments: usize,
+    /// Whether hardware counters were requested for this run (they may
+    /// still be per-worker unavailable; see [`WorkerStats::counters`]).
+    pub counters_requested: bool,
 }
 
 impl DagRunStats {
@@ -72,5 +80,106 @@ impl DagRunStats {
             .iter()
             .filter(|w| w.pinned_cpu.is_some())
             .count()
+    }
+
+    /// Run-wide counter totals: per-worker samples summed. `None` when
+    /// counters were off or no worker managed to open any.
+    pub fn counter_totals(&self) -> Option<CounterSample> {
+        CounterSample::sum(self.workers.iter().filter_map(|w| w.counters.as_ref()))
+    }
+
+    /// Workers whose counter group opened.
+    pub fn counted_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.counters.is_some()).count()
+    }
+
+    /// The paper's headline metric, measured: LLC misses per sink item
+    /// across the whole run. `None` without counters, without the LLC
+    /// event, or for a run that produced no sink items.
+    pub fn llc_misses_per_item(&self) -> Option<f64> {
+        self.counter_totals()?
+            .per_item(CounterKind::LlcMisses, self.run.sink_items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_perf::Reading;
+
+    fn worker(i: usize, counters: Option<CounterSample>) -> WorkerStats {
+        WorkerStats {
+            worker: i,
+            segments: vec![i],
+            firings: 10,
+            batches: 2,
+            stalls: 0,
+            stall_time: Duration::ZERO,
+            busy: Duration::from_millis(1),
+            pinned_cpu: None,
+            counters,
+        }
+    }
+
+    fn misses(n: u64) -> CounterSample {
+        CounterSample {
+            time_enabled_ns: 100,
+            time_running_ns: 100,
+            readings: vec![Reading {
+                kind: CounterKind::LlcMisses,
+                raw: n,
+                scaled: n,
+            }],
+        }
+    }
+
+    fn stats(workers: Vec<WorkerStats>, sink_items: u64) -> DagRunStats {
+        DagRunStats {
+            run: RunStats {
+                wall: Duration::from_millis(5),
+                firings: 20,
+                sink_items,
+                digest: None,
+            },
+            workers,
+            t: 4,
+            rounds: 2,
+            segments: 2,
+            counters_requested: true,
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_across_workers() {
+        let s = stats(
+            vec![worker(0, Some(misses(30))), worker(1, Some(misses(70)))],
+            50,
+        );
+        assert_eq!(s.counted_workers(), 2);
+        let totals = s.counter_totals().unwrap();
+        assert_eq!(totals.get(CounterKind::LlcMisses), Some(100));
+        assert_eq!(s.llc_misses_per_item(), Some(2.0));
+    }
+
+    #[test]
+    fn partial_availability_still_aggregates() {
+        // One worker in a restricted context: its None simply drops out.
+        let s = stats(vec![worker(0, Some(misses(8))), worker(1, None)], 4);
+        assert_eq!(s.counted_workers(), 1);
+        assert_eq!(s.llc_misses_per_item(), Some(2.0));
+    }
+
+    #[test]
+    fn no_counters_is_none_everywhere() {
+        let s = stats(vec![worker(0, None), worker(1, None)], 100);
+        assert_eq!(s.counter_totals(), None);
+        assert_eq!(s.llc_misses_per_item(), None);
+        assert_eq!(s.counted_workers(), 0);
+    }
+
+    #[test]
+    fn zero_sink_items_cannot_divide() {
+        let s = stats(vec![worker(0, Some(misses(8)))], 0);
+        assert_eq!(s.llc_misses_per_item(), None);
     }
 }

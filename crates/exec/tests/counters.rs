@@ -1,0 +1,123 @@
+//! Counter instrumentation must be an observer, not a participant:
+//! enabling `RunConfig::counters` may not change digests, firing
+//! counts, or sink items, in any placement × pinning mode — and the
+//! readings it yields (when the environment allows counters at all)
+//! must be internally consistent with the run they describe.
+
+use ccs_exec::{execute_dag_cfg, Placement, RunConfig};
+use ccs_graph::gen::{self, LayeredCfg, StateDist};
+use ccs_graph::RateAnalysis;
+use ccs_partition::dag_greedy;
+use ccs_perf::CounterKind;
+use ccs_runtime::instance::Instance;
+use ccs_topo::{TopoSpec, Topology};
+
+#[test]
+fn counters_do_not_perturb_digests() {
+    let cfg_g = LayeredCfg {
+        layers: 5,
+        max_width: 4,
+        density: 0.35,
+        state: StateDist::Uniform(16, 64),
+        max_q: 2,
+    };
+    let topo = Topology::synthetic(&TopoSpec::new(1, 2, 2));
+    for seed in 0..3u64 {
+        let g = gen::layered(&cfg_g, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let p = dag_greedy::greedy_topo(&g, 96);
+        for placement in [Placement::RoundRobin, Placement::Llc] {
+            for pin in [false, true] {
+                let base = RunConfig::new(3)
+                    .with_placement(placement)
+                    .with_topology(topo.clone())
+                    .with_pinning(pin);
+                let plain =
+                    execute_dag_cfg(Instance::synthetic(g.clone()), &ra, &p, 48, 4, &base).unwrap();
+                let counted = execute_dag_cfg(
+                    Instance::synthetic(g.clone()),
+                    &ra,
+                    &p,
+                    48,
+                    4,
+                    &base.clone().with_counters(true),
+                )
+                .unwrap();
+                let tag = format!("seed {seed} placement {placement:?} pin {pin}");
+                assert_eq!(plain.run.digest, counted.run.digest, "{tag}");
+                assert_eq!(plain.run.firings, counted.run.firings, "{tag}");
+                assert_eq!(plain.run.sink_items, counted.run.sink_items, "{tag}");
+                // Bookkeeping of the request itself.
+                assert!(!plain.counters_requested);
+                assert!(counted.counters_requested);
+                assert!(plain.workers.iter().all(|w| w.counters.is_none()), "{tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn counter_readings_are_consistent_with_the_run() {
+    let g = gen::pipeline_uniform(10, 48);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let p = dag_greedy::greedy_topo(&g, 96);
+    let cfg = RunConfig::new(2).with_counters(true);
+    let stats = execute_dag_cfg(Instance::synthetic(g), &ra, &p, 48, 4, &cfg).unwrap();
+
+    // Whether counters opened is environment policy; both outcomes are
+    // legal, but an open group must describe real work.
+    match stats.counter_totals() {
+        None => {
+            assert_eq!(stats.counted_workers(), 0);
+            assert_eq!(stats.llc_misses_per_item(), None);
+        }
+        Some(totals) => {
+            assert!(stats.counted_workers() > 0);
+            assert!(totals.time_enabled_ns > 0);
+            // Each scaled reading is an extrapolation of a raw count:
+            // zero raw must stay zero scaled.
+            for r in &totals.readings {
+                if r.raw == 0 {
+                    assert_eq!(r.scaled, 0, "{:?}", r.kind);
+                }
+                assert!(r.scaled >= r.raw || totals.multiplexed(), "{:?}", r.kind);
+            }
+            // The firing loops executed thousands of kernel firings; if
+            // the instruction counter opened it cannot have seen fewer
+            // instructions than firings.
+            if let Some(ins) = totals.get(CounterKind::Instructions) {
+                assert!(ins > stats.run.firings, "{ins} instructions");
+            }
+            // Derived metrics exist exactly when their events opened.
+            if totals.get(CounterKind::LlcMisses).is_some() && stats.run.sink_items > 0 {
+                assert!(stats.llc_misses_per_item().is_some());
+            }
+        }
+    }
+}
+
+#[test]
+fn ccs_no_perf_forces_clean_fallback() {
+    // The kill switch must produce exactly the unavailable shape that a
+    // denied syscall would — the path CI asserts. (The var is set only
+    // within this test; the sibling tests tolerate either availability
+    // outcome, so the brief overlap cannot fail them.)
+    let g = gen::pipeline_uniform(6, 32);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let p = dag_greedy::greedy_topo(&g, 64);
+    let want = {
+        let cfg = RunConfig::new(2);
+        execute_dag_cfg(Instance::synthetic(g.clone()), &ra, &p, 32, 2, &cfg)
+            .unwrap()
+            .run
+            .digest
+    };
+    std::env::set_var("CCS_NO_PERF", "1");
+    let cfg = RunConfig::new(2).with_counters(true);
+    let stats = execute_dag_cfg(Instance::synthetic(g), &ra, &p, 32, 2, &cfg).unwrap();
+    std::env::remove_var("CCS_NO_PERF");
+    assert!(stats.counters_requested);
+    assert_eq!(stats.counted_workers(), 0);
+    assert_eq!(stats.counter_totals(), None);
+    assert_eq!(stats.run.digest, want);
+}

@@ -1,0 +1,115 @@
+//! The arithmetic half of the counter subsystem: parsing
+//! `read_format=GROUP` buffers and undoing multiplexing — pure `u64`
+//! math, unit-testable on any platform against synthetic buffers.
+
+/// One decoded `read(2)` of a counter group opened with
+/// `PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING`:
+///
+/// ```text
+/// u64 nr;            // events in the group
+/// u64 time_enabled;  // ns the group was enabled
+/// u64 time_running;  // ns it was actually on the PMU
+/// u64 value[nr];     // raw counts, in group-open order
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupRead {
+    /// Nanoseconds the group was enabled.
+    pub time_enabled: u64,
+    /// Nanoseconds the group was scheduled on the PMU. Less than
+    /// `time_enabled` means the kernel multiplexed the group with other
+    /// users of the same counters.
+    pub time_running: u64,
+    /// Raw counter values, in the order the events were opened
+    /// (leader first).
+    pub values: Vec<u64>,
+}
+
+impl GroupRead {
+    /// Whether the kernel time-sliced this group (readings are then
+    /// extrapolated estimates, not exact counts).
+    pub fn multiplexed(&self) -> bool {
+        self.time_running < self.time_enabled
+    }
+}
+
+/// Decode a group read from `u64` words. `None` if the buffer is too
+/// short for its own claimed event count (a truncated `read(2)`).
+pub fn parse_group_read(words: &[u64]) -> Option<GroupRead> {
+    let nr = usize::try_from(*words.first()?).ok()?;
+    let values = words.get(3..3 + nr)?.to_vec();
+    Some(GroupRead {
+        time_enabled: words[1],
+        time_running: words[2],
+        values,
+    })
+}
+
+/// Undo multiplexing: extrapolate a raw count over the time the group
+/// was enabled but not running, `raw · enabled / running` in 128-bit
+/// intermediate precision. A group that never ran scales to 0 (there is
+/// nothing to extrapolate from); one that ran whenever enabled returns
+/// `raw` exactly.
+pub fn scale(raw: u64, time_enabled: u64, time_running: u64) -> u64 {
+    if time_running == 0 {
+        0
+    } else if time_running >= time_enabled {
+        raw
+    } else {
+        u64::try_from(u128::from(raw) * u128::from(time_enabled) / u128::from(time_running))
+            .unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_synthetic_group_buffer() {
+        let buf = [3u64, 2_000, 1_000, 10, 20, 30];
+        let r = parse_group_read(&buf).unwrap();
+        assert_eq!(r.time_enabled, 2_000);
+        assert_eq!(r.time_running, 1_000);
+        assert_eq!(r.values, vec![10, 20, 30]);
+        assert!(r.multiplexed());
+    }
+
+    #[test]
+    fn parse_tolerates_trailing_words_but_not_truncation() {
+        // Kernel may hand back exactly nr values; extra capacity in the
+        // caller's buffer is ignored.
+        let buf = [1u64, 5, 5, 42, 999, 999];
+        assert_eq!(parse_group_read(&buf).unwrap().values, vec![42]);
+        // Truncated: claims 4 events, provides 2.
+        assert_eq!(parse_group_read(&[4, 5, 5, 1, 2]), None);
+        assert_eq!(parse_group_read(&[]), None);
+        // Zero events is well-formed (an empty group read).
+        let r = parse_group_read(&[0, 7, 7]).unwrap();
+        assert!(r.values.is_empty());
+        assert!(!r.multiplexed());
+    }
+
+    #[test]
+    fn scaling_extrapolates_multiplexed_counts() {
+        // Ran half the enabled time: double the count.
+        assert_eq!(scale(100, 2_000, 1_000), 200);
+        // Ran the whole time: exact.
+        assert_eq!(scale(100, 1_000, 1_000), 100);
+        // Kernel clock skew can report running > enabled; never shrink.
+        assert_eq!(scale(100, 1_000, 1_500), 100);
+        // Never scheduled: no information, report 0.
+        assert_eq!(scale(100, 1_000, 0), 0);
+        // Nothing counted stays nothing.
+        assert_eq!(scale(0, 9_999, 3), 0);
+    }
+
+    #[test]
+    fn scaling_is_overflow_safe() {
+        // raw · enabled would overflow u64; 128-bit math keeps the
+        // quotient exact.
+        let raw = u64::MAX / 2;
+        let scaled = scale(raw, 4_000_000_000, 1_000_000_000);
+        assert_eq!(scaled, u64::MAX); // saturates at the type ceiling
+        assert_eq!(scale(1 << 40, 3_000, 1_000), 3 << 40);
+    }
+}

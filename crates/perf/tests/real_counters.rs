@@ -1,0 +1,84 @@
+//! Integration test against the real PMU. Ignored by default: whether
+//! counters open depends on the environment (`perf_event_paranoid`,
+//! container seccomp policy, VM PMU passthrough), so CI can't rely on
+//! it. Run with `cargo test -p ccs-perf -- --ignored` on a host where
+//! `perf stat true` works.
+
+use ccs_perf::{CounterBuilder, CounterKind, CounterSet};
+
+/// Touch enough memory to make the counters move: stride over a buffer
+/// comfortably larger than typical LLCs.
+fn thrash(words: usize) -> u64 {
+    let mut buf = vec![1u64; words];
+    let mut acc = 0u64;
+    for round in 0..4u64 {
+        for i in (0..buf.len()).step_by(8) {
+            buf[i] = buf[i].wrapping_mul(round + 3).wrapping_add(i as u64);
+            acc = acc.wrapping_add(buf[i]);
+        }
+    }
+    acc
+}
+
+#[test]
+#[ignore = "requires perf_event_open permission (perf_event_paranoid <= 2 outside containers)"]
+fn real_counters_count_real_work() {
+    let set = CounterBuilder::cache_suite().open_self_thread();
+    let CounterSet::Active(_) = &set else {
+        panic!(
+            "counters unavailable on this host: {} — run on a machine where `perf stat true` works",
+            set.reason().unwrap_or("?")
+        );
+    };
+
+    set.reset();
+    set.enable();
+    let acc = thrash(8 << 20); // 64 MiB: far past any LLC
+    set.disable();
+    let sample = set.sample().expect("group read succeeds");
+    assert_ne!(acc, 0); // keep the work observable
+
+    // The thread executed billions of nothing? No: instructions must
+    // have advanced, and the task clock must show CPU time.
+    let instructions = sample.get(CounterKind::Instructions);
+    if let Some(ins) = instructions {
+        assert!(ins > 1_000_000, "{ins} instructions for 64 MiB of strides");
+    }
+    assert!(sample.get(CounterKind::TaskClock).unwrap_or(0) > 0 || instructions.is_some());
+
+    // A 64 MiB stride working set cannot fit any LLC: if the LLC miss
+    // event opened, it must have fired.
+    if let Some(misses) = sample.get(CounterKind::LlcMisses) {
+        assert!(misses > 0, "64 MiB thrash produced zero LLC misses?");
+    }
+
+    // Enabled/running bookkeeping is sane.
+    assert!(sample.time_enabled_ns > 0);
+    assert!(sample.time_running_ns <= sample.time_enabled_ns || !sample.multiplexed());
+}
+
+#[test]
+#[ignore = "requires perf_event_open permission"]
+fn reset_zeroes_and_reenable_counts_again() {
+    let set = CounterBuilder::new()
+        .counter(CounterKind::Instructions)
+        .counter(CounterKind::TaskClock)
+        .open_self_thread();
+    if !set.is_active() {
+        panic!("counters unavailable: {}", set.reason().unwrap_or("?"));
+    }
+    set.enable();
+    let _ = thrash(1 << 16);
+    set.disable();
+    let first = set.sample().unwrap();
+
+    set.reset();
+    let after_reset = set.sample().unwrap();
+    let moved = |s: &ccs_perf::CounterSample| s.readings.iter().map(|r| r.raw).sum::<u64>();
+    assert!(moved(&after_reset) < moved(&first).max(1));
+
+    set.enable();
+    let _ = thrash(1 << 16);
+    set.disable();
+    assert!(moved(&set.sample().unwrap()) > 0);
+}

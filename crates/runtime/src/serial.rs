@@ -60,6 +60,21 @@ impl Scratch {
 /// panics (the symbolic executor validates the same sequence in tests, so
 /// a panic here indicates an executor bug, not a scheduler bug).
 pub fn execute(inst: &mut Instance, run: &SchedRun) -> RunStats {
+    execute_counted(inst, run, false).0
+}
+
+/// [`execute`], optionally sampling hardware counters (the `ccs-perf`
+/// cache suite) around the firing loop — the same window `wall` times,
+/// with allocation excluded — so serial misses/item is directly
+/// comparable with the parallel executor's per-worker counters. The
+/// sample is `None` when `counters` is false or `perf_event_open` is
+/// unavailable; the `RunStats` (digest included) is identical either
+/// way.
+pub fn execute_counted(
+    inst: &mut Instance,
+    run: &SchedRun,
+    counters: bool,
+) -> (RunStats, Option<ccs_perf::CounterSample>) {
     let g = &inst.graph;
     assert_eq!(run.capacities.len(), g.edge_count());
     let mut rings: Vec<Ring> = g
@@ -67,20 +82,29 @@ pub fn execute(inst: &mut Instance, run: &SchedRun) -> RunStats {
         .map(|e| Ring::new(run.capacities[e.idx()].max(1) as usize))
         .collect();
     let mut scratch = Scratch::for_graph(g);
+    let counter_set = if counters {
+        ccs_perf::CounterBuilder::cache_suite().open_self_thread()
+    } else {
+        ccs_perf::CounterSet::unavailable("counters not requested")
+    };
 
     let sink = g.single_sink();
     let mut sink_items = 0u64;
+    counter_set.reset();
+    counter_set.enable();
     let start = Instant::now();
     for &v in &run.firings {
         fire_once(inst, &mut rings, &mut scratch, v, sink, &mut sink_items);
     }
     let wall = start.elapsed();
-    RunStats {
+    counter_set.disable();
+    let stats = RunStats {
         wall,
         firings: run.firings.len() as u64,
         sink_items,
         digest: inst.sink_digest(),
-    }
+    };
+    (stats, counter_set.sample())
 }
 
 #[inline]
@@ -124,6 +148,29 @@ mod tests {
         assert_eq!(stats.firings, run.firings.len() as u64);
         assert!(stats.sink_items > 0);
         assert!(stats.digest.is_some());
+    }
+
+    #[test]
+    fn counted_execution_does_not_perturb_results() {
+        let g = gen::pipeline(&PipelineCfg::default(), 5);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let run = baseline::single_appearance(&g, &ra, 4);
+        let mut i1 = Instance::synthetic(g.clone());
+        let plain = execute(&mut i1, &run);
+        let mut i2 = Instance::synthetic(g);
+        let (counted, sample) = execute_counted(&mut i2, &run, true);
+        assert_eq!(plain.digest, counted.digest);
+        assert_eq!(plain.firings, counted.firings);
+        assert_eq!(plain.sink_items, counted.sink_items);
+        // Environment-dependent: if a group opened, it read something.
+        if let Some(s) = sample {
+            assert!(!s.readings.is_empty());
+        }
+        // Counters off: no sample, same behavior.
+        let mut i3 = Instance::synthetic(i1.graph.clone());
+        let (off, none) = execute_counted(&mut i3, &run, false);
+        assert_eq!(off.digest, plain.digest);
+        assert!(none.is_none());
     }
 
     #[test]

@@ -48,19 +48,41 @@ impl PinOutcome {
     }
 }
 
-/// Deal `workers` workers onto cores: worker `w` takes core `w mod
-/// cores` in the topology's cache-compact core order, so consecutive
-/// workers pack one LLC cluster before spilling into the next, and
-/// oversubscribed runs (workers > cores) wrap around.
+/// Plan which core each worker runs on, worker-count aware:
+///
+/// * **Spread** (`workers ≤ LLC clusters`): worker `w` takes the first
+///   core of cluster `w`. Each worker gets a whole last-level cache to
+///   itself — its segments' working sets never contend with a peer's —
+///   and because clusters are ordered by `(node, lowest cpu)`, workers
+///   still fill one NUMA node's clusters before touching the next
+///   (cache-compact spreading, not a scatter).
+/// * **Pack** (`workers > clusters`): worker `w` takes core `w mod
+///   cores` in cache-compact core order, so consecutive workers fill
+///   one LLC cluster before spilling into the next, and oversubscribed
+///   runs (workers > cores) wrap around.
+///
+/// `ccs-exec` uses the same mapping for placement scoring and for
+/// pinning, so the distance a placement was optimized for is the
+/// distance the pinned run actually has.
+pub fn plan_worker_cores(topo: &Topology, workers: usize) -> Vec<usize> {
+    if workers <= topo.cluster_count() {
+        (0..workers).map(|w| topo.cluster(w).cores[0]).collect()
+    } else {
+        (0..workers).map(|w| w % topo.core_count()).collect()
+    }
+}
+
+/// Deal `workers` workers onto cores per [`plan_worker_cores`],
+/// resolving each planned core index to its OS cpu id for
+/// [`pin_current_thread`].
 pub fn plan_bindings(topo: &Topology, workers: usize) -> Vec<CoreBinding> {
-    (0..workers)
-        .map(|w| {
-            let core = w % topo.core_count();
-            CoreBinding {
-                worker: w,
-                core,
-                cpu: topo.core(core).cpu,
-            }
+    plan_worker_cores(topo, workers)
+        .into_iter()
+        .enumerate()
+        .map(|(w, core)| CoreBinding {
+            worker: w,
+            core,
+            cpu: topo.core(core).cpu,
         })
         .collect()
 }
@@ -136,12 +158,34 @@ mod tests {
         let t = Topology::synthetic(&TopoSpec::new(1, 2, 2));
         let b = plan_bindings(&t, 6);
         assert_eq!(b.len(), 6);
-        // Cores 0,1 are cluster 0; 2,3 cluster 1; then wrap.
+        // 6 workers > 2 clusters: pack mode. Cores 0,1 are cluster 0;
+        // 2,3 cluster 1; then wrap.
         let cores: Vec<usize> = b.iter().map(|x| x.core).collect();
         assert_eq!(cores, vec![0, 1, 2, 3, 0, 1]);
         assert!(b.iter().all(|x| x.cpu == t.core(x.core).cpu));
         assert_eq!(t.core(b[0].core).cluster, t.core(b[1].core).cluster);
         assert_ne!(t.core(b[1].core).cluster, t.core(b[2].core).cluster);
+    }
+
+    #[test]
+    fn few_workers_spread_one_per_llc_cluster() {
+        // 2 workers on a 2-cluster box: each gets its own LLC.
+        let t = Topology::synthetic(&TopoSpec::new(1, 2, 2));
+        assert_eq!(plan_worker_cores(&t, 2), vec![0, 2]);
+        // 3 workers on a 2-node × 2-cluster × 2-core box: node 0's two
+        // clusters first, then node 1's first cluster — compact spread.
+        let t = Topology::synthetic(&TopoSpec::new(2, 2, 2));
+        let cores = plan_worker_cores(&t, 3);
+        assert_eq!(cores, vec![0, 2, 4]);
+        let clusters: Vec<usize> = cores.iter().map(|&c| t.core(c).cluster).collect();
+        assert_eq!(clusters, vec![0, 1, 2]);
+        assert_eq!(t.core(cores[0]).node, t.core(cores[1]).node);
+        // One worker: first core either way.
+        assert_eq!(plan_worker_cores(&t, 1), vec![0]);
+        // Exactly at the boundary (workers == clusters): still spread.
+        assert_eq!(plan_worker_cores(&t, 4), vec![0, 2, 4, 6]);
+        // Past it: pack.
+        assert_eq!(plan_worker_cores(&t, 5), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

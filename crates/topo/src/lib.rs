@@ -32,7 +32,7 @@ pub mod distance;
 pub mod spec;
 pub mod sysfs;
 
-pub use bind::{pin_current_thread, plan_bindings, CoreBinding, PinOutcome};
+pub use bind::{pin_current_thread, plan_bindings, plan_worker_cores, CoreBinding, PinOutcome};
 pub use distance::Distance;
 pub use spec::TopoSpec;
 
@@ -75,6 +75,10 @@ pub enum TopoSource {
     Sysfs,
     /// Built from a [`TopoSpec`] (tests, non-Linux hosts, CLI `--topo`).
     Synthetic,
+    /// Reloaded from a previously dumped description
+    /// ([`Topology::from_replay`], CLI `--topo-from`): another (or an
+    /// earlier) machine's tree, replayed here for placement inspection.
+    Replay,
 }
 
 impl TopoSource {
@@ -82,6 +86,7 @@ impl TopoSource {
         match self {
             TopoSource::Sysfs => "sysfs",
             TopoSource::Synthetic => "synthetic",
+            TopoSource::Replay => "replay",
         }
     }
 }
@@ -183,6 +188,16 @@ impl Topology {
             }
         }
         Topology::from_groups(TopoSource::Synthetic, groups)
+    }
+
+    /// Rebuild a topology from externally supplied `(OS node id, cpus)`
+    /// LLC-cluster groups — the replay path behind `ccs topo --from`
+    /// and `run-dag --topo-from`, letting a placement computed for one
+    /// machine be inspected on another. Groups are normalized exactly
+    /// like discovery ([`Topology::from_groups`]); panics if no group
+    /// has a cpu, mirroring discovery's invariant.
+    pub fn from_replay(groups: Vec<(usize, Vec<usize>)>) -> Topology {
+        Topology::from_groups(TopoSource::Replay, groups)
     }
 
     /// A degenerate machine: `cores` cores all sharing one LLC on one
@@ -363,6 +378,22 @@ mod tests {
             assert!(t.cluster(c.cluster).cores.contains(&i));
             assert_eq!(t.cluster(c.cluster).node, c.node);
         }
+    }
+
+    #[test]
+    fn replay_rebuilds_a_dumped_tree() {
+        // Shaped like a `ccs topo --json` dump of a 2-node machine with
+        // non-contiguous OS node ids.
+        let t = Topology::from_replay(vec![(0, vec![0, 1]), (0, vec![2, 3]), (2, vec![4, 5])]);
+        assert_eq!(t.source(), TopoSource::Replay);
+        assert_eq!(t.source().name(), "replay");
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.cluster_count(), 3);
+        assert_eq!(t.core_count(), 6);
+        assert_eq!(t.node(1).os_node, 2);
+        assert_eq!(t.distance(0, 1), Distance::SameLlc);
+        assert_eq!(t.distance(0, 2), Distance::SameNode);
+        assert_eq!(t.distance(0, 4), Distance::CrossNode);
     }
 
     #[test]

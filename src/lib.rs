@@ -14,6 +14,8 @@
 //! * [`runtime`] — real executors (serial + parallel) over ring buffers.
 //! * [`topo`] — machine topology (NUMA nodes → LLC clusters → cores):
 //!   sysfs discovery, synthetic specs, distances, core pinning.
+//! * [`perf`] — hardware performance counters (`perf_event_open`):
+//!   counter groups, multiplex-scaled readings, graceful fallback.
 //! * [`exec`] — the cache-aware multicore dag executor with
 //!   segment-affine workers, topology-aware placement, and core pinning.
 //! * [`apps`] — StreamIt-style application suite.
@@ -28,6 +30,7 @@ pub use ccs_core as core;
 pub use ccs_exec as exec;
 pub use ccs_graph as graph;
 pub use ccs_partition as partition;
+pub use ccs_perf as perf;
 pub use ccs_runtime as runtime;
 pub use ccs_sched as sched;
 pub use ccs_topo as topo;

@@ -1,30 +1,164 @@
 //! Offline shim of `libc`, vendored because the build environment has no
-//! network access: only the CPU-affinity entry points `ccs-topo` uses.
+//! network access: only the entry points this workspace uses — the
+//! CPU-affinity calls behind `ccs-topo` and the `perf_event_open`
+//! surface behind `ccs-perf`.
 //!
 //! On Linux, Rust's `std` already links the platform C library, so these
 //! `extern "C"` declarations bind to the real glibc/musl symbols at link
-//! time — no new link flags needed. The mask is passed as `*const u64`
-//! words rather than a `cpu_set_t` struct; the kernel ABI is just a bit
-//! array, so the representations agree for any `cpusetsize` that is a
-//! multiple of 8.
+//! time — no new link flags needed. Everything Linux-specific lives in
+//! one `linux` module behind a single `cfg(target_os = "linux")` gate;
+//! off Linux the crate exports only the portable type aliases and
+//! callers must compile the calls out (`ccs-topo::bind` and
+//! `ccs-perf` both degrade to graceful no-ops).
 //!
-//! Off Linux the module is empty and callers must compile the calls out
-//! (`ccs-topo::bind` degrades to a no-op).
+//! Deliberate shim-isms (documented in `vendor/README.md`):
+//!
+//! * The affinity mask is passed as `*const u64` words rather than a
+//!   `cpu_set_t` struct; the kernel ABI is just a bit array, so the
+//!   representations agree for any `cpusetsize` that is a multiple
+//!   of 8.
+//! * `perf_event_attr` carries its flag bitfield as one plain `u64`
+//!   (`flags`) with `PERF_ATTR_FLAG_*` masks instead of real libc's
+//!   generated bitfield accessors, and only spans the fields this
+//!   workspace sets (ABI version 1, 72 bytes — the kernel copies
+//!   exactly `size` bytes, so the short struct is valid on every
+//!   kernel since 3.0).
 
 #![allow(non_camel_case_types)]
+// `SYS_perf_event_open` keeps real libc's casing.
+#![allow(non_upper_case_globals)]
 
 pub type pid_t = i32;
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type size_t = usize;
+pub type ssize_t = isize;
 
 #[cfg(target_os = "linux")]
-extern "C" {
-    /// Restrict thread `pid` (0 = calling thread) to the CPUs set in
-    /// `mask`, a bit array of `cpusetsize` bytes. Returns 0 on success.
-    pub fn sched_setaffinity(pid: pid_t, cpusetsize: usize, mask: *const u64) -> i32;
+mod linux {
+    use super::*;
 
-    /// Read the affinity mask of thread `pid` (0 = calling thread) into
-    /// `mask`. Returns 0 on success.
-    pub fn sched_getaffinity(pid: pid_t, cpusetsize: usize, mask: *mut u64) -> i32;
+    extern "C" {
+        /// Restrict thread `pid` (0 = calling thread) to the CPUs set in
+        /// `mask`, a bit array of `cpusetsize` bytes. Returns 0 on success.
+        pub fn sched_setaffinity(pid: pid_t, cpusetsize: usize, mask: *const u64) -> c_int;
+
+        /// Read the affinity mask of thread `pid` (0 = calling thread) into
+        /// `mask`. Returns 0 on success.
+        pub fn sched_getaffinity(pid: pid_t, cpusetsize: usize, mask: *mut u64) -> c_int;
+
+        /// Raw indirect syscall — the only way to reach
+        /// `perf_event_open`, which glibc never wrapped.
+        pub fn syscall(num: c_long, ...) -> c_long;
+
+        /// Device control; perf fds use it for enable/disable/reset.
+        pub fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+
+        /// Read up to `count` bytes from `fd` (perf group reads).
+        pub fn read(fd: c_int, buf: *mut u8, count: size_t) -> ssize_t;
+
+        /// Close a file descriptor.
+        pub fn close(fd: c_int) -> c_int;
+    }
+
+    /// `__NR_perf_event_open` for the architectures this repo targets.
+    #[cfg(target_arch = "x86_64")]
+    pub const SYS_perf_event_open: c_long = 298;
+    #[cfg(target_arch = "aarch64")]
+    pub const SYS_perf_event_open: c_long = 241;
+    #[cfg(target_arch = "riscv64")]
+    pub const SYS_perf_event_open: c_long = 241;
+    #[cfg(not(any(
+        target_arch = "x86_64",
+        target_arch = "aarch64",
+        target_arch = "riscv64"
+    )))]
+    pub const SYS_perf_event_open: c_long = -1; // unknown arch: callers get ENOSYS
+
+    /// `struct perf_event_attr`, ABI version 1 (fields through
+    /// `bp_len`/`config2`, 72 bytes). The kernel validates against the
+    /// `size` field, so omitting later fields is forward- and
+    /// backward-compatible.
+    #[repr(C)]
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct perf_event_attr {
+        /// Major event type (`PERF_TYPE_*`).
+        pub type_: u32,
+        /// Size of this struct as the kernel should read it
+        /// (`PERF_ATTR_SIZE_VER1`).
+        pub size: u32,
+        /// Type-specific event id (`PERF_COUNT_*` or a cache-event code).
+        pub config: u64,
+        /// `sample_period`/`sample_freq` union — zero for counting mode.
+        pub sample_period_or_freq: u64,
+        /// `PERF_SAMPLE_*` — zero for counting mode.
+        pub sample_type: u64,
+        /// `PERF_FORMAT_*` bits governing what `read(2)` returns.
+        pub read_format: u64,
+        /// The attr bitfield word (`PERF_ATTR_FLAG_*` masks).
+        pub flags: u64,
+        /// `wakeup_events`/`wakeup_watermark` union — unused here.
+        pub wakeup: u32,
+        /// Breakpoint type — unused here.
+        pub bp_type: u32,
+        /// `bp_addr`/`config1` union — unused here.
+        pub config1: u64,
+        /// `bp_len`/`config2` union — unused here.
+        pub config2: u64,
+    }
+
+    /// `sizeof(struct perf_event_attr)` at ABI version 1.
+    pub const PERF_ATTR_SIZE_VER1: u32 = 72;
+
+    // --- perf_event_attr.type ---
+    pub const PERF_TYPE_HARDWARE: u32 = 0;
+    pub const PERF_TYPE_SOFTWARE: u32 = 1;
+    pub const PERF_TYPE_HW_CACHE: u32 = 3;
+
+    // --- PERF_TYPE_HARDWARE configs ---
+    pub const PERF_COUNT_HW_CPU_CYCLES: u64 = 0;
+    pub const PERF_COUNT_HW_INSTRUCTIONS: u64 = 1;
+    pub const PERF_COUNT_HW_CACHE_REFERENCES: u64 = 2;
+    pub const PERF_COUNT_HW_CACHE_MISSES: u64 = 3;
+
+    // --- PERF_TYPE_SOFTWARE configs ---
+    pub const PERF_COUNT_SW_TASK_CLOCK: u64 = 1;
+
+    // --- PERF_TYPE_HW_CACHE config building blocks:
+    //     config = id | (op << 8) | (result << 16) ---
+    pub const PERF_COUNT_HW_CACHE_LL: u64 = 2;
+    pub const PERF_COUNT_HW_CACHE_OP_READ: u64 = 0;
+    pub const PERF_COUNT_HW_CACHE_RESULT_ACCESS: u64 = 0;
+    pub const PERF_COUNT_HW_CACHE_RESULT_MISS: u64 = 1;
+
+    // --- attr flag bitfield masks (bit positions from the kernel's
+    //     perf_event_attr bitfield; real libc exposes these as generated
+    //     accessors, this shim as one word) ---
+    pub const PERF_ATTR_FLAG_DISABLED: u64 = 1 << 0;
+    pub const PERF_ATTR_FLAG_EXCLUDE_KERNEL: u64 = 1 << 5;
+    pub const PERF_ATTR_FLAG_EXCLUDE_HV: u64 = 1 << 6;
+
+    // --- read_format bits ---
+    pub const PERF_FORMAT_TOTAL_TIME_ENABLED: u64 = 1 << 0;
+    pub const PERF_FORMAT_TOTAL_TIME_RUNNING: u64 = 1 << 1;
+    pub const PERF_FORMAT_GROUP: u64 = 1 << 3;
+
+    // --- perf_event_open(2) flags ---
+    pub const PERF_FLAG_FD_CLOEXEC: c_ulong = 1 << 3;
+
+    // --- perf fd ioctls (`_IO('$', n)`: type 0x24 << 8 | n) ---
+    pub const PERF_EVENT_IOC_ENABLE: c_ulong = 0x2400;
+    pub const PERF_EVENT_IOC_DISABLE: c_ulong = 0x2401;
+    pub const PERF_EVENT_IOC_RESET: c_ulong = 0x2403;
+
+    /// `ioctl` arg selecting the whole group instead of one event.
+    pub const PERF_IOC_FLAG_GROUP: c_ulong = 1;
 }
+
+#[cfg(target_os = "linux")]
+pub use linux::*;
 
 #[cfg(all(test, target_os = "linux"))]
 mod tests {
@@ -34,5 +168,23 @@ mod tests {
         let rc = unsafe { super::sched_getaffinity(0, 16 * 8, mask.as_mut_ptr()) };
         assert_eq!(rc, 0);
         assert!(mask.iter().any(|&w| w != 0), "no CPU allowed?");
+    }
+
+    #[test]
+    fn perf_event_attr_matches_abi_version_1() {
+        assert_eq!(
+            std::mem::size_of::<super::perf_event_attr>(),
+            super::PERF_ATTR_SIZE_VER1 as usize
+        );
+        // Field offsets match the kernel header: config at 8, the
+        // bitfield word right after read_format at 40, the breakpoint
+        // unions closing out VER0/VER1.
+        assert_eq!(std::mem::offset_of!(super::perf_event_attr, config), 8);
+        assert_eq!(
+            std::mem::offset_of!(super::perf_event_attr, read_format),
+            32
+        );
+        assert_eq!(std::mem::offset_of!(super::perf_event_attr, flags), 40);
+        assert_eq!(std::mem::offset_of!(super::perf_event_attr, config1), 56);
     }
 }
