@@ -1,8 +1,11 @@
 //! # ccs-bench — experiment harnesses
 //!
-//! One binary per experiment in `EXPERIMENTS.md` (`e01` … `e12`), each
+//! One binary per experiment in `EXPERIMENTS.md` (`e01` … `e21`), each
 //! regenerating a paper-claim-shaped table, plus criterion benchmarks for
-//! the hot algorithmic paths. Shared table/CSV plumbing lives here.
+//! the hot algorithmic paths. Shared table/CSV plumbing and the
+//! repeated-runs statistics ([`stats`]) live here.
+
+pub mod stats;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;

@@ -1,0 +1,170 @@
+//! Statistics for paired repeated-run experiments (`e21_steady_state`).
+//!
+//! Hardware counter readings are noisy: the OS schedules other work,
+//! the PMU multiplexes, frequencies drift. A single run per cell (as in
+//! `e20_cache_counters`) is a point estimate; comparing two point
+//! estimates says nothing about whether an observed llc-vs-rr delta is
+//! signal or noise. The tools here turn R interleaved repeats per cell
+//! into a statistical claim:
+//!
+//! * [`Summary`] — per-cell sample mean and (sample) standard
+//!   deviation;
+//! * [`paired_deltas`] — per-repeat differences between two cells run
+//!   back to back (pairing removes the run-to-run drift both cells
+//!   share);
+//! * [`bootstrap_mean_ci`] — a percentile-bootstrap confidence interval
+//!   for the mean, driven by the *deterministic* vendored `SmallRng`
+//!   (splitmix64), so a report is bit-reproducible for a given seed.
+//!
+//! All pure `f64` math, unit-tested without hardware.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample mean; `None` for an empty sample.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation (Bessel-corrected, `n - 1` denominator);
+/// `None` below two observations.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Mean and spread of one cell's repeated measurements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation; `None` below two observations.
+    pub stddev: Option<f64>,
+}
+
+impl Summary {
+    /// Summarize a sample; `None` when it is empty.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        Some(Summary {
+            n: xs.len(),
+            mean: mean(xs)?,
+            stddev: stddev(xs),
+        })
+    }
+}
+
+/// Per-repeat differences `a[i] - b[i]` between two cells measured in
+/// the same interleaved repeat. The inputs must be index-aligned —
+/// `a[i]` and `b[i]` from the same repeat — so if a repeat is dropped
+/// (e.g. to counter unavailability) it must be dropped from *both*
+/// series before calling this, as `e21_steady_state` does; truncating
+/// just one series would pair measurements from different repeats and
+/// defeat the drift cancellation pairing exists for.
+pub fn paired_deltas(a: &[f64], b: &[f64]) -> Vec<f64> {
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Percentile-bootstrap confidence interval for the mean of `xs`:
+/// resample `xs` with replacement `iters` times, take the empirical
+/// `(1-confidence)/2` and `1-(1-confidence)/2` quantiles of the
+/// resampled means. Deterministic for a given `seed` (vendored
+/// splitmix64 `SmallRng`). `None` for an empty sample, degenerate
+/// `iters = 0`, or a `confidence` outside `(0, 1)`.
+///
+/// With very small R (CI smoke runs use R = 2) the interval is honest
+/// but wide — it brackets the handful of achievable resample means —
+/// which is exactly the warning a reader should get from two repeats.
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    iters: usize,
+    confidence: f64,
+    seed: u64,
+) -> Option<(f64, f64)> {
+    if xs.is_empty() || iters == 0 || !(confidence > 0.0 && confidence < 1.0) {
+        return None;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut means = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let s: f64 = (0..xs.len()).map(|_| xs[rng.gen_range(0..xs.len())]).sum();
+        means.push(s / xs.len() as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let pick = |q: f64| {
+        let i = ((iters as f64 - 1.0) * q).round() as usize;
+        means[i.min(iters - 1)]
+    };
+    Some((pick(alpha), pick(1.0 - alpha)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_basics() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0]), Some(2.0));
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(stddev(&[1.0]), None);
+        // {2, 4, 4, 4, 5, 5, 7, 9}: sample variance 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let sd = stddev(&xs).unwrap();
+        assert!((sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.n, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(Summary::of(&[]), None);
+    }
+
+    #[test]
+    fn paired_deltas_pair_by_index() {
+        assert_eq!(
+            paired_deltas(&[3.0, 5.0, 7.0], &[1.0, 1.0, 10.0]),
+            vec![2.0, 4.0, -3.0]
+        );
+        // Unequal lengths: only the paired prefix.
+        assert_eq!(paired_deltas(&[3.0, 5.0], &[1.0]), vec![2.0]);
+        assert!(paired_deltas(&[], &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_and_brackets_the_mean() {
+        let xs = [4.0, 4.5, 5.0, 5.5, 6.0, 5.2, 4.8, 5.1];
+        let a = bootstrap_mean_ci(&xs, 1000, 0.9, 42).unwrap();
+        let b = bootstrap_mean_ci(&xs, 1000, 0.9, 42).unwrap();
+        assert_eq!(a, b, "same seed, same interval");
+        let c = bootstrap_mean_ci(&xs, 1000, 0.9, 43).unwrap();
+        assert_ne!(a, c, "different seed, different resamples");
+        let m = mean(&xs).unwrap();
+        assert!(a.0 <= m && m <= a.1, "{a:?} should bracket {m}");
+        assert!(a.0 >= 4.0 && a.1 <= 6.0, "within the sample range");
+        // Wider confidence, wider (or equal) interval.
+        let wide = bootstrap_mean_ci(&xs, 1000, 0.99, 42).unwrap();
+        assert!(wide.0 <= a.0 && wide.1 >= a.1);
+    }
+
+    #[test]
+    fn bootstrap_degenerate_inputs() {
+        assert_eq!(bootstrap_mean_ci(&[], 100, 0.9, 1), None);
+        assert_eq!(bootstrap_mean_ci(&[1.0], 0, 0.9, 1), None);
+        assert_eq!(bootstrap_mean_ci(&[1.0], 100, 1.0, 1), None);
+        assert_eq!(bootstrap_mean_ci(&[1.0], 100, 0.0, 1), None);
+        // A constant sample has a zero-width interval.
+        let ci = bootstrap_mean_ci(&[3.0, 3.0, 3.0], 200, 0.9, 7).unwrap();
+        assert_eq!(ci, (3.0, 3.0));
+        // A single observation resamples to itself.
+        let ci = bootstrap_mean_ci(&[2.5], 100, 0.9, 7).unwrap();
+        assert_eq!(ci, (2.5, 2.5));
+    }
+}

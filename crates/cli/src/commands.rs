@@ -21,6 +21,7 @@ pub fn run(cmd: &str, args: &Args) -> CliResult {
         "simulate" => simulate(args),
         "run-dag" => run_dag(args),
         "topo" => topo_cmd(args),
+        "report" => report_cmd(args),
         "compare" => compare(args),
         "autotune" => autotune_cmd(args),
         "fuse" => fuse_cmd(args),
@@ -43,14 +44,23 @@ USAGE:
   ccs simulate FILE --m M [--b B] [--outputs T] [--json]
   ccs run-dag  FILE --m M [--b B] [--workers N] [--rounds R]
                [--placement rr|greedy|llc] [--topo NxCxK | --topo-from DUMP]
-               [--pin-cores] [--counters] [--strategy ...] [--json]
+               [--pin-cores] [--counters] [--warmup K] [--segment-counters]
+               [--stride S] [--strategy ...] [--json]
                (real multicore execution with segment-affine workers;
                 llc placement + pinning use the machine topology;
-                --counters samples hardware cache counters per worker)
+                --counters samples hardware cache counters per worker,
+                --warmup K discards the first K batches per segment so
+                readings reflect steady state, --segment-counters
+                attributes misses to individual segments, sampling
+                every S-th batch; see docs/MEASUREMENT.md)
   ccs topo [--topo NxCxK | --from DUMP] [--json]
                (print the discovered, synthetic, or replayed machine
                 topology plus perf-counter availability; the --json dump
                 is what --from / --topo-from replay)
+  ccs report FILE
+               (render an e21_steady_state JSON report — per-cell
+                mean +/- stddev and paired deltas with bootstrap CIs —
+                as a text table)
   ccs compare FILE --m M [--b B] [--outputs T]
   ccs autotune FILE --m M [--b B] [--outputs T]
   ccs fuse FILE --m M [--b B] [-o FILE]       (partition, then fuse)
@@ -282,11 +292,17 @@ fn run_dag(args: &Args) -> CliResult {
         Some(name) => ccs_exec::Placement::parse(name)
             .ok_or_else(|| format!("unknown placement '{name}' (rr|greedy|llc)"))?,
     };
-    let counters = args.has("counters");
+    let segment_counters = args.has("segment-counters");
+    // Per-segment attribution is meaningless without counters; asking
+    // for it implies them.
+    let counters = args.has("counters") || segment_counters;
     let mut cfg = RunConfig::new(workers)
         .with_placement(placement)
         .with_pinning(args.has("pin-cores"))
-        .with_counters(counters);
+        .with_counters(counters)
+        .with_warmup(args.u64_or("warmup", 0)?)
+        .with_segment_counters(segment_counters)
+        .with_counter_stride(args.u64_or("stride", 1)?);
     if let Some(topo) = topo_of(args)? {
         cfg = cfg.with_topology(topo);
     }
@@ -309,7 +325,40 @@ fn run_dag(args: &Args) -> CliResult {
                     "busy_ms": w.busy.as_secs_f64() * 1e3,
                     "pinned_cpu": w.pinned_cpu,
                     "counters": w.counters.as_ref().map(|s| s.to_json(None)),
+                    "warmup_excluded_batches": w.warmup_excluded,
                 })
+            })
+            .collect();
+        // Per-segment attribution (only when requested): misses per
+        // sink item per segment over the steady-state window.
+        let segments_json: Vec<serde_json::Value> = stats
+            .segment_counters()
+            .iter()
+            .map(|sc| {
+                let mut v = sc.sample.to_json(None);
+                if let serde_json::Value::Object(pairs) = &mut v {
+                    pairs.insert(0, ("seg".into(), serde_json::json!(sc.seg)));
+                    pairs.insert(1, ("batches".into(), serde_json::json!(sc.batches)));
+                    pairs.insert(
+                        2,
+                        (
+                            "batches_counted".into(),
+                            serde_json::json!(sc.batches_counted),
+                        ),
+                    );
+                    pairs.insert(
+                        3,
+                        (
+                            "llc_misses_per_item".into(),
+                            serde_json::to_value(sc.per_item(
+                                ccs_perf::CounterKind::LlcMisses,
+                                stats.items_per_round(),
+                            ))
+                            .unwrap_or(serde_json::Value::Null),
+                        ),
+                    );
+                }
+                v
             })
             .collect();
         // Counter tri-state: "off" (not requested), "unavailable"
@@ -326,7 +375,7 @@ fn run_dag(args: &Args) -> CliResult {
                 None => serde_json::Value::String("unavailable".into()),
             }
         };
-        return Ok(serde_json::to_string_pretty(&serde_json::json!({
+        let mut top = serde_json::json!({
             "strategy": pr.strategy_used,
             "placement": placement.name(),
             "pin_cores": cfg.pin_cores,
@@ -335,6 +384,8 @@ fn run_dag(args: &Args) -> CliResult {
             "workers": workers,
             "granularity_t": stats.t,
             "rounds": stats.rounds,
+            "warmup_batches": stats.warmup,
+            "measured_sink_items": stats.measured_sink_items(),
             "bandwidth": pr.bandwidth.to_f64(),
             "firings": stats.run.firings,
             "sink_items": stats.run.sink_items,
@@ -345,7 +396,16 @@ fn run_dag(args: &Args) -> CliResult {
             "counters": counters_json,
             "counted_workers": stats.counted_workers(),
             "per_worker": workers_json,
-        }))?);
+        });
+        if segment_counters {
+            if let serde_json::Value::Object(pairs) = &mut top {
+                pairs.push((
+                    "per_segment".to_string(),
+                    serde_json::Value::Array(segments_json),
+                ));
+            }
+        }
+        return Ok(serde_json::to_string_pretty(&top)?);
     }
     let mut out = String::new();
     use std::fmt::Write as _;
@@ -373,6 +433,16 @@ fn run_dag(args: &Args) -> CliResult {
         stats.run.digest.unwrap_or(0),
     );
     if counters {
+        if stats.warmup > 0 {
+            let _ = writeln!(
+                out,
+                "warmup: first {} of {} batches/segment excluded from counters \
+                 ({} steady-state sink items measured)",
+                stats.warmup,
+                stats.rounds,
+                stats.measured_sink_items(),
+            );
+        }
         match &totals {
             Some(t) => {
                 use ccs_perf::CounterKind as K;
@@ -409,6 +479,22 @@ fn run_dag(args: &Args) -> CliResult {
                         .unwrap_or("no worker opened a group"),
                 );
             }
+        }
+    }
+    if segment_counters {
+        let per_round = stats.items_per_round();
+        for sc in stats.segment_counters() {
+            let _ = writeln!(
+                out,
+                "  segment {}: {}/{} batches counted{}",
+                sc.seg,
+                sc.batches_counted,
+                sc.batches,
+                match sc.per_item(ccs_perf::CounterKind::LlcMisses, per_round) {
+                    Some(v) => format!(", {v:.3} llc misses/item"),
+                    None => ", llc misses/item n/a".to_string(),
+                },
+            );
         }
     }
     for w in &stats.workers {
@@ -498,6 +584,146 @@ fn topo_cmd(args: &Args) -> CliResult {
                 .map(|&i| topo.core(i).cpu)
                 .collect();
             let _ = writeln!(out, "  llc {ci}: cpus {}", format_cpulist(&cpus));
+        }
+    }
+    Ok(out)
+}
+
+/// Render a number-or-null JSON field tersely.
+fn jnum(v: &serde_json::Value) -> String {
+    match v.as_f64() {
+        Some(x) if x.abs() >= 100.0 => format!("{x:.0}"),
+        Some(x) if x.abs() >= 1.0 => format!("{x:.2}"),
+        Some(x) if x != 0.0 => format!("{x:.4}"),
+        Some(_) => "0".to_string(),
+        None => "n/a".to_string(),
+    }
+}
+
+/// `ccs report FILE` — render an `e21_steady_state` JSON report (per-cell
+/// mean ± stddev, per-segment attribution, and paired rr−llc deltas
+/// with bootstrap confidence intervals) as aligned text. Tolerant of
+/// nulls: cells measured where counters were unavailable render as
+/// `n/a` rather than erroring, so reports from restricted hosts are
+/// still inspectable.
+fn report_cmd(args: &Args) -> CliResult {
+    let path = args.positional(0, "report file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path} is not JSON: {e}"))?;
+    let serde_json::Value::Array(cells) = &v["cells"] else {
+        return Err(format!("{path}: no `cells` array (want an e21_steady_state report)").into());
+    };
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "{}: R={} repeats x {} rounds (warmup {}), {} workers{}",
+        v["experiment"].as_str().unwrap_or("report"),
+        v["repeats"].as_u64().unwrap_or(0),
+        v["rounds"].as_u64().unwrap_or(0),
+        v["warmup_batches"].as_u64().unwrap_or(0),
+        v["workers"].as_u64().unwrap_or(0),
+        if v["smoke"].as_bool() == Some(true) {
+            " [smoke]"
+        } else {
+            ""
+        },
+    );
+
+    // Aligned per-cell table.
+    let headers = [
+        "workload",
+        "mode",
+        "segs",
+        "n",
+        "miss/item",
+        "stddev",
+        "wall ms",
+        "counters",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for c in cells {
+        let mpi = &c["llc_misses_per_item"];
+        rows.push(vec![
+            c["workload"].as_str().unwrap_or("?").to_string(),
+            c["placement"].as_str().unwrap_or("?").to_string(),
+            c["segments"].as_u64().map_or("?".into(), |s| s.to_string()),
+            mpi["n"].as_u64().map_or("0".into(), |n| n.to_string()),
+            jnum(&mpi["mean"]),
+            jnum(&mpi["stddev"]),
+            jnum(&c["wall_ms"]["mean"]),
+            c["counters"].as_str().unwrap_or("?").to_string(),
+        ]);
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "{:>w$}  ", h, w = widths[i]);
+    }
+    out.push('\n');
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
+        }
+        out.push('\n');
+    }
+
+    // Per-segment attribution, where present.
+    for c in cells {
+        if let serde_json::Value::Array(segs) = &c["per_segment"] {
+            let lines: Vec<String> = segs
+                .iter()
+                .filter(|s| !s["llc_misses_per_item"].is_null())
+                .map(|s| {
+                    format!(
+                        "seg {} {} +/- {}",
+                        s["seg"].as_u64().unwrap_or(0),
+                        jnum(&s["llc_misses_per_item"]["mean"]),
+                        jnum(&s["llc_misses_per_item"]["stddev"]),
+                    )
+                })
+                .collect();
+            if !lines.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  {} / {} per-segment miss/item: {}",
+                    c["workload"].as_str().unwrap_or("?"),
+                    c["placement"].as_str().unwrap_or("?"),
+                    lines.join(" | "),
+                );
+            }
+        }
+    }
+
+    // Paired deltas with CIs.
+    if let serde_json::Value::Array(deltas) = &v["deltas"] {
+        let _ = writeln!(out, "paired deltas (baseline - treatment):");
+        for d in deltas {
+            let verdict = match (d["ci_lo"].as_f64(), d["ci_hi"].as_f64()) {
+                (Some(lo), _) if lo > 0.0 => " => treatment wins",
+                (_, Some(hi)) if hi < 0.0 => " => baseline wins",
+                (Some(_), Some(_)) => " => no significant difference",
+                _ => "",
+            };
+            let _ = writeln!(
+                out,
+                "  {} {}: {} - {} = {} [{}, {}] over {} pairs ({}% bootstrap CI){}",
+                d["workload"].as_str().unwrap_or("?"),
+                d["metric"].as_str().unwrap_or("?"),
+                d["baseline"].as_str().unwrap_or("?"),
+                d["treatment"].as_str().unwrap_or("?"),
+                jnum(&d["mean"]),
+                jnum(&d["ci_lo"]),
+                jnum(&d["ci_hi"]),
+                d["pairs"].as_u64().unwrap_or(0),
+                d["confidence"].as_f64().map_or(0.0, |c| c * 100.0),
+                verdict,
+            );
         }
     }
     Ok(out)
@@ -751,6 +977,112 @@ mod tests {
         text.push("--counters");
         let out = run("run-dag", &args(&text)).unwrap();
         assert!(out.contains("counters"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_dag_warmup_and_segment_counters() {
+        let path = tmp("g11.json");
+        run(
+            "gen",
+            &args(&["pipeline", "--len", "8", "--state", "64", "-o", &path]),
+        )
+        .unwrap();
+        let base = [&path, "--m", "1024", "--workers", "2", "--rounds", "4"];
+        // Reference digest without any instrumentation.
+        let mut plain: Vec<&str> = base.to_vec();
+        plain.push("--json");
+        let parsed: serde_json::Value =
+            serde_json::from_str(&run("run-dag", &args(&plain)).unwrap()).unwrap();
+        let digest = parsed["digest"].as_str().unwrap().to_string();
+        assert_eq!(parsed["warmup_batches"].as_u64(), Some(0));
+        // Whole run measured when warmup is off.
+        assert_eq!(
+            parsed["measured_sink_items"].as_u64(),
+            parsed["sink_items"].as_u64()
+        );
+        assert!(parsed["per_segment"].is_null());
+
+        // Warmup + per-segment attribution: digest untouched, window
+        // shrinks, per-segment entries appear (--segment-counters alone
+        // implies --counters).
+        let mut seg: Vec<&str> = base.to_vec();
+        seg.extend(["--warmup", "1", "--segment-counters", "--json"]);
+        let parsed: serde_json::Value =
+            serde_json::from_str(&run("run-dag", &args(&seg)).unwrap()).unwrap();
+        assert_eq!(parsed["digest"].as_str(), Some(digest.as_str()));
+        assert_eq!(parsed["warmup_batches"].as_u64(), Some(1));
+        let sink_items = parsed["sink_items"].as_u64().unwrap();
+        assert_eq!(
+            parsed["measured_sink_items"].as_u64(),
+            Some(sink_items / 4 * 3)
+        );
+        let segs = &parsed["per_segment"];
+        assert_eq!(
+            segs.index(0).unwrap()["batches"].as_u64(),
+            Some(4),
+            "{segs:?}"
+        );
+        assert!(segs.index(0).unwrap()["batches_counted"].as_u64().unwrap() <= 3);
+        // A huge warmup is clamped so a measured window remains.
+        let mut huge: Vec<&str> = base.to_vec();
+        huge.extend(["--counters", "--warmup", "999", "--json"]);
+        let parsed: serde_json::Value =
+            serde_json::from_str(&run("run-dag", &args(&huge)).unwrap()).unwrap();
+        assert_eq!(parsed["warmup_batches"].as_u64(), Some(3));
+        assert_eq!(parsed["digest"].as_str(), Some(digest.as_str()));
+        // Text mode mentions the warmup window and segments.
+        let mut text: Vec<&str> = base.to_vec();
+        text.extend(["--segment-counters", "--warmup", "1"]);
+        let out = run("run-dag", &args(&text)).unwrap();
+        assert!(out.contains("warmup: first 1 of 4"), "{out}");
+        assert!(out.contains("segment 0:"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn report_renders_e21_json() {
+        let path = tmp("e21.json");
+        std::fs::write(
+            &path,
+            r#"{
+              "experiment": "e21_steady_state", "repeats": 3, "rounds": 16,
+              "warmup_batches": 4, "workers": 2, "smoke": false,
+              "cells": [
+                {"workload": "demo", "placement": "rr", "segments": 2,
+                 "counters": "ok",
+                 "llc_misses_per_item": {"n": 3, "mean": 4.5, "stddev": 0.25},
+                 "wall_ms": {"n": 3, "mean": 12.0, "stddev": 1.0},
+                 "per_segment": [
+                   {"seg": 0, "llc_misses_per_item": {"n": 3, "mean": 3.0, "stddev": 0.1}},
+                   {"seg": 1, "llc_misses_per_item": null}
+                 ]},
+                {"workload": "demo", "placement": "llc", "segments": 2,
+                 "counters": "unavailable",
+                 "llc_misses_per_item": null, "wall_ms": {"n": 3, "mean": 11.0, "stddev": 0.5},
+                 "per_segment": []}
+              ],
+              "deltas": [
+                {"workload": "demo", "metric": "llc_misses_per_item",
+                 "baseline": "rr", "treatment": "llc", "pairs": 3,
+                 "mean": 1.2, "ci_lo": 0.8, "ci_hi": 1.6, "confidence": 0.9}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let out = run("report", &args(&[&path])).unwrap();
+        assert!(out.contains("R=3 repeats x 16 rounds (warmup 4)"), "{out}");
+        assert!(out.contains("4.50"), "{out}");
+        assert!(out.contains("unavailable"), "{out}");
+        assert!(out.contains("seg 0 3.00 +/- 0.1000"), "{out}");
+        assert!(out.contains("treatment wins"), "{out}");
+        // Nulls render as n/a, not errors.
+        assert!(out.contains("n/a"), "{out}");
+        // Garbage input is an error.
+        let bad = tmp("not-a-report.json");
+        std::fs::write(&bad, "{\"cells\": 7}").unwrap();
+        assert!(run("report", &args(&[&bad])).is_err());
+        std::fs::remove_file(bad).ok();
         std::fs::remove_file(path).ok();
     }
 

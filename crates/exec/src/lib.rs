@@ -10,9 +10,9 @@
 //!   segment's module state stays in the cache of whichever core runs
 //!   that worker — the multicore reading of the paper's two-level
 //!   schedule, where a "component load" becomes a per-worker working
-//!   set. (Affinity is segment→thread; threads are not bound to cores,
-//!   so the OS may still migrate a worker. Explicit core pinning is a
-//!   ROADMAP item.)
+//!   set. (Affinity is segment→thread; add
+//!   [`run::RunConfig::pin_cores`] to also bind threads to cores, so
+//!   the OS cannot migrate a worker away from its cache.)
 //! * **×T batches.** Each segment executes its local steady-state
 //!   schedule in batches of the §3 granularity `T`
 //!   ([`ccs_sched::partitioned::granularity_t`]): one batch moves exactly
@@ -37,6 +37,11 @@
 //!   run-wide LLC misses/item, MPKI, and IPC are reported per placement
 //!   mode — the paper's cache claim, observed rather than inferred
 //!   (graceful `counters: None` where `perf_event_open` is denied).
+//!   [`run::RunConfig::warmup_batches`] discards a cold-start window so
+//!   readings reflect steady state, and
+//!   [`run::RunConfig::segment_counters`] attributes counting windows
+//!   to individual segments ([`stats::SegmentCounters`]); methodology
+//!   in `docs/MEASUREMENT.md`.
 //! * **Determinism.** Synchronous dataflow is schedule-deterministic, so
 //!   the sink digest is bit-identical to the serial executor's for the
 //!   same number of batches, at every worker count, placement, and
@@ -56,4 +61,4 @@ pub mod stats;
 pub use place::{assign_on, fair_share, Placement};
 pub use plan::{DagExecError, ExecPlan, SegmentPlan};
 pub use run::{execute_dag, execute_dag_cfg, RunConfig};
-pub use stats::{DagRunStats, WorkerStats};
+pub use stats::{DagRunStats, SegmentCounters, WorkerStats};

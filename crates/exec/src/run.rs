@@ -23,7 +23,7 @@
 
 use crate::place::{assign_on, Placement};
 use crate::plan::{DagExecError, ExecPlan};
-use crate::stats::{DagRunStats, WorkerStats};
+use crate::stats::{DagRunStats, SegmentCounters, WorkerStats};
 use ccs_graph::RateAnalysis;
 use ccs_partition::Partition;
 use ccs_runtime::instance::Instance;
@@ -55,6 +55,26 @@ pub struct RunConfig {
     /// degrades per worker to `counters: None`; the run itself — and
     /// its digest — is unaffected either way.
     pub counters: bool,
+    /// Steady-state warmup window: per-segment batches whose counter
+    /// activity is discarded. Each worker zeroes its group
+    /// (`PERF_EVENT_IOC_RESET`) once every segment it owns has executed
+    /// this many batches, so readings exclude cold-start misses
+    /// (compulsory misses on first-touch state, page faults, branch
+    /// training). Clamped below `rounds` so a measurement window always
+    /// remains; 0 (the default) reproduces whole-run sampling.
+    pub warmup_batches: u64,
+    /// Attribute counters to individual *segments*, not just workers:
+    /// two extra group reads around each sampled batch, differenced
+    /// into that segment's [`SegmentCounters`].
+    /// Only post-warmup batches are sampled. Off by default (the reads
+    /// are cheap — two `read(2)` calls per batch — but not free).
+    pub segment_counters: bool,
+    /// Sampling stride for per-segment attribution: count every n-th
+    /// post-warmup batch (1 = every batch). Bounds the per-batch read
+    /// overhead for very small `T`; readings stay unbiased because
+    /// normalization divides by batches actually counted. 0 is treated
+    /// as 1.
+    pub counter_stride: u64,
 }
 
 impl RunConfig {
@@ -84,6 +104,36 @@ impl RunConfig {
         self.counters = counters;
         self
     }
+
+    pub fn with_warmup(mut self, warmup_batches: u64) -> RunConfig {
+        self.warmup_batches = warmup_batches;
+        self
+    }
+
+    pub fn with_segment_counters(mut self, on: bool) -> RunConfig {
+        self.segment_counters = on;
+        self
+    }
+
+    pub fn with_counter_stride(mut self, stride: u64) -> RunConfig {
+        self.counter_stride = stride;
+        self
+    }
+}
+
+/// The per-run counter policy handed to each worker: the counter
+/// request plus the effective (clamped) warmup and stride.
+#[derive(Clone, Copy)]
+struct CounterPlan {
+    /// Open a group on each worker thread at all.
+    requested: bool,
+    /// Effective per-segment warmup batches (already clamped below
+    /// `rounds`).
+    warmup: u64,
+    /// Attribute per-batch windows to segments.
+    per_segment: bool,
+    /// Sample every n-th post-warmup batch (>= 1).
+    stride: u64,
 }
 
 /// One pinned segment's runtime state: kernels and pre-sized scratch,
@@ -284,6 +334,16 @@ pub fn execute_dag_cfg(
     let rings_ref: &[SpscRing] = &rings;
     let gate = ProgressGate::new();
     let gate_ref = &gate;
+    let cplan = CounterPlan {
+        requested: cfg.counters,
+        warmup: if rounds == 0 {
+            0
+        } else {
+            cfg.warmup_batches.min(rounds - 1)
+        },
+        per_segment: cfg.counters && cfg.segment_counters,
+        stride: cfg.counter_stride.max(1),
+    };
 
     let start = Instant::now();
     let mut results: Vec<(Vec<SegTask>, WorkerStats)> = Vec::with_capacity(workers);
@@ -291,10 +351,9 @@ pub fn execute_dag_cfg(
         let mut handles = Vec::with_capacity(workers);
         for (w, my_tasks) in per_worker.into_iter().enumerate() {
             let binding = bindings[w];
-            let counters = cfg.counters;
             handles.push(scope.spawn(move |_| {
                 worker_loop(
-                    graph, plan_ref, rings_ref, gate_ref, w, binding, counters, my_tasks, rounds,
+                    graph, plan_ref, rings_ref, gate_ref, w, binding, cplan, my_tasks, rounds,
                 )
             }));
         }
@@ -347,6 +406,7 @@ pub fn execute_dag_cfg(
         rounds,
         segments,
         counters_requested: cfg.counters,
+        warmup: cplan.warmup,
     })
 }
 
@@ -371,14 +431,14 @@ fn worker_loop(
     gate: &ProgressGate,
     worker: usize,
     binding: Option<CoreBinding>,
-    counters: bool,
+    cplan: CounterPlan,
     mut tasks: Vec<SegTask>,
     rounds: u64,
 ) -> (Vec<SegTask>, WorkerStats) {
     // Pin first, then open counters: the self-monitoring group then
     // counts this thread on the core the placement chose for it.
     let pinned_cpu = binding.and_then(|b| pin_current_thread(b.cpu).pinned().then_some(b.cpu));
-    let counter_set = if counters {
+    let counter_set = if cplan.requested {
         ccs_perf::CounterBuilder::cache_suite().open_self_thread()
     } else {
         ccs_perf::CounterSet::unavailable("counters not requested")
@@ -393,8 +453,28 @@ fn worker_loop(
         busy: Duration::ZERO,
         pinned_cpu,
         counters: None,
+        warmup_excluded: 0,
+        segment_counters: Vec::new(),
+    };
+    let mut seg_acc: Vec<SegmentCounters> = if cplan.per_segment {
+        tasks
+            .iter()
+            .map(|t| SegmentCounters {
+                seg: t.seg,
+                ..SegmentCounters::default()
+            })
+            .collect()
+    } else {
+        Vec::new()
     };
     let mut unproductive = 0u32;
+    // Steady-state gate: flips once every owned segment has executed
+    // its warmup batches, at which point the group is zeroed so the
+    // worker's final sample covers only post-warmup work. Checked at
+    // the top of a scheduling pass — never between a counting window's
+    // two reads — so per-segment windows always lie inside the
+    // post-reset region and their raw sums stay <= the worker total.
+    let mut warmed = cplan.warmup == 0;
     counter_set.reset();
     counter_set.enable();
     loop {
@@ -402,9 +482,16 @@ fn worker_loop(
         // the scan moves the epoch past this value, so a post-scan park
         // re-checks immediately instead of sleeping through the wakeup.
         let epoch = gate.epoch.load(Ordering::SeqCst);
+        if !warmed && tasks.iter().all(|t| t.done >= cplan.warmup) {
+            counter_set.reset();
+            if counter_set.is_active() {
+                stats.warmup_excluded = stats.batches;
+            }
+            warmed = true;
+        }
         let mut progressed = false;
         let mut all_done = true;
-        for task in &mut tasks {
+        for (ti, task) in tasks.iter_mut().enumerate() {
             if task.done >= rounds {
                 continue;
             }
@@ -412,9 +499,27 @@ fn worker_loop(
             if !schedulable(plan, rings, task.seg) {
                 continue;
             }
+            // Per-segment counting window: post-warmup (both this
+            // segment's and the worker-level reset), on-stride batches.
+            // `sample()` is None when no group opened, so the window
+            // quietly disappears on the Unavailable path.
+            let window = cplan.per_segment
+                && warmed
+                && task.done >= cplan.warmup
+                && (task.done - cplan.warmup).is_multiple_of(cplan.stride);
+            let before = if window { counter_set.sample() } else { None };
             let t0 = Instant::now();
             run_batch(g, plan, rings, task, &mut stats.firings);
             stats.busy += t0.elapsed();
+            if let Some(before) = before {
+                if let Some(after) = counter_set.sample() {
+                    seg_acc[ti].sample.merge(&after.delta_since(&before));
+                    seg_acc[ti].batches_counted += 1;
+                }
+            }
+            if cplan.per_segment {
+                seg_acc[ti].batches += 1;
+            }
             task.done += 1;
             stats.batches += 1;
             progressed = true;
@@ -439,6 +544,7 @@ fn worker_loop(
     }
     counter_set.disable();
     stats.counters = counter_set.sample();
+    stats.segment_counters = seg_acc;
     (tasks, stats)
 }
 

@@ -4,6 +4,41 @@ use ccs_perf::{CounterKind, CounterSample};
 use ccs_runtime::serial::RunStats;
 use std::time::Duration;
 
+/// Hardware counters attributed to one segment: the sum of per-batch
+/// counting windows (two group reads around each sampled batch,
+/// differenced by [`CounterSample::delta_since`]) for the batches of
+/// this segment that fell inside the steady-state measurement window.
+///
+/// `sample / (batches_counted · items_per_round)` is the segment's
+/// misses per *sink item* — every segment's batch advances the stream
+/// by the same one-round amount, so per-segment numbers normalized this
+/// way are directly comparable and sum to (at most) the run total.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SegmentCounters {
+    /// Segment index (contracted topological order).
+    pub seg: usize,
+    /// Batches of this segment executed in total.
+    pub batches: u64,
+    /// Batches actually counted: past the warmup window, on the
+    /// sampling stride, with an open counter group.
+    pub batches_counted: u64,
+    /// Summed counting-window deltas over the counted batches (empty
+    /// when the group never opened).
+    pub sample: CounterSample,
+}
+
+impl SegmentCounters {
+    /// This segment's contribution to the run's misses per sink item:
+    /// counted events divided by the sink items the counted batches
+    /// correspond to (`batches_counted · items_per_round`). `None`
+    /// without the event, without counted batches, or with a zero
+    /// items-per-round denominator.
+    pub fn per_item(&self, kind: CounterKind, items_per_round: u64) -> Option<f64> {
+        self.sample
+            .per_item(kind, self.batches_counted * items_per_round)
+    }
+}
+
 /// What one pinned worker did during a run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WorkerStats {
@@ -30,8 +65,20 @@ pub struct WorkerStats {
     pub pinned_cpu: Option<usize>,
     /// Hardware counters sampled around this worker's firing loop
     /// ([`RunConfig::counters`](crate::RunConfig::counters)). `None`
-    /// when counters were off or unavailable on this thread.
+    /// when counters were off or unavailable on this thread. With a
+    /// warmup window the sample covers only post-reset work (see
+    /// [`WorkerStats::warmup_excluded`]).
     pub counters: Option<CounterSample>,
+    /// Batches this worker executed *before* its steady-state counter
+    /// reset (`PERF_EVENT_IOC_RESET` once every owned segment passed
+    /// [`RunConfig::warmup_batches`](crate::RunConfig::warmup_batches)) —
+    /// work excluded from [`WorkerStats::counters`]. Zero when warmup
+    /// was off or no group opened.
+    pub warmup_excluded: u64,
+    /// Per-segment counter attribution
+    /// ([`RunConfig::segment_counters`](crate::RunConfig::segment_counters)),
+    /// one entry per owned segment; empty when attribution was off.
+    pub segment_counters: Vec<SegmentCounters>,
 }
 
 /// Outcome of a parallel dag execution.
@@ -51,6 +98,11 @@ pub struct DagRunStats {
     /// Whether hardware counters were requested for this run (they may
     /// still be per-worker unavailable; see [`WorkerStats::counters`]).
     pub counters_requested: bool,
+    /// The effective warmup window: per-segment batches excluded from
+    /// counter readings (the configured
+    /// [`RunConfig::warmup_batches`](crate::RunConfig::warmup_batches),
+    /// clamped below `rounds` so a measurement window always remains).
+    pub warmup: u64,
 }
 
 impl DagRunStats {
@@ -93,12 +145,68 @@ impl DagRunStats {
         self.workers.iter().filter(|w| w.counters.is_some()).count()
     }
 
+    /// Sink items one granularity-`T` round moves (`sink_items /
+    /// rounds`; the division is exact by construction of the plan).
+    pub fn items_per_round(&self) -> u64 {
+        self.run.sink_items.checked_div(self.rounds).unwrap_or(0)
+    }
+
+    /// Rounds inside the steady-state measurement window
+    /// (`rounds - warmup`).
+    pub fn measured_rounds(&self) -> u64 {
+        self.rounds.saturating_sub(self.warmup)
+    }
+
+    /// Sink items the counter readings correspond to: the whole run
+    /// without warmup, the post-warmup window otherwise. This is the
+    /// denominator for [`DagRunStats::llc_misses_per_item`], so
+    /// `warmup = 0` reproduces the whole-run normalization exactly.
+    pub fn measured_sink_items(&self) -> u64 {
+        self.items_per_round() * self.measured_rounds()
+    }
+
     /// The paper's headline metric, measured: LLC misses per sink item
-    /// across the whole run. `None` without counters, without the LLC
-    /// event, or for a run that produced no sink items.
+    /// over the steady-state window. `None` without counters, without
+    /// the LLC event, or for a run that produced no sink items.
     pub fn llc_misses_per_item(&self) -> Option<f64> {
         self.counter_totals()?
-            .per_item(CounterKind::LlcMisses, self.run.sink_items)
+            .per_item(CounterKind::LlcMisses, self.measured_sink_items())
+    }
+
+    /// Per-segment counter attribution collected from all workers,
+    /// sorted by segment index. Empty when
+    /// [`RunConfig::segment_counters`](crate::RunConfig::segment_counters)
+    /// was off. Each segment is owned by exactly one worker, so this is
+    /// a re-indexing, not a merge.
+    pub fn segment_counters(&self) -> Vec<&SegmentCounters> {
+        let mut all: Vec<&SegmentCounters> = self
+            .workers
+            .iter()
+            .flat_map(|w| w.segment_counters.iter())
+            .collect();
+        all.sort_by_key(|s| s.seg);
+        all
+    }
+
+    /// Per-segment LLC misses per sink item over the steady-state
+    /// window: `(segment, misses/item)`, sorted by segment. An entry is
+    /// `None` where the segment counted no batches or the LLC event
+    /// never opened. Each value is normalized by the batches actually
+    /// counted, so it is an unbiased per-batch estimate even under a
+    /// sampling stride; with stride 1 and a timely warmup reset the
+    /// values sum to at most the run-wide
+    /// [`DagRunStats::llc_misses_per_item`] (stall-loop and scheduling
+    /// overhead is attributed to workers, never to segments), but with
+    /// `counter_stride > 1` the aggregate and the estimates have
+    /// different denominators and no ordering is guaranteed. The
+    /// always-true invariant is on raw counts: per-segment raw sums
+    /// never exceed per-worker totals.
+    pub fn segment_llc_misses_per_item(&self) -> Vec<(usize, Option<f64>)> {
+        let per_round = self.items_per_round();
+        self.segment_counters()
+            .iter()
+            .map(|s| (s.seg, s.per_item(CounterKind::LlcMisses, per_round)))
+            .collect()
     }
 }
 
@@ -118,6 +226,8 @@ mod tests {
             busy: Duration::from_millis(1),
             pinned_cpu: None,
             counters,
+            warmup_excluded: 0,
+            segment_counters: Vec::new(),
         }
     }
 
@@ -146,6 +256,16 @@ mod tests {
             rounds: 2,
             segments: 2,
             counters_requested: true,
+            warmup: 0,
+        }
+    }
+
+    fn seg_counters(seg: usize, batches_counted: u64, misses_raw: u64) -> SegmentCounters {
+        SegmentCounters {
+            seg,
+            batches: 2,
+            batches_counted,
+            sample: misses(misses_raw),
         }
     }
 
@@ -181,5 +301,68 @@ mod tests {
     fn zero_sink_items_cannot_divide() {
         let s = stats(vec![worker(0, Some(misses(8)))], 0);
         assert_eq!(s.llc_misses_per_item(), None);
+    }
+
+    #[test]
+    fn warmup_shrinks_the_item_denominator() {
+        // 2 rounds, 50 sink items => 25 items/round.
+        let mut s = stats(vec![worker(0, Some(misses(100)))], 50);
+        assert_eq!(s.items_per_round(), 25);
+        assert_eq!(s.measured_sink_items(), 50);
+        assert_eq!(s.llc_misses_per_item(), Some(2.0));
+        // warmup = 1 round: the same counts normalize over one round.
+        s.warmup = 1;
+        assert_eq!(s.measured_rounds(), 1);
+        assert_eq!(s.measured_sink_items(), 25);
+        assert_eq!(s.llc_misses_per_item(), Some(4.0));
+        // Degenerate warmup >= rounds (the executor clamps before this
+        // can happen, but the math must not divide by zero).
+        s.warmup = 7;
+        assert_eq!(s.measured_sink_items(), 0);
+        assert_eq!(s.llc_misses_per_item(), None);
+    }
+
+    #[test]
+    fn segment_attribution_aggregates_sorted_and_normalized() {
+        let mut w0 = worker(0, Some(misses(100)));
+        w0.segment_counters = vec![seg_counters(2, 2, 30)];
+        let mut w1 = worker(1, Some(misses(50)));
+        w1.segment_counters = vec![seg_counters(1, 1, 40), seg_counters(0, 2, 0)];
+        let s = stats(vec![w0, w1], 50); // 25 items/round
+        let segs = s.segment_counters();
+        assert_eq!(
+            segs.iter().map(|c| c.seg).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let mpi = s.segment_llc_misses_per_item();
+        // seg 0: 0 misses over 2 counted batches x 25 items.
+        assert_eq!(mpi[0], (0, Some(0.0)));
+        // seg 1: 40 / (1 * 25).
+        assert_eq!(mpi[1], (1, Some(1.6)));
+        // seg 2: 30 / (2 * 25).
+        assert_eq!(mpi[2], (2, Some(0.6)));
+        // Per-segment raw sums stay within the per-worker totals.
+        let seg_sum: u64 = segs
+            .iter()
+            .filter_map(|c| c.sample.get(CounterKind::LlcMisses))
+            .sum();
+        let worker_sum = s
+            .counter_totals()
+            .unwrap()
+            .get(CounterKind::LlcMisses)
+            .unwrap();
+        assert!(seg_sum <= worker_sum);
+    }
+
+    #[test]
+    fn uncounted_segments_yield_none_not_zero() {
+        let mut w = worker(0, Some(misses(10)));
+        w.segment_counters = vec![seg_counters(0, 0, 0)];
+        let s = stats(vec![w], 50);
+        assert_eq!(s.segment_llc_misses_per_item()[0], (0, None));
+        // Off entirely: no entries at all.
+        let s = stats(vec![worker(0, None)], 50);
+        assert!(s.segment_counters().is_empty());
+        assert!(s.segment_llc_misses_per_item().is_empty());
     }
 }

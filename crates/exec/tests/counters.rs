@@ -97,6 +97,145 @@ fn counter_readings_are_consistent_with_the_run() {
 }
 
 #[test]
+fn warmup_and_segment_sampling_do_not_perturb_results() {
+    // The acceptance bar for the measurement layer: turning on the
+    // warmup reset and the per-batch counting windows changes *nothing*
+    // about execution — digest, firing count, sink items — at any
+    // placement, and a clamped (oversized) warmup behaves identically.
+    let cfg_g = LayeredCfg {
+        layers: 5,
+        max_width: 4,
+        density: 0.35,
+        state: StateDist::Uniform(16, 64),
+        max_q: 2,
+    };
+    let topo = Topology::synthetic(&TopoSpec::new(1, 2, 2));
+    for seed in 0..3u64 {
+        let g = gen::layered(&cfg_g, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let p = dag_greedy::greedy_topo(&g, 96);
+        for placement in [Placement::RoundRobin, Placement::Llc] {
+            let base = RunConfig::new(3)
+                .with_placement(placement)
+                .with_topology(topo.clone());
+            let plain =
+                execute_dag_cfg(Instance::synthetic(g.clone()), &ra, &p, 48, 6, &base).unwrap();
+            for (warmup, stride) in [(2, 1), (2, 3), (999, 1)] {
+                let cfg = base
+                    .clone()
+                    .with_counters(true)
+                    .with_warmup(warmup)
+                    .with_segment_counters(true)
+                    .with_counter_stride(stride);
+                let warm =
+                    execute_dag_cfg(Instance::synthetic(g.clone()), &ra, &p, 48, 6, &cfg).unwrap();
+                let tag = format!("seed {seed} placement {placement:?} warmup {warmup}");
+                assert_eq!(plain.run.digest, warm.run.digest, "{tag}");
+                assert_eq!(plain.run.firings, warm.run.firings, "{tag}");
+                assert_eq!(plain.run.sink_items, warm.run.sink_items, "{tag}");
+                // The oversized warmup is clamped so a window remains.
+                assert_eq!(warm.warmup, warmup.min(5), "{tag}");
+                assert!(warm.measured_sink_items() > 0, "{tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn segment_attribution_accounts_for_every_batch() {
+    let g = gen::pipeline_uniform(10, 48);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let p = dag_greedy::greedy_topo(&g, 96);
+    let rounds = 6;
+    let warmup = 2;
+    let cfg = RunConfig::new(2)
+        .with_counters(true)
+        .with_warmup(warmup)
+        .with_segment_counters(true);
+    let stats = execute_dag_cfg(Instance::synthetic(g), &ra, &p, 48, rounds, &cfg).unwrap();
+
+    // One attribution record per segment, regardless of availability.
+    let segs = stats.segment_counters();
+    assert_eq!(segs.len(), stats.segments);
+    for sc in &segs {
+        // Every batch executed is accounted; at most the post-warmup
+        // ones are counted.
+        assert_eq!(sc.batches, rounds);
+        assert!(
+            sc.batches_counted <= rounds - warmup,
+            "segment {}: counted {} of {} with warmup {}",
+            sc.seg,
+            sc.batches_counted,
+            rounds,
+            warmup
+        );
+    }
+    match stats.counted_workers() {
+        0 => {
+            // No group opened: windows silently disappear.
+            assert!(segs.iter().all(|sc| sc.batches_counted == 0));
+            assert!(segs.iter().all(|sc| sc.sample.readings.is_empty()));
+        }
+        _ => {
+            // Groups opened: per-segment raw sums must stay within the
+            // per-worker cumulative totals (disjoint sub-windows of the
+            // same post-reset counting interval) for every event kind.
+            let totals = stats.counter_totals().unwrap();
+            for r in &totals.readings {
+                let seg_sum: u64 = segs
+                    .iter()
+                    .filter_map(|sc| {
+                        sc.sample
+                            .readings
+                            .iter()
+                            .find(|s| s.kind == r.kind)
+                            .map(|s| s.raw)
+                    })
+                    .sum();
+                assert!(
+                    seg_sum <= r.raw,
+                    "{:?}: segment sum {} > worker total {}",
+                    r.kind,
+                    seg_sum,
+                    r.raw
+                );
+            }
+            // Workers that counted report how much warmup they shed.
+            assert!(stats
+                .workers
+                .iter()
+                .all(|w| w.counters.is_none() || w.warmup_excluded <= w.batches));
+        }
+    }
+    // Per-segment misses/item entries line up with the segments.
+    let mpi = stats.segment_llc_misses_per_item();
+    assert_eq!(mpi.len(), stats.segments);
+    assert!(mpi.iter().enumerate().all(|(i, (seg, _))| *seg == i));
+}
+
+#[test]
+fn counter_stride_bounds_the_sampled_batches() {
+    let g = gen::pipeline_uniform(6, 32);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let p = dag_greedy::greedy_topo(&g, 64);
+    let rounds = 8;
+    let cfg = RunConfig::new(2)
+        .with_counters(true)
+        .with_segment_counters(true)
+        .with_counter_stride(3);
+    let stats = execute_dag_cfg(Instance::synthetic(g), &ra, &p, 32, rounds, &cfg).unwrap();
+    for sc in stats.segment_counters() {
+        // Stride 3 over 8 post-warmup batches: at most batches 0,3,6.
+        assert!(
+            sc.batches_counted <= rounds.div_ceil(3),
+            "segment {}: {} counted",
+            sc.seg,
+            sc.batches_counted
+        );
+    }
+}
+
+#[test]
 fn ccs_no_perf_forces_clean_fallback() {
     // The kill switch must produce exactly the unavailable shape that a
     // denied syscall would — the path CI asserts. (The var is set only
@@ -113,11 +252,26 @@ fn ccs_no_perf_forces_clean_fallback() {
             .digest
     };
     std::env::set_var("CCS_NO_PERF", "1");
-    let cfg = RunConfig::new(2).with_counters(true);
+    let cfg = RunConfig::new(2)
+        .with_counters(true)
+        .with_warmup(1)
+        .with_segment_counters(true);
     let stats = execute_dag_cfg(Instance::synthetic(g), &ra, &p, 32, 2, &cfg).unwrap();
     std::env::remove_var("CCS_NO_PERF");
     assert!(stats.counters_requested);
     assert_eq!(stats.counted_workers(), 0);
     assert_eq!(stats.counter_totals(), None);
     assert_eq!(stats.run.digest, want);
+    // The per-segment layer degrades to the same clean shape: records
+    // exist (with batch accounting) but nothing was counted, and the
+    // warmup bookkeeping stays zero because no group ever opened.
+    let segs = stats.segment_counters();
+    assert_eq!(segs.len(), stats.segments);
+    assert!(segs.iter().all(|sc| sc.batches == 2));
+    assert!(segs.iter().all(|sc| sc.batches_counted == 0));
+    assert!(stats
+        .segment_llc_misses_per_item()
+        .iter()
+        .all(|(_, v)| v.is_none()));
+    assert!(stats.workers.iter().all(|w| w.warmup_excluded == 0));
 }

@@ -30,9 +30,14 @@
 //!   deterministic).
 //!
 //! Consumers: `ccs-exec` workers and the `ccs-runtime` serial executor
-//! sample around their firing loops; `ccs run-dag --counters` and the
-//! `e20_cache_counters` experiment report misses per item by placement
-//! mode.
+//! sample around their firing loops (optionally discarding a warmup
+//! window via [`CounterSet::reset`] and attributing batch windows to
+//! segments via [`CounterSample::delta_since`]); `ccs run-dag
+//! --counters` and the `e20_cache_counters` / `e21_steady_state`
+//! experiments report misses per item by placement mode. The
+//! measurement methodology is documented in `docs/MEASUREMENT.md`.
+
+#![warn(missing_docs)]
 
 pub mod read;
 
@@ -108,6 +113,7 @@ impl CounterKind {
 /// One counter's value within a sample.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Reading {
+    /// Which event this value belongs to.
     pub kind: CounterKind,
     /// What the hardware counted while the event was on the PMU.
     pub raw: u64,
@@ -174,6 +180,47 @@ impl CounterSample {
             return None;
         }
         Some(self.get(kind)? as f64 / items as f64)
+    }
+
+    /// The counting *window* between an earlier snapshot of the same
+    /// (cumulative, un-reset) group and this one: per-kind raw
+    /// differences, differenced time bases, and the raw deltas
+    /// re-extrapolated over the window's own multiplexing ratio
+    /// ([`read::scale`] on the differenced times — the cumulative
+    /// `scaled` fields cannot be subtracted, because each snapshot is
+    /// extrapolated over a different ratio).
+    ///
+    /// This is how a worker attributes one segment batch's counts: read
+    /// before, read after, `after.delta_since(&before)`. Two plain
+    /// `read(2)`s per window — no reset, so the group's cumulative
+    /// totals (the per-worker reading) survive. Kinds missing from
+    /// `earlier` are treated as starting at zero; counter wrap-around
+    /// (or a reset between the two snapshots) saturates at zero rather
+    /// than producing garbage.
+    pub fn delta_since(&self, earlier: &CounterSample) -> CounterSample {
+        let dte = self.time_enabled_ns.saturating_sub(earlier.time_enabled_ns);
+        let dtr = self.time_running_ns.saturating_sub(earlier.time_running_ns);
+        CounterSample {
+            time_enabled_ns: dte,
+            time_running_ns: dtr,
+            readings: self
+                .readings
+                .iter()
+                .map(|r| {
+                    let before = earlier
+                        .readings
+                        .iter()
+                        .find(|e| e.kind == r.kind)
+                        .map_or(0, |e| e.raw);
+                    let raw = r.raw.saturating_sub(before);
+                    Reading {
+                        kind: r.kind,
+                        raw,
+                        scaled: read::scale(raw, dte, dtr),
+                    }
+                })
+                .collect(),
+        }
     }
 
     /// Accumulate another sample into this one: per-kind scaled and raw
@@ -284,6 +331,7 @@ impl CounterSet {
         }
     }
 
+    /// Whether a counter group is actually open.
     pub fn is_active(&self) -> bool {
         matches!(self, CounterSet::Active(_))
     }
@@ -345,18 +393,23 @@ pub struct CounterGroup {
 
 #[cfg(not(target_os = "linux"))]
 impl CounterGroup {
+    /// Kinds opened (unreachable: the stub is never constructed).
     pub fn kinds(&self) -> &[CounterKind] {
         match self.never {}
     }
+    /// Start counting (unreachable).
     pub fn enable(&self) {
         match self.never {}
     }
+    /// Stop counting (unreachable).
     pub fn disable(&self) {
         match self.never {}
     }
+    /// Zero the counters (unreachable).
     pub fn reset(&self) {
         match self.never {}
     }
+    /// Snapshot the group (unreachable).
     pub fn sample(&self) -> Option<CounterSample> {
         match self.never {}
     }
@@ -499,6 +552,64 @@ mod tests {
         // Zero denominators are None, not inf/NaN.
         let z = sample(&[(CounterKind::Instructions, 10), (CounterKind::Cycles, 0)]);
         assert_eq!(z.ipc(), None);
+    }
+
+    #[test]
+    fn delta_since_isolates_a_window() {
+        // Cumulative snapshots before and after one segment batch.
+        let before = CounterSample {
+            time_enabled_ns: 1_000,
+            time_running_ns: 1_000,
+            readings: vec![Reading {
+                kind: CounterKind::LlcMisses,
+                raw: 40,
+                scaled: 40,
+            }],
+        };
+        let after = CounterSample {
+            time_enabled_ns: 3_000,
+            time_running_ns: 2_000,
+            readings: vec![Reading {
+                kind: CounterKind::LlcMisses,
+                raw: 100,
+                scaled: 150,
+            }],
+        };
+        let d = after.delta_since(&before);
+        assert_eq!(d.time_enabled_ns, 2_000);
+        assert_eq!(d.time_running_ns, 1_000);
+        let r = d.readings[0];
+        assert_eq!(r.raw, 60);
+        // Rescaled over the window's OWN ratio (2000/1000), not a
+        // difference of the cumulative scaled fields (150-40 = 110).
+        assert_eq!(r.scaled, 120);
+        assert!(d.multiplexed());
+    }
+
+    #[test]
+    fn delta_since_tolerates_new_kinds_and_wraps() {
+        let before = sample(&[(CounterKind::Cycles, 500)]);
+        // After: cycles wrapped (or were reset) below the earlier value,
+        // and instructions appeared (kind absent earlier => from 0).
+        let mut after = sample(&[(CounterKind::Cycles, 100), (CounterKind::Instructions, 7)]);
+        after.time_enabled_ns = 2_000;
+        after.time_running_ns = 2_000;
+        let d = after.delta_since(&before);
+        assert_eq!(d.get(CounterKind::Cycles), Some(0)); // saturates
+        assert_eq!(d.get(CounterKind::Instructions), Some(7));
+        assert_eq!(d.time_enabled_ns, 1_000);
+        assert!(!d.multiplexed());
+        // Windows compose: summing disjoint deltas never exceeds the
+        // cumulative total (raw counts).
+        let total = sample(&[(CounterKind::Cycles, 1_000)]);
+        let w1 = sample(&[(CounterKind::Cycles, 300)]).delta_since(&sample(&[]));
+        let w2 = total.delta_since(&sample(&[(CounterKind::Cycles, 600)]));
+        let sum: u64 = [w1, w2]
+            .iter()
+            .filter_map(|w| w.readings.iter().find(|r| r.kind == CounterKind::Cycles))
+            .map(|r| r.raw)
+            .sum();
+        assert!(sum <= 1_000);
     }
 
     #[test]

@@ -75,6 +75,24 @@ pub fn execute_counted(
     run: &SchedRun,
     counters: bool,
 ) -> (RunStats, Option<ccs_perf::CounterSample>) {
+    execute_counted_warm(inst, run, counters, 0)
+}
+
+/// [`execute_counted`] with a steady-state warmup window: the counter
+/// group is zeroed (`PERF_EVENT_IOC_RESET`) after the first
+/// `warmup_firings` firings, so the sample excludes cold-start misses
+/// (first-touch state, page faults) and covers only the remaining
+/// `firings - warmup_firings` firings — the serial analogue of
+/// `RunConfig::warmup_batches` in the parallel executor. A warmup of 0,
+/// or one at least as long as the schedule, degrades to whole-run
+/// sampling; execution itself (digest, items, firing count) is
+/// untouched in every case.
+pub fn execute_counted_warm(
+    inst: &mut Instance,
+    run: &SchedRun,
+    counters: bool,
+    warmup_firings: u64,
+) -> (RunStats, Option<ccs_perf::CounterSample>) {
     let g = &inst.graph;
     assert_eq!(run.capacities.len(), g.edge_count());
     let mut rings: Vec<Ring> = g
@@ -87,13 +105,22 @@ pub fn execute_counted(
     } else {
         ccs_perf::CounterSet::unavailable("counters not requested")
     };
+    // A warmup that would leave no measured window is ignored.
+    let warmup = if warmup_firings < run.firings.len() as u64 {
+        warmup_firings
+    } else {
+        0
+    };
 
     let sink = g.single_sink();
     let mut sink_items = 0u64;
     counter_set.reset();
     counter_set.enable();
     let start = Instant::now();
-    for &v in &run.firings {
+    for (i, &v) in run.firings.iter().enumerate() {
+        if warmup > 0 && i as u64 == warmup {
+            counter_set.reset();
+        }
         fire_once(inst, &mut rings, &mut scratch, v, sink, &mut sink_items);
     }
     let wall = start.elapsed();
@@ -171,6 +198,24 @@ mod tests {
         let (off, none) = execute_counted(&mut i3, &run, false);
         assert_eq!(off.digest, plain.digest);
         assert!(none.is_none());
+    }
+
+    #[test]
+    fn warmup_window_does_not_perturb_results() {
+        let g = gen::pipeline(&PipelineCfg::default(), 5);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let run = baseline::single_appearance(&g, &ra, 4);
+        let mut i1 = Instance::synthetic(g.clone());
+        let plain = execute(&mut i1, &run);
+        // Warmup inside, at, and beyond the schedule length: execution
+        // is identical in every case (only the counter window moves).
+        for warmup in [1, run.firings.len() as u64 / 2, u64::MAX] {
+            let mut i = Instance::synthetic(g.clone());
+            let (warm, _sample) = execute_counted_warm(&mut i, &run, true, warmup);
+            assert_eq!(warm.digest, plain.digest, "warmup {warmup}");
+            assert_eq!(warm.firings, plain.firings);
+            assert_eq!(warm.sink_items, plain.sink_items);
+        }
     }
 
     #[test]

@@ -35,10 +35,12 @@ pub enum PinOutcome {
 }
 
 impl PinOutcome {
+    /// Whether the affinity mask actually took effect.
     pub fn pinned(&self) -> bool {
         matches!(self, PinOutcome::Pinned)
     }
 
+    /// Short lowercase tag for reports.
     pub fn name(&self) -> &'static str {
         match self {
             PinOutcome::Pinned => "pinned",

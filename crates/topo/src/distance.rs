@@ -23,6 +23,7 @@ pub enum Distance {
 }
 
 impl Distance {
+    /// Short lowercase tag for reports (`same-llc`, `cross-node`, …).
     pub fn name(&self) -> &'static str {
         match self {
             Distance::SameCore => "same-core",

@@ -27,6 +27,8 @@
 //! `ccs-exec` consumes both for its `llc` placement mode and
 //! `--pin-cores`.
 
+#![warn(missing_docs)]
+
 pub mod bind;
 pub mod distance;
 pub mod spec;
@@ -82,6 +84,7 @@ pub enum TopoSource {
 }
 
 impl TopoSource {
+    /// Short lowercase tag for reports (`sysfs`, `synthetic`, `replay`).
     pub fn name(&self) -> &'static str {
         match self {
             TopoSource::Sysfs => "sysfs",
@@ -194,8 +197,8 @@ impl Topology {
     /// LLC-cluster groups — the replay path behind `ccs topo --from`
     /// and `run-dag --topo-from`, letting a placement computed for one
     /// machine be inspected on another. Groups are normalized exactly
-    /// like discovery ([`Topology::from_groups`]); panics if no group
-    /// has a cpu, mirroring discovery's invariant.
+    /// like discovery (see the type docs); panics if no group has a
+    /// cpu, mirroring discovery's invariant.
     pub fn from_replay(groups: Vec<(usize, Vec<usize>)>) -> Topology {
         Topology::from_groups(TopoSource::Replay, groups)
     }
@@ -212,42 +215,53 @@ impl Topology {
         })
     }
 
+    /// Where this tree came from (discovery, spec, or replay).
     pub fn source(&self) -> TopoSource {
         self.source
     }
 
+    /// Number of NUMA nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
+    /// Number of LLC clusters across all nodes.
     pub fn cluster_count(&self) -> usize {
         self.clusters.len()
     }
 
+    /// Number of cores (logical CPUs) across all clusters.
     pub fn core_count(&self) -> usize {
         self.cores.len()
     }
 
+    /// The NUMA node at dense index `i`.
     pub fn node(&self, i: usize) -> &NumaNode {
         &self.nodes[i]
     }
 
+    /// The LLC cluster at index `i`.
     pub fn cluster(&self, i: usize) -> &LlcCluster {
         &self.clusters[i]
     }
 
+    /// The core at index `i` (indices enumerate the machine in
+    /// cache-compact order; see the type docs).
     pub fn core(&self, i: usize) -> Core {
         self.cores[i]
     }
 
+    /// All NUMA nodes, in dense-index order.
     pub fn nodes(&self) -> &[NumaNode] {
         &self.nodes
     }
 
+    /// All LLC clusters, ordered by `(node, lowest cpu)`.
     pub fn clusters(&self) -> &[LlcCluster] {
         &self.clusters
     }
 
+    /// All cores, in cache-compact order.
     pub fn cores(&self) -> &[Core] {
         &self.cores
     }

@@ -11,12 +11,16 @@ use std::str::FromStr;
 /// that makes topology-aware tests portable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TopoSpec {
+    /// NUMA nodes in the machine.
     pub nodes: usize,
+    /// LLC clusters per NUMA node.
     pub clusters_per_node: usize,
+    /// Cores per LLC cluster.
     pub cores_per_cluster: usize,
 }
 
 impl TopoSpec {
+    /// Build a spec; every level must be at least 1 (panics otherwise).
     pub fn new(nodes: usize, clusters_per_node: usize, cores_per_cluster: usize) -> TopoSpec {
         assert!(
             nodes >= 1 && clusters_per_node >= 1 && cores_per_cluster >= 1,
@@ -46,10 +50,12 @@ impl TopoSpec {
         }
     }
 
+    /// LLC clusters in the whole machine.
     pub fn total_clusters(&self) -> usize {
         self.nodes * self.clusters_per_node
     }
 
+    /// Cores in the whole machine.
     pub fn total_cores(&self) -> usize {
         self.total_clusters() * self.cores_per_cluster
     }
