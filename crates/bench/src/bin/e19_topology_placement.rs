@@ -1,152 +1,57 @@
 //! E19 — topology-aware placement and core pinning (`ccs-topo` × `ccs-exec`).
 //!
-//! Sweeps segment→worker placement policies (round-robin,
-//! communication-greedy, LLC-aware) crossed with core pinning on both a
-//! deterministic synthetic topology and the discovered host machine,
-//! reporting throughput, stall passes, and wall-clock stall time, and
-//! verifying SDF determinism (bit-identical sink digests across every
-//! placement × pinning × topology combination). Emits the usual
-//! table/CSV plus a JSON record per configuration.
+//! A thin declaration over [`ccs_bench::sweep`]: placement policies
+//! (round-robin, communication-greedy, LLC-aware) × core pinning, on
+//! both a deterministic synthetic 2×2×2 machine (reproducible
+//! placements on every host) and whatever the host actually is.
+//! Digest equivalence across every cell — SDF determinism under
+//! placement — is asserted by the engine; the declared comparison
+//! family tests the throughput/stall claims (LLC-aware placement with
+//! pinning against unpinned round-robin) with paired bootstrap
+//! statistics, Benjamini–Hochberg-corrected.
 //!
-//! Set `CCS_SMOKE=1` for a tiny iteration count (CI exercises the
-//! sysfs-vs-synthetic discovery path on every push without paying for a
-//! full sweep).
+//! Results land in `results/e19_topology_placement.json`
+//! (schema `ccs-sweep/v1`, render any time with `ccs report`).
+//! `CCS_SMOKE=1` shrinks the grid for CI; `CCS_REPEATS=n` overrides R.
 
-use ccs_bench::{f, Table};
-use ccs_core::prelude::*;
-use ccs_graph::gen::{self, LayeredCfg, StateDist};
-use ccs_runtime::Instance;
+use ccs_bench::sweep::{self, Cell, Metric, Sweep};
+use ccs_exec::Placement;
+use ccs_topo::TopoSpec;
 
 fn main() {
-    let smoke = std::env::var("CCS_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let smoke = sweep::smoke();
     let rounds: u64 = if smoke { 2 } else { 64 };
+    let repeats = sweep::repeats_or(if smoke { 2 } else { 3 });
     let workers = 4usize;
 
-    let mut table = Table::new(
-        "E19: topology-aware placement x core pinning",
-        &[
-            "workload",
-            "topology",
-            "placement",
-            "pin",
-            "segments",
-            "wall ms",
-            "items/s (M)",
-            "stalls",
-            "stall ms",
-            "pinned",
-            "digest",
-        ],
-    );
-
-    let workloads: Vec<(&str, StreamGraph)> = vec![
-        ("fm-radio(8)", ccs_apps::fm_radio(8)),
-        (
-            "layered-dag",
-            gen::layered(
-                &LayeredCfg {
-                    layers: 6,
-                    max_width: 5,
-                    density: 0.35,
-                    state: StateDist::Uniform(128, 512),
-                    max_q: 2,
-                },
-                3,
-            ),
-        ),
-    ];
-
-    // Two machine models: a deterministic 2-node × 2-LLC × 2-core box
-    // (same on every host — the placements it induces are reproducible)
-    // and whatever sysfs says this machine is.
-    let topologies: Vec<(&str, Topology)> = vec![
-        (
-            "synthetic-2x2x2",
-            Topology::synthetic(&TopoSpec::new(2, 2, 2)),
-        ),
-        ("discovered", Topology::discover()),
-    ];
-
-    let mut records = Vec::new();
-    for (name, g) in workloads {
-        let m = (g.total_state() / 3)
-            .max(8 * g.max_state())
-            .max(512)
-            .next_multiple_of(16);
-        let planner = Planner::new(CacheParams::new(m, 16));
-        let mut reference = None;
-        for (tname, topo) in &topologies {
-            for placement in [Placement::RoundRobin, Placement::CommGreedy, Placement::Llc] {
-                for pin in [false, true] {
-                    let cfg = RunConfig::new(workers)
-                        .with_placement(placement)
-                        .with_topology(topo.clone())
-                        .with_pinning(pin);
-                    let inst = Instance::synthetic(g.clone());
-                    let pr = planner
-                        .plan_and_run_parallel(inst, rounds, &cfg)
-                        .unwrap_or_else(|e| panic!("{name}/{tname}: {e}"));
-                    let stats = &pr.stats;
-                    match reference {
-                        None => reference = Some(stats.run.digest),
-                        Some(d) => assert_eq!(
-                            d,
-                            stats.run.digest,
-                            "{name}/{tname}: digest changed ({}, pin={pin})",
-                            placement.name()
-                        ),
-                    }
-                    table.row(vec![
-                        name.to_string(),
-                        tname.to_string(),
-                        placement.name().to_string(),
-                        pin.to_string(),
-                        stats.segments.to_string(),
-                        f(stats.run.wall.as_secs_f64() * 1e3),
-                        f(stats.items_per_sec() / 1e6),
-                        stats.total_stalls().to_string(),
-                        f(stats.total_stall_time().as_secs_f64() * 1e3),
-                        format!("{}/{workers}", stats.pinned_workers()),
-                        format!("{:016x}", stats.run.digest.unwrap_or(0)),
-                    ]);
-                    records.push(serde_json::json!({
-                        "workload": name,
-                        "topology": tname,
-                        "topology_summary": topo.summary(),
-                        "placement": placement.name(),
-                        "pin_cores": pin,
-                        "pinned_workers": stats.pinned_workers(),
-                        "workers": workers,
-                        "segments": stats.segments,
-                        "granularity_t": stats.t,
-                        "rounds": stats.rounds,
-                        "strategy": pr.strategy_used,
-                        "wall_ms": stats.run.wall.as_secs_f64() * 1e3,
-                        "sink_items": stats.run.sink_items,
-                        "items_per_sec": stats.items_per_sec(),
-                        "stalls": stats.total_stalls(),
-                        "stall_ms": stats.total_stall_time().as_secs_f64() * 1e3,
-                        "digest": format!("{:016x}", stats.run.digest.unwrap_or(0)),
-                    }));
+    let mut s = Sweep::new("e19_topology_placement")
+        .with_repeats(repeats)
+        .with_rounds(rounds)
+        .with_workloads(sweep::builtin_workloads());
+    // Two machine models: the fixed synthetic box and the host
+    // (`None` — discovered where placement or pinning needs it).
+    for topo in [Some(TopoSpec::new(2, 2, 2)), None] {
+        for placement in [Placement::RoundRobin, Placement::CommGreedy, Placement::Llc] {
+            for pin in [false, true] {
+                let mut cell = Cell::parallel(workers, placement).with_pinning(pin);
+                if let Some(t) = topo {
+                    cell = cell.with_topology(t);
                 }
+                s = s.with_cell(cell);
             }
         }
     }
-
-    table.print();
-    println!("shape check: digests are identical across topologies, placements, and");
-    println!("pinning modes (SDF determinism); llc placement should cut stall time and");
-    println!("raise throughput vs round-robin on multi-LLC machines.");
-    let path = table.save_csv("e19_topology_placement").unwrap();
-    println!("csv: {}", path.display());
-
-    let json = serde_json::to_string_pretty(&records).unwrap();
-    let json_path = ccs_bench::results_dir().join("e19_topology_placement.json");
-    std::fs::write(&json_path, &json).unwrap();
-    println!("json: {}", json_path.display());
-    if smoke {
-        println!("(smoke mode: rounds = {rounds})");
-    } else {
-        println!("{json}");
+    // The paper-shaped claims, as paired comparisons against unpinned
+    // round-robin on the same machine model.
+    for (base, treat) in [("rr/w4/2x2x2", "llc+pin/w4/2x2x2"), ("rr/w4", "llc+pin/w4")] {
+        for metric in [Metric::WallMs, Metric::ItemsPerSec, Metric::StallMs] {
+            s = s.with_comparison(metric, base, treat);
+        }
     }
+
+    sweep::run_and_save(&s);
+    println!("shape check: digests are identical across topologies, placements, and");
+    println!("pinning modes (SDF determinism, asserted by the sweep engine); llc");
+    println!("placement + pinning should cut stall time and raise throughput vs");
+    println!("round-robin on multi-LLC machines.");
 }

@@ -1,240 +1,68 @@
 //! E20 — measured cache misses per placement mode (`ccs-perf` × `ccs-exec`).
 //!
-//! The experiment that substantiates the paper's thesis on real
-//! hardware: sweep segment→worker placement (round-robin,
-//! communication-greedy, LLC-aware) × core pinning × worker count, with
-//! hardware counters sampled around every worker's steady-state firing
-//! loop, and report **LLC misses per sink item** per cell — plus a
-//! serial-executor baseline instrumented through the same counter
-//! suite, so serial-vs-parallel and default-vs-llc comparisons are
-//! apples-to-apples. SDF determinism is asserted across all cells.
+//! A thin declaration over [`ccs_bench::sweep`]: the experiment that
+//! substantiates the paper's thesis on real hardware. Placement
+//! (round-robin, communication-greedy, LLC-aware) × core pinning ×
+//! worker count, with hardware counters sampled around every worker's
+//! firing loop — plus a serial-executor baseline instrumented through
+//! the identical counter suite, so serial-vs-parallel and
+//! default-vs-llc comparisons are apples-to-apples. The engine asserts
+//! SDF digest determinism across all cells (serial included) and
+//! reports **LLC misses per sink item** per cell, with the declared
+//! miss/item comparisons evaluated as paired bootstrap deltas under
+//! Benjamini–Hochberg correction.
 //!
 //! Where `perf_event_open` is denied (containers,
 //! `perf_event_paranoid`, non-Linux) every cell still runs and reports
-//! `counters: unavailable` with `llc_misses_per_item: null`; CI
-//! exercises exactly that fallback under `CCS_SMOKE=1`.
+//! `counters: unavailable`; CI exercises exactly that fallback under
+//! `CCS_SMOKE=1`. Results land in `results/e20_cache_counters.json`
+//! (schema `ccs-sweep/v1`); `CCS_REPEATS=n` overrides R.
 
-use ccs_bench::{f, Table};
-use ccs_core::prelude::*;
-use ccs_graph::gen::{self, LayeredCfg, StateDist};
-use ccs_perf::{CounterKind, CounterSample};
-use ccs_runtime::Instance;
-
-/// Table/JSON rendering of an optional metric.
-fn opt(v: Option<f64>) -> String {
-    v.map_or("n/a".into(), f)
-}
-
-/// One cell's counter-derived fields, shared by the parallel and serial
-/// arms. The readings render through `CounterSample::to_json` — the
-/// same renderer behind `ccs run-dag --counters` — with a `counters`
-/// status key prepended ("ok (scaled)" marks multiplexed, i.e.
-/// extrapolated, readings in both the table and the JSON).
-fn counter_fields(totals: Option<&CounterSample>, sink_items: u64) -> (String, serde_json::Value) {
-    match totals {
-        Some(t) => {
-            let status = if t.multiplexed() { "ok (scaled)" } else { "ok" };
-            let mut v = t.to_json(Some(sink_items));
-            if let serde_json::Value::Object(pairs) = &mut v {
-                pairs.insert(
-                    0,
-                    (
-                        "counters".to_string(),
-                        serde_json::Value::String(status.into()),
-                    ),
-                );
-            }
-            (status.to_string(), v)
-        }
-        None => (
-            "unavailable".to_string(),
-            serde_json::json!({
-                "counters": "unavailable",
-                "llc_misses_per_item": serde_json::Value::Null,
-            }),
-        ),
-    }
-}
+use ccs_bench::sweep::{self, Cell, Metric, Sweep};
+use ccs_exec::Placement;
 
 fn main() {
-    let smoke = std::env::var("CCS_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let smoke = sweep::smoke();
     let rounds: u64 = if smoke { 2 } else { 64 };
     let worker_counts: &[usize] = if smoke { &[2] } else { &[2, 4] };
+    let repeats = sweep::repeats_or(if smoke { 1 } else { 3 });
 
-    let mut table = Table::new(
-        "E20: hardware cache counters x placement mode",
-        &[
-            "workload",
-            "mode",
-            "pin",
-            "workers",
-            "wall ms",
-            "items/s (M)",
-            "llc miss/item",
-            "mpki",
-            "ipc",
-            "counters",
-        ],
+    let mut s = Sweep::new("e20_cache_counters")
+        .with_repeats(repeats)
+        .with_rounds(rounds)
+        .with_workloads(sweep::builtin_workloads())
+        .with_cell(Cell::serial().with_counters(true));
+    for &workers in worker_counts {
+        for placement in [Placement::RoundRobin, Placement::CommGreedy, Placement::Llc] {
+            for pin in [false, true] {
+                s = s.with_cell(
+                    Cell::parallel(workers, placement)
+                        .with_pinning(pin)
+                        .with_counters(true),
+                );
+            }
+        }
+    }
+    // Miss/item claims: llc + pinning against unpinned round-robin at
+    // each worker count, and against the serial baseline.
+    for &workers in worker_counts {
+        s = s.with_comparison(
+            Metric::LlcMissesPerItem,
+            format!("rr/w{workers}"),
+            format!("llc+pin/w{workers}"),
+        );
+    }
+    let top = worker_counts.last().expect("non-empty");
+    s = s.with_comparison(
+        Metric::LlcMissesPerItem,
+        "serial",
+        format!("llc+pin/w{top}"),
     );
 
-    let workloads: Vec<(&str, StreamGraph)> = vec![
-        ("fm-radio(8)", ccs_apps::fm_radio(8)),
-        (
-            "layered-dag",
-            gen::layered(
-                &LayeredCfg {
-                    layers: 6,
-                    max_width: 5,
-                    density: 0.35,
-                    state: StateDist::Uniform(128, 512),
-                    max_q: 2,
-                },
-                3,
-            ),
-        ),
-    ];
-
-    let mut records = Vec::new();
-    for (name, g) in workloads {
-        let m = (g.total_state() / 3)
-            .max(8 * g.max_state())
-            .max(512)
-            .next_multiple_of(16);
-        let planner = Planner::new(CacheParams::new(m, 16));
-        let mut reference = None;
-
-        // Serial baseline through the identical counter suite: one
-        // thread, the paper's two-level schedule, same number of
-        // granularity-T rounds.
-        match planner.plan(&g, Horizon::Rounds(rounds)) {
-            Ok(plan) => {
-                let mut inst = Instance::synthetic(g.clone());
-                let (run, sample) =
-                    ccs_runtime::serial::execute_counted(&mut inst, &plan.run, true);
-                reference = Some(run.digest);
-                let (status, counter_rec) = counter_fields(sample.as_ref(), run.sink_items);
-                let wall_ms = run.wall.as_secs_f64() * 1e3;
-                let items_per_sec = if wall_ms > 0.0 {
-                    run.sink_items as f64 / (wall_ms / 1e3)
-                } else {
-                    0.0
-                };
-                table.row(vec![
-                    name.to_string(),
-                    "serial".into(),
-                    "-".into(),
-                    "1".into(),
-                    f(wall_ms),
-                    f(items_per_sec / 1e6),
-                    opt(sample
-                        .as_ref()
-                        .and_then(|s| s.per_item(CounterKind::LlcMisses, run.sink_items))),
-                    opt(sample.as_ref().and_then(|s| s.mpki())),
-                    opt(sample.as_ref().and_then(|s| s.ipc())),
-                    status,
-                ]);
-                let mut rec = serde_json::json!({
-                    "workload": name,
-                    "placement": "serial",
-                    "pin_cores": false,
-                    "workers": 1,
-                    "rounds": rounds,
-                    "strategy": plan.strategy_used,
-                    "wall_ms": wall_ms,
-                    "sink_items": run.sink_items,
-                    "items_per_sec": items_per_sec,
-                    "digest": format!("{:016x}", run.digest.unwrap_or(0)),
-                });
-                merge(&mut rec, counter_rec);
-                records.push(rec);
-            }
-            Err(e) => println!("note: no serial baseline for {name}: {e}"),
-        }
-
-        for &workers in worker_counts {
-            for placement in [Placement::RoundRobin, Placement::CommGreedy, Placement::Llc] {
-                for pin in [false, true] {
-                    let cfg = RunConfig::new(workers)
-                        .with_placement(placement)
-                        .with_pinning(pin)
-                        .with_counters(true);
-                    let inst = Instance::synthetic(g.clone());
-                    let pr = planner
-                        .plan_and_run_parallel(inst, rounds, &cfg)
-                        .unwrap_or_else(|e| panic!("{name}: {e}"));
-                    let stats = &pr.stats;
-                    match reference {
-                        None => reference = Some(stats.run.digest),
-                        Some(d) => assert_eq!(
-                            d,
-                            stats.run.digest,
-                            "{name}: digest changed ({}, pin={pin}, workers={workers})",
-                            placement.name()
-                        ),
-                    }
-                    let totals = stats.counter_totals();
-                    let (status, counter_rec) =
-                        counter_fields(totals.as_ref(), stats.run.sink_items);
-                    table.row(vec![
-                        name.to_string(),
-                        placement.name().to_string(),
-                        pin.to_string(),
-                        workers.to_string(),
-                        f(stats.run.wall.as_secs_f64() * 1e3),
-                        f(stats.items_per_sec() / 1e6),
-                        opt(stats.llc_misses_per_item()),
-                        opt(totals.as_ref().and_then(|t| t.mpki())),
-                        opt(totals.as_ref().and_then(|t| t.ipc())),
-                        status,
-                    ]);
-                    let mut rec = serde_json::json!({
-                        "workload": name,
-                        "placement": placement.name(),
-                        "pin_cores": pin,
-                        "pinned_workers": stats.pinned_workers(),
-                        "counted_workers": stats.counted_workers(),
-                        "workers": workers,
-                        "segments": stats.segments,
-                        "granularity_t": stats.t,
-                        "rounds": stats.rounds,
-                        "strategy": pr.strategy_used,
-                        "wall_ms": stats.run.wall.as_secs_f64() * 1e3,
-                        "sink_items": stats.run.sink_items,
-                        "items_per_sec": stats.items_per_sec(),
-                        "stalls": stats.total_stalls(),
-                        "stall_ms": stats.total_stall_time().as_secs_f64() * 1e3,
-                        "digest": format!("{:016x}", stats.run.digest.unwrap_or(0)),
-                    });
-                    merge(&mut rec, counter_rec);
-                    records.push(rec);
-                }
-            }
-        }
-    }
-
-    table.print();
+    sweep::run_and_save(&s);
     println!("shape check: digests are identical across serial and every placement x");
-    println!("pinning x workers cell (SDF determinism); with counters available, llc");
-    println!("placement + pinning should show the lowest llc miss/item of the parallel");
-    println!("modes — the paper's cache-affinity claim, measured rather than inferred.");
-    let path = table.save_csv("e20_cache_counters").unwrap();
-    println!("csv: {}", path.display());
-
-    let json = serde_json::to_string_pretty(&records).unwrap();
-    let json_path = ccs_bench::results_dir().join("e20_cache_counters.json");
-    std::fs::write(&json_path, &json).unwrap();
-    println!("json: {}", json_path.display());
-    if smoke {
-        println!("(smoke mode: rounds = {rounds}, workers = {worker_counts:?})");
-    } else {
-        println!("{json}");
-    }
-}
-
-/// Merge `extra`'s fields into the record object (the vendored
-/// `serde_json` shim's `json!` cannot splice nested maps inline).
-fn merge(rec: &mut serde_json::Value, extra: serde_json::Value) {
-    if let (serde_json::Value::Object(base), serde_json::Value::Object(more)) = (rec, extra) {
-        base.extend(more);
-    }
+    println!("pinning x workers cell (SDF determinism, asserted by the sweep engine);");
+    println!("with counters available, llc placement + pinning should show the lowest");
+    println!("llc miss/item of the parallel modes — the paper's cache-affinity claim,");
+    println!("measured rather than inferred.");
 }

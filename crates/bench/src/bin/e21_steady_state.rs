@@ -1,337 +1,64 @@
 //! E21 — steady-state cache attribution with paired statistical reports.
 //!
-//! `e20_cache_counters` produces one number per placement cell; this
-//! experiment turns that table into a statistical claim. Each cell
-//! (placement ∈ {rr, llc}, pinned, fixed worker count) runs **R times,
-//! interleaved** — rr, llc, rr, llc, … — so slow drift (thermal,
-//! frequency, background load) hits both cells alike and pairs out.
-//! Every run:
+//! A thin declaration over [`ccs_bench::sweep`]: where `e20` produces
+//! point estimates per placement cell, this experiment turns the table
+//! into a statistical claim. The two placement cells (round-robin vs
+//! LLC-aware, both pinned) run **R times, interleaved**, so slow drift
+//! (thermal, frequency, background load) hits both alike and pairs
+//! out. Every run:
 //!
-//! * discards a **warmup window** (`RunConfig::warmup_batches`): each
-//!   worker zeroes its counter group once its segments have executed
-//!   the first quarter of their batches, so readings exclude cold-start
-//!   misses — the regime the paper's asymptotics describe;
-//! * attributes misses **per segment** (`RunConfig::segment_counters`):
-//!   counting windows around each steady-state batch, normalized to
-//!   misses per *sink item*, so the cells can be compared segment by
-//!   segment, not just in aggregate.
+//! * discards a **warmup window** (a quarter of the rounds) under the
+//!   exact **epoch reset** — all workers cap at the window and reset
+//!   their counter groups at a shared barrier, so per-worker aggregates
+//!   cover exactly the steady-state batches;
+//! * **first-touches** every SPSC ring from its consumer worker, so
+//!   ring pages land on the consuming core's NUMA node;
+//! * attributes misses **per segment** (counting windows around each
+//!   steady-state batch, normalized to misses per sink item).
 //!
-//! The report gives per-cell mean ± stddev and the **paired rr−llc
-//! misses/item delta** with a percentile-bootstrap confidence interval
-//! (deterministic splitmix64 RNG — same seed, same interval). A
-//! positive delta whose CI excludes zero is the paper's prediction,
-//! measured: LLC-aware placement removes misses per item.
+//! The declared comparisons — rr−llc on misses/item and wall time, per
+//! workload — get paired bootstrap confidence intervals and p-values,
+//! Benjamini–Hochberg-corrected across the family. A positive
+//! miss/item delta whose interval excludes zero is the paper's
+//! prediction, measured: LLC-aware placement removes misses per item.
 //!
-//! JSON lands in `results/e21_steady_state.json` (render it any time
-//! with `ccs report results/e21_steady_state.json`); where
+//! Results land in `results/e21_steady_state.json` (schema
+//! `ccs-sweep/v1`, render any time with `ccs report`); where
 //! `perf_event_open` is denied every cell still runs, reports
 //! `counters: unavailable`, and the digest cross-checks still apply.
 //! `CCS_SMOKE=1` shrinks to R=2 for CI; `CCS_REPEATS=n` overrides R.
 
-use ccs_bench::stats::{bootstrap_mean_ci, paired_deltas, Summary};
-use ccs_bench::{f, Table};
-use ccs_core::prelude::*;
-use ccs_graph::gen::{self, LayeredCfg, StateDist};
-use ccs_runtime::Instance;
-
-/// Bootstrap iterations and confidence for all intervals.
-const BOOTSTRAP_ITERS: usize = 1000;
-const CONFIDENCE: f64 = 0.9;
-const SEED: u64 = 42;
-
-/// One cell of the sweep: a placement mode measured R times.
-struct Cell {
-    workload: String,
-    placement: Placement,
-    segments: usize,
-    /// Per-repeat aggregate misses/item (None where counters were
-    /// unavailable in that repeat).
-    mpi: Vec<Option<f64>>,
-    /// Per-repeat, per-segment misses/item.
-    seg_mpi: Vec<Vec<(usize, Option<f64>)>>,
-    wall_ms: Vec<f64>,
-    ipc: Vec<Option<f64>>,
-    multiplexed: bool,
-    /// Whether any repeat opened a counter group at all (a group may
-    /// open without the LLC event — e.g. PMU-less VMs expose only
-    /// task-clock).
-    counted: bool,
-}
-
-impl Cell {
-    /// The repeats where the aggregate metric existed.
-    fn mpi_values(&self) -> Vec<f64> {
-        self.mpi.iter().copied().flatten().collect()
-    }
-}
-
-fn opt(v: Option<f64>) -> String {
-    v.map_or("n/a".into(), f)
-}
-
-fn summary_json(s: Option<&Summary>) -> serde_json::Value {
-    match s {
-        Some(s) => serde_json::json!({
-            "n": s.n,
-            "mean": s.mean,
-            "stddev": serde_json::to_value(s.stddev).unwrap_or(serde_json::Value::Null),
-        }),
-        None => serde_json::Value::Null,
-    }
-}
+use ccs_bench::sweep::{self, Cell, Metric, Sweep};
+use ccs_exec::Placement;
 
 fn main() {
-    let smoke = std::env::var("CCS_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
-    let repeats: usize = std::env::var("CCS_REPEATS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if smoke { 2 } else { 5 });
+    let smoke = sweep::smoke();
+    let repeats = sweep::repeats_or(if smoke { 2 } else { 5 });
     let rounds: u64 = if smoke { 8 } else { 64 };
     let warmup = rounds / 4;
     let workers: usize = if smoke { 2 } else { 4 };
 
-    let workloads: Vec<(&str, StreamGraph)> = vec![
-        ("fm-radio(8)", ccs_apps::fm_radio(8)),
-        (
-            "layered-dag",
-            gen::layered(
-                &LayeredCfg {
-                    layers: 6,
-                    max_width: 5,
-                    density: 0.35,
-                    state: StateDist::Uniform(128, 512),
-                    max_q: 2,
-                },
-                3,
-            ),
-        ),
-    ];
-    let placements = [Placement::RoundRobin, Placement::Llc];
-
-    let mut cells: Vec<Cell> = Vec::new();
-    for (name, g) in &workloads {
-        let m = (g.total_state() / 3)
-            .max(8 * g.max_state())
-            .max(512)
-            .next_multiple_of(16);
-        let planner = Planner::new(CacheParams::new(m, 16));
-        let mut reference: Option<Option<u64>> = None;
-        let base = cells.len();
-        for &placement in &placements {
-            cells.push(Cell {
-                workload: name.to_string(),
-                placement,
-                segments: 0,
-                mpi: Vec::new(),
-                seg_mpi: Vec::new(),
-                wall_ms: Vec::new(),
-                ipc: Vec::new(),
-                multiplexed: false,
-                counted: false,
-            });
-        }
-        // Interleave: one repeat visits every placement back to back, so
-        // drift lands on all cells of the pair alike.
-        for _repeat in 0..repeats {
-            for (ci, &placement) in placements.iter().enumerate() {
-                let cfg = RunConfig::new(workers)
-                    .with_placement(placement)
-                    .with_pinning(true)
-                    .with_counters(true)
-                    .with_warmup(warmup)
-                    .with_segment_counters(true);
-                let inst = Instance::synthetic(g.clone());
-                let pr = planner
-                    .plan_and_run_parallel(inst, rounds, &cfg)
-                    .unwrap_or_else(|e| panic!("{name}: {e}"));
-                let stats = &pr.stats;
-                match &reference {
-                    None => reference = Some(stats.run.digest),
-                    Some(d) => assert_eq!(
-                        *d,
-                        stats.run.digest,
-                        "{name}: digest changed under {}",
-                        placement.name()
-                    ),
-                }
-                let totals = stats.counter_totals();
-                let cell = &mut cells[base + ci];
-                cell.segments = stats.segments;
-                cell.mpi.push(stats.llc_misses_per_item());
-                cell.seg_mpi.push(stats.segment_llc_misses_per_item());
-                cell.wall_ms.push(stats.run.wall.as_secs_f64() * 1e3);
-                cell.ipc.push(totals.as_ref().and_then(|t| t.ipc()));
-                cell.multiplexed |= totals.as_ref().is_some_and(|t| t.multiplexed());
-                cell.counted |= stats.counted_workers() > 0;
-            }
-        }
+    let cell = |placement| {
+        Cell::parallel(workers, placement)
+            .with_pinning(true)
+            .with_counters(true)
+            .with_segment_counters(true)
+            .with_warmup(warmup)
+            .with_first_touch(true)
+    };
+    let mut s = Sweep::new("e21_steady_state")
+        .with_repeats(repeats)
+        .with_rounds(rounds)
+        .with_workloads(sweep::builtin_workloads())
+        .with_cell(cell(Placement::RoundRobin).with_label("rr"))
+        .with_cell(cell(Placement::Llc).with_label("llc"));
+    for metric in [Metric::LlcMissesPerItem, Metric::WallMs] {
+        s = s.with_comparison(metric, "rr", "llc");
     }
 
-    // ---- render: per-cell table ----
-    let mut table = Table::new(
-        format!("E21: steady-state misses/item, R={repeats} paired repeats (warmup {warmup}/{rounds} rounds)"),
-        &[
-            "workload",
-            "mode",
-            "runs",
-            "miss/item mean",
-            "stddev",
-            "wall ms mean",
-            "ipc mean",
-            "counters",
-        ],
-    );
-    let mut cells_json = Vec::new();
-    for cell in &cells {
-        let mpi = cell.mpi_values();
-        let mpi_summary = Summary::of(&mpi);
-        let wall_summary = Summary::of(&cell.wall_ms);
-        let ipc_vals: Vec<f64> = cell.ipc.iter().copied().flatten().collect();
-        let counters_status = if !mpi.is_empty() {
-            if cell.multiplexed {
-                "ok (scaled)"
-            } else {
-                "ok"
-            }
-        } else if cell.counted {
-            // A group opened but the LLC event did not (PMU-less VM).
-            "no llc event"
-        } else {
-            "unavailable"
-        };
-        table.row(vec![
-            cell.workload.clone(),
-            cell.placement.name().to_string(),
-            format!("{}", cell.mpi.len()),
-            opt(mpi_summary.map(|s| s.mean)),
-            opt(mpi_summary.and_then(|s| s.stddev)),
-            opt(wall_summary.map(|s| s.mean)),
-            opt(Summary::of(&ipc_vals).map(|s| s.mean)),
-            counters_status.to_string(),
-        ]);
-
-        // Per-segment summaries: collect each segment's series across
-        // repeats.
-        let mut per_segment = Vec::new();
-        for si in 0..cell.segments {
-            let series: Vec<f64> = cell
-                .seg_mpi
-                .iter()
-                .filter_map(|run| run.iter().find(|(seg, _)| *seg == si).and_then(|(_, v)| *v))
-                .collect();
-            per_segment.push(serde_json::json!({
-                "seg": si,
-                "llc_misses_per_item": summary_json(Summary::of(&series).as_ref()),
-            }));
-        }
-        cells_json.push(serde_json::json!({
-            "workload": cell.workload,
-            "placement": cell.placement.name(),
-            "pin_cores": true,
-            "workers": workers,
-            "segments": cell.segments,
-            "counters": counters_status,
-            "runs": cell
-                .mpi
-                .iter()
-                .zip(&cell.wall_ms)
-                .enumerate()
-                .map(|(r, (mpi, wall))| {
-                    serde_json::json!({
-                        "repeat": r,
-                        "wall_ms": *wall,
-                        "llc_misses_per_item":
-                            serde_json::to_value(*mpi).unwrap_or(serde_json::Value::Null),
-                    })
-                })
-                .collect::<Vec<_>>(),
-            "llc_misses_per_item": summary_json(mpi_summary.as_ref()),
-            "wall_ms": summary_json(wall_summary.as_ref()),
-            "per_segment": per_segment,
-        }));
-    }
-    table.print();
-
-    // ---- paired deltas with bootstrap CIs ----
-    let mut deltas_json = Vec::new();
-    println!("paired deltas (baseline - treatment; positive => treatment saves misses):");
-    for (name, _) in &workloads {
-        let find = |p: Placement| {
-            cells
-                .iter()
-                .find(|c| c.workload == *name && c.placement == p)
-                .expect("cell exists")
-        };
-        let (rr, llc) = (find(Placement::RoundRobin), find(Placement::Llc));
-        // Pair only repeats where both cells produced the metric.
-        let paired: Vec<(f64, f64)> = rr
-            .mpi
-            .iter()
-            .zip(&llc.mpi)
-            .filter_map(|(a, b)| Some(((*a)?, (*b)?)))
-            .collect();
-        let a: Vec<f64> = paired.iter().map(|p| p.0).collect();
-        let b: Vec<f64> = paired.iter().map(|p| p.1).collect();
-        let deltas = paired_deltas(&a, &b);
-        let summary = Summary::of(&deltas);
-        let ci = bootstrap_mean_ci(&deltas, BOOTSTRAP_ITERS, CONFIDENCE, SEED);
-        match (&summary, &ci) {
-            (Some(s), Some((lo, hi))) => println!(
-                "  {name}: rr - llc = {} misses/item, {:.0}% CI [{}, {}] over {} pairs{}",
-                f(s.mean),
-                CONFIDENCE * 100.0,
-                f(*lo),
-                f(*hi),
-                s.n,
-                if *lo > 0.0 {
-                    "  => llc placement wins"
-                } else if *hi < 0.0 {
-                    "  => rr placement wins"
-                } else {
-                    "  => no significant difference"
-                },
-            ),
-            _ => println!("  {name}: counters unavailable, no delta"),
-        }
-        deltas_json.push(serde_json::json!({
-            "workload": *name,
-            "metric": "llc_misses_per_item",
-            "baseline": "rr",
-            "treatment": "llc",
-            "pairs": deltas.len(),
-            "mean": serde_json::to_value(summary.map(|s| s.mean))
-                .unwrap_or(serde_json::Value::Null),
-            "ci_lo": serde_json::to_value(ci.map(|c| c.0)).unwrap_or(serde_json::Value::Null),
-            "ci_hi": serde_json::to_value(ci.map(|c| c.1)).unwrap_or(serde_json::Value::Null),
-            "confidence": CONFIDENCE,
-            "bootstrap_iters": BOOTSTRAP_ITERS,
-            "seed": SEED,
-        }));
-    }
-
-    let report = serde_json::json!({
-        "experiment": "e21_steady_state",
-        "repeats": repeats,
-        "rounds": rounds,
-        "warmup_batches": warmup,
-        "workers": workers,
-        "smoke": smoke,
-        "cells": cells_json,
-        "deltas": deltas_json,
-    });
-    let json = serde_json::to_string_pretty(&report).unwrap();
-    let path = ccs_bench::results_dir().join("e21_steady_state.json");
-    std::fs::create_dir_all(ccs_bench::results_dir()).unwrap();
-    std::fs::write(&path, &json).unwrap();
-    println!(
-        "json: {} (render with `ccs report {}`)",
-        path.display(),
-        path.display()
-    );
+    sweep::run_and_save(&s);
     println!("shape check: digests are identical across every repeat and placement; with");
     println!("counters available, the paired rr - llc misses/item delta with its bootstrap");
-    println!("CI is the paper's cache-affinity prediction as a statistical claim.");
-    if smoke {
-        println!("(smoke mode: repeats = {repeats}, rounds = {rounds}, workers = {workers})");
-    }
+    println!("CI is the paper's cache-affinity prediction as a statistical claim (the");
+    println!("family of deltas is Benjamini-Hochberg corrected).");
 }

@@ -2,10 +2,12 @@
 //!
 //! One binary per experiment in `EXPERIMENTS.md` (`e01` … `e21`), each
 //! regenerating a paper-claim-shaped table, plus criterion benchmarks for
-//! the hot algorithmic paths. Shared table/CSV plumbing and the
-//! repeated-runs statistics ([`stats`]) live here.
+//! the hot algorithmic paths. Shared table/CSV plumbing, the
+//! repeated-runs statistics ([`stats`]), and the declarative cell-sweep
+//! engine ([`sweep`]) live here.
 
 pub mod stats;
+pub mod sweep;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -34,6 +36,15 @@ impl Table {
 
     /// Render with aligned columns.
     pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "## {}", self.title);
+        s.push_str(&self.body());
+        s
+    }
+
+    /// The aligned header + rows without the title line (the shared
+    /// alignment core; sweep reports embed this directly).
+    pub fn body(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
@@ -41,7 +52,6 @@ impl Table {
             }
         }
         let mut s = String::new();
-        let _ = writeln!(s, "## {}", self.title);
         for (i, h) in self.headers.iter().enumerate() {
             let _ = write!(s, "{:>w$}  ", h, w = widths[i]);
         }

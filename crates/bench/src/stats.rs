@@ -1,4 +1,4 @@
-//! Statistics for paired repeated-run experiments (`e21_steady_state`).
+//! Statistics for paired repeated-run experiments (`ccs_bench::sweep`).
 //!
 //! Hardware counter readings are noisy: the OS schedules other work,
 //! the PMU multiplexes, frequencies drift. A single run per cell (as in
@@ -14,7 +14,12 @@
 //!   share);
 //! * [`bootstrap_mean_ci`] — a percentile-bootstrap confidence interval
 //!   for the mean, driven by the *deterministic* vendored `SmallRng`
-//!   (splitmix64), so a report is bit-reproducible for a given seed.
+//!   (splitmix64), so a report is bit-reproducible for a given seed;
+//! * [`bootstrap_mean_pvalue`] — a two-sided bootstrap test of
+//!   `mean == 0` over the same deterministic resampling;
+//! * [`benjamini_hochberg`] — step-up false-discovery-rate adjustment
+//!   across a *family* of comparisons, so a sweep that declares many
+//!   pairwise deltas does not manufacture significance by volume.
 //!
 //! All pure `f64` math, unit-tested without hardware.
 
@@ -107,6 +112,62 @@ pub fn bootstrap_mean_ci(
     Some((pick(alpha), pick(1.0 - alpha)))
 }
 
+/// Two-sided percentile-bootstrap p-value for the null hypothesis that
+/// the mean of `xs` is zero: resample with replacement `iters` times
+/// and take twice the smaller tail fraction of resampled means landing
+/// at or beyond zero, with add-one smoothing so the p-value never
+/// reaches an impossible exact 0 (the floor is `1/(iters+1)`).
+/// Deterministic for a given `seed` — the same splitmix64 stream as
+/// [`bootstrap_mean_ci`]. `None` for an empty sample or `iters = 0`.
+///
+/// This is the per-comparison input to [`benjamini_hochberg`]: a sweep
+/// computes one such p-value per declared paired delta, then adjusts
+/// the whole family.
+pub fn bootstrap_mean_pvalue(xs: &[f64], iters: usize, seed: u64) -> Option<f64> {
+    if xs.is_empty() || iters == 0 {
+        return None;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (mut le, mut ge) = (0usize, 0usize);
+    for _ in 0..iters {
+        let s: f64 = (0..xs.len()).map(|_| xs[rng.gen_range(0..xs.len())]).sum();
+        let m = s / xs.len() as f64;
+        if m <= 0.0 {
+            le += 1;
+        }
+        if m >= 0.0 {
+            ge += 1;
+        }
+    }
+    let p_lo = (le + 1) as f64 / (iters + 1) as f64;
+    let p_hi = (ge + 1) as f64 / (iters + 1) as f64;
+    Some((2.0 * p_lo.min(p_hi)).min(1.0))
+}
+
+/// Benjamini–Hochberg step-up adjustment: given the raw p-values of a
+/// family of comparisons, returns the adjusted p-values (q-values) in
+/// the same order. Rejecting every comparison with `adjusted <= alpha`
+/// controls the false-discovery rate at `alpha`. The adjustment is
+/// `p[i] · n / rank(i)` made monotone from the largest rank down and
+/// clamped to 1. Empty input yields an empty vector; p-values must be
+/// finite.
+pub fn benjamini_hochberg(ps: &[f64]) -> Vec<f64> {
+    let n = ps.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| ps[a].partial_cmp(&ps[b]).expect("finite p-values"));
+    let mut adjusted = vec![0.0f64; n];
+    let mut running = 1.0f64;
+    for rank in (0..n).rev() {
+        let i = order[rank];
+        running = running.min(ps[i] * n as f64 / (rank + 1) as f64);
+        adjusted[i] = running.min(1.0);
+    }
+    adjusted
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +213,70 @@ mod tests {
         // Wider confidence, wider (or equal) interval.
         let wide = bootstrap_mean_ci(&xs, 1000, 0.99, 42).unwrap();
         assert!(wide.0 <= a.0 && wide.1 >= a.1);
+    }
+
+    #[test]
+    fn bootstrap_pvalue_is_deterministic_and_directionless() {
+        // A sample far from zero: every resampled mean is positive, so
+        // the p-value sits at the smoothing floor, 2/(iters+1).
+        let far = [5.0, 5.5, 6.0, 5.2, 5.8];
+        let p = bootstrap_mean_pvalue(&far, 999, 42).unwrap();
+        assert!((p - 2.0 / 1000.0).abs() < 1e-12, "{p}");
+        // Same for the mirrored sample (two-sided symmetry).
+        let neg: Vec<f64> = far.iter().map(|x| -x).collect();
+        assert_eq!(bootstrap_mean_pvalue(&neg, 999, 42), Some(p));
+        // A sample straddling zero is not significant.
+        let noisy = [1.0, -1.2, 0.8, -0.9, 0.3, -0.1];
+        let p = bootstrap_mean_pvalue(&noisy, 999, 42).unwrap();
+        assert!(p > 0.1, "{p}");
+        // Deterministic in the seed.
+        assert_eq!(
+            bootstrap_mean_pvalue(&noisy, 999, 7),
+            bootstrap_mean_pvalue(&noisy, 999, 7)
+        );
+        // Degenerate inputs.
+        assert_eq!(bootstrap_mean_pvalue(&[], 100, 1), None);
+        assert_eq!(bootstrap_mean_pvalue(&[1.0], 0, 1), None);
+    }
+
+    #[test]
+    fn benjamini_hochberg_matches_hand_computed_fixtures() {
+        // n = 4, ps sorted: .005, .01, .03, .04 with raw step-up values
+        // .02, .02, .04, .04 — already monotone, so the adjusted
+        // p-values (in input order) are:
+        let adj = benjamini_hochberg(&[0.01, 0.04, 0.03, 0.005]);
+        let want = [0.02, 0.04, 0.04, 0.02];
+        for (a, w) in adj.iter().zip(want) {
+            assert!((a - w).abs() < 1e-12, "{adj:?}");
+        }
+        // Monotone enforcement: raw values .06, .045, .04 collapse to
+        // the running minimum .04 everywhere.
+        let adj = benjamini_hochberg(&[0.02, 0.03, 0.04]);
+        for a in &adj {
+            assert!((a - 0.04).abs() < 1e-12, "{adj:?}");
+        }
+        // A single comparison is untouched.
+        assert_eq!(benjamini_hochberg(&[0.2]), vec![0.2]);
+        // Clamped to 1.
+        let adj = benjamini_hochberg(&[0.9, 0.95]);
+        assert!(adj.iter().all(|a| *a <= 1.0), "{adj:?}");
+        assert!(benjamini_hochberg(&[]).is_empty());
+    }
+
+    #[test]
+    fn benjamini_hochberg_rejection_set_is_step_up() {
+        // Classic example: alpha = 0.05 over 5 p-values. The largest i
+        // with p(i) <= alpha*i/n is i = 2 (0.02 <= 0.02), so exactly
+        // the two smallest survive adjustment at 0.05.
+        let ps = [0.01, 0.02, 0.04, 0.3, 0.8];
+        let adj = benjamini_hochberg(&ps);
+        let rejected: Vec<bool> = adj.iter().map(|a| *a <= 0.05).collect();
+        assert_eq!(rejected, vec![true, true, false, false, false], "{adj:?}");
+        // Adjustment preserves the ordering of the raw p-values.
+        for w in ps.windows(2).zip(adj.windows(2)) {
+            let ((p1, p2), (a1, a2)) = ((w.0[0], w.0[1]), (w.1[0], w.1[1]));
+            assert!((p1 <= p2) == (a1 <= a2));
+        }
     }
 
     #[test]

@@ -1,0 +1,1216 @@
+//! Declarative experiment grids over the real executors.
+//!
+//! The paper's claims are comparative — steady-state misses and
+//! throughput of cache-aware placement against baselines, across
+//! machine shapes — so every experiment in this repository is some
+//! *sweep*: a set of configuration **cells**, each run R times with the
+//! repeats interleaved (cell 1, cell 2, …, cell 1, cell 2, … — so slow
+//! drift hits all cells alike and pairs out), with digest equivalence
+//! asserted across every cell and a family of declared pairwise
+//! comparisons evaluated statistically at the end.
+//!
+//! This module is the one engine behind all of them:
+//!
+//! * [`Cell`] — one point of the grid: workload-independent executor
+//!   configuration (serial or parallel; workers, placement, pinning,
+//!   topology, counters, per-segment attribution, warmup window and
+//!   reset mode, first-touch ring placement).
+//! * [`Sweep`] — a named set of cells × workloads × repeats plus the
+//!   declared [`Comparison`]s. [`Sweep::run`] executes the grid through
+//!   [`execute_dag_cfg`](ccs_exec::execute_dag_cfg) (parallel cells)
+//!   and [`execute_counted_warm`](ccs_runtime::serial::execute_counted_warm)
+//!   (serial cells), errors on any digest divergence, and emits one
+//!   versioned [`SCHEMA`] JSON document: per-cell per-metric
+//!   mean ± stddev, and per-comparison paired deltas with
+//!   percentile-bootstrap confidence intervals and p-values,
+//!   [Benjamini–Hochberg](crate::stats::benjamini_hochberg)-adjusted
+//!   across the whole family of comparisons.
+//! * [`render`] — the shared text renderer for that document, used by
+//!   both the experiment binaries and `ccs report`.
+//! * [`from_spec`] — build a [`Sweep`] from a JSON spec document
+//!   (`ccs sweep --spec FILE`).
+//!
+//! The experiment binaries `e19`/`e20`/`e21` are thin declarations over
+//! this module; new experiments should be too.
+
+use crate::stats::{benjamini_hochberg, bootstrap_mean_ci, bootstrap_mean_pvalue, Summary};
+use ccs_cachesim::CacheParams;
+use ccs_core::{Horizon, Planner};
+use ccs_exec::{Placement, RunConfig, WarmupMode};
+use ccs_graph::gen::{self, LayeredCfg, StateDist};
+use ccs_graph::StreamGraph;
+use ccs_perf::CounterKind;
+use ccs_runtime::Instance;
+use ccs_topo::{TopoSpec, Topology};
+use serde_json::Value;
+use std::error::Error;
+use std::fmt::Write as _;
+
+/// Version marker of the results document every sweep emits; `ccs
+/// report` accepts exactly this schema.
+pub const SCHEMA: &str = "ccs-sweep/v1";
+
+/// `CCS_SMOKE=1`: shrink sweeps for CI.
+pub fn smoke() -> bool {
+    std::env::var("CCS_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// `CCS_REPEATS=n` overrides an experiment's repeat count.
+pub fn repeats_or(default: usize) -> usize {
+    std::env::var("CCS_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The cache-size heuristic shared by every experiment: a third of the
+/// total state (so partitions are non-trivial), at least eight times
+/// the largest module (so every module fits), at least 512 words,
+/// rounded to a block multiple.
+pub fn cache_m(g: &StreamGraph) -> u64 {
+    (g.total_state() / 3)
+        .max(8 * g.max_state())
+        .max(512)
+        .next_multiple_of(16)
+}
+
+/// Resolve a workload by name: any app of [`ccs_apps::suite`] plus
+/// `layered-dag`, the canonical seeded layered DAG the experiment
+/// binaries pair with `fm-radio`.
+pub fn workload(name: &str) -> Option<(String, StreamGraph)> {
+    if name == "layered-dag" {
+        return Some((
+            name.to_string(),
+            gen::layered(
+                &LayeredCfg {
+                    layers: 6,
+                    max_width: 5,
+                    density: 0.35,
+                    state: StateDist::Uniform(128, 512),
+                    max_q: 2,
+                },
+                3,
+            ),
+        ));
+    }
+    ccs_apps::suite()
+        .into_iter()
+        .find(|a| a.name == name)
+        .map(|a| (a.name.to_string(), a.graph))
+}
+
+/// The workload pair every stock experiment sweeps: a real decimating
+/// pipeline and a generated irregular DAG.
+pub fn builtin_workloads() -> Vec<(String, StreamGraph)> {
+    ["fm-radio", "layered-dag"]
+        .iter()
+        .map(|n| workload(n).expect("builtin workload"))
+        .collect()
+}
+
+/// Which executor a [`Cell`] runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellEngine {
+    /// The paper's two-level schedule on one thread
+    /// (`execute_counted_warm`).
+    Serial,
+    /// The segment-affine multicore executor (`execute_dag_cfg`).
+    Parallel,
+}
+
+/// One point of the experiment grid: a complete executor configuration,
+/// crossed with every workload of the sweep.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Display/reference label; `None` derives one from the fields.
+    pub label: Option<String>,
+    pub engine: CellEngine,
+    /// Worker threads (parallel cells).
+    pub workers: usize,
+    pub placement: Placement,
+    pub pin_cores: bool,
+    /// Synthetic machine model; `None` uses the default (host discovery
+    /// where placement or pinning needs it).
+    pub topology: Option<TopoSpec>,
+    /// Open hardware counters.
+    pub counters: bool,
+    /// Attribute counters to individual segments.
+    pub segment_counters: bool,
+    /// Per-segment sampling stride (0/1 = every batch).
+    pub counter_stride: u64,
+    /// Warmup batches excluded from counter readings.
+    pub warmup: u64,
+    /// Warmup reset discipline (exact epoch barrier vs legacy
+    /// per-worker).
+    pub warmup_mode: WarmupMode,
+    /// Fault ring pages in from consumer workers before steady state.
+    pub first_touch: bool,
+}
+
+impl Cell {
+    /// A parallel cell with everything else at defaults.
+    pub fn parallel(workers: usize, placement: Placement) -> Cell {
+        Cell {
+            label: None,
+            engine: CellEngine::Parallel,
+            workers,
+            placement,
+            pin_cores: false,
+            topology: None,
+            counters: false,
+            segment_counters: false,
+            counter_stride: 1,
+            warmup: 0,
+            warmup_mode: WarmupMode::default(),
+            first_touch: false,
+        }
+    }
+
+    /// A serial-executor baseline cell.
+    pub fn serial() -> Cell {
+        Cell {
+            engine: CellEngine::Serial,
+            workers: 1,
+            ..Cell::parallel(1, Placement::RoundRobin)
+        }
+    }
+
+    pub fn with_label(mut self, label: impl Into<String>) -> Cell {
+        self.label = Some(label.into());
+        self
+    }
+
+    pub fn with_pinning(mut self, pin: bool) -> Cell {
+        self.pin_cores = pin;
+        self
+    }
+
+    pub fn with_topology(mut self, spec: TopoSpec) -> Cell {
+        self.topology = Some(spec);
+        self
+    }
+
+    pub fn with_counters(mut self, on: bool) -> Cell {
+        self.counters = on;
+        self
+    }
+
+    pub fn with_segment_counters(mut self, on: bool) -> Cell {
+        self.segment_counters = on;
+        self
+    }
+
+    pub fn with_counter_stride(mut self, stride: u64) -> Cell {
+        self.counter_stride = stride;
+        self
+    }
+
+    pub fn with_warmup(mut self, warmup: u64) -> Cell {
+        self.warmup = warmup;
+        self
+    }
+
+    pub fn with_warmup_mode(mut self, mode: WarmupMode) -> Cell {
+        self.warmup_mode = mode;
+        self
+    }
+
+    pub fn with_first_touch(mut self, on: bool) -> Cell {
+        self.first_touch = on;
+        self
+    }
+
+    /// The label comparisons and reports refer to: the explicit one, or
+    /// one derived from the distinguishing fields (`llc+pin/w4`,
+    /// `rr/w2/2x2x2`, `serial`).
+    pub fn label(&self) -> String {
+        if let Some(l) = &self.label {
+            return l.clone();
+        }
+        if self.engine == CellEngine::Serial {
+            return "serial".to_string();
+        }
+        let mut l = match self.placement {
+            Placement::RoundRobin => "rr".to_string(),
+            Placement::CommGreedy => "greedy".to_string(),
+            Placement::Llc => "llc".to_string(),
+        };
+        if self.pin_cores {
+            l.push_str("+pin");
+        }
+        let _ = write!(l, "/w{}", self.workers);
+        if let Some(t) = &self.topology {
+            let _ = write!(l, "/{t}");
+        }
+        l
+    }
+}
+
+/// A measured quantity cells report and comparisons test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// LLC misses per sink item over the steady-state window — the
+    /// paper's headline metric.
+    LlcMissesPerItem,
+    /// Wall-clock time of the firing loop.
+    WallMs,
+    /// Sink throughput.
+    ItemsPerSec,
+    /// Instructions per cycle.
+    Ipc,
+    /// Misses per kilo-instruction.
+    Mpki,
+    /// Wall-clock stall time across workers (parallel cells only).
+    StallMs,
+}
+
+impl Metric {
+    /// Every metric, in report order.
+    pub const ALL: [Metric; 6] = [
+        Metric::LlcMissesPerItem,
+        Metric::WallMs,
+        Metric::ItemsPerSec,
+        Metric::Ipc,
+        Metric::Mpki,
+        Metric::StallMs,
+    ];
+
+    /// JSON key / CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::LlcMissesPerItem => "llc_misses_per_item",
+            Metric::WallMs => "wall_ms",
+            Metric::ItemsPerSec => "items_per_sec",
+            Metric::Ipc => "ipc",
+            Metric::Mpki => "mpki",
+            Metric::StallMs => "stall_ms",
+        }
+    }
+
+    /// Parse a CLI/JSON name.
+    pub fn parse(name: &str) -> Option<Metric> {
+        Metric::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// Whether a larger value is the better outcome (throughput, IPC)
+    /// rather than a cost (misses, wall time, stalls).
+    pub fn higher_is_better(&self) -> bool {
+        matches!(self, Metric::ItemsPerSec | Metric::Ipc)
+    }
+}
+
+/// One declared paired comparison: per workload, the per-repeat deltas
+/// `baseline − treatment` of a metric between two cells.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    pub metric: Metric,
+    /// Label of the baseline cell.
+    pub baseline: String,
+    /// Label of the treatment cell.
+    pub treatment: String,
+}
+
+/// A named grid: workloads × cells × interleaved repeats, plus the
+/// comparison family. Build with the `with_*` methods, execute with
+/// [`Sweep::run`].
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    pub name: String,
+    /// Interleaved repeats per cell.
+    pub repeats: usize,
+    /// Granularity-`T` batches per segment per run.
+    pub rounds: u64,
+    pub workloads: Vec<(String, StreamGraph)>,
+    pub cells: Vec<Cell>,
+    pub comparisons: Vec<Comparison>,
+    /// Bootstrap resamples per interval/p-value.
+    pub bootstrap_iters: usize,
+    /// CI mass; the comparison family is tested at FDR `1 − confidence`.
+    pub confidence: f64,
+    /// Bootstrap base seed (each comparison offsets deterministically).
+    pub seed: u64,
+}
+
+impl Sweep {
+    pub fn new(name: impl Into<String>) -> Sweep {
+        Sweep {
+            name: name.into(),
+            repeats: 1,
+            rounds: 8,
+            workloads: Vec::new(),
+            cells: Vec::new(),
+            comparisons: Vec::new(),
+            bootstrap_iters: 1000,
+            confidence: 0.9,
+            seed: 42,
+        }
+    }
+
+    pub fn with_repeats(mut self, repeats: usize) -> Sweep {
+        self.repeats = repeats;
+        self
+    }
+
+    pub fn with_rounds(mut self, rounds: u64) -> Sweep {
+        self.rounds = rounds;
+        self
+    }
+
+    pub fn with_workload(mut self, name: impl Into<String>, g: StreamGraph) -> Sweep {
+        self.workloads.push((name.into(), g));
+        self
+    }
+
+    pub fn with_workloads(mut self, ws: Vec<(String, StreamGraph)>) -> Sweep {
+        self.workloads.extend(ws);
+        self
+    }
+
+    pub fn with_cell(mut self, cell: Cell) -> Sweep {
+        self.cells.push(cell);
+        self
+    }
+
+    pub fn with_comparison(
+        mut self,
+        metric: Metric,
+        baseline: impl Into<String>,
+        treatment: impl Into<String>,
+    ) -> Sweep {
+        self.comparisons.push(Comparison {
+            metric,
+            baseline: baseline.into(),
+            treatment: treatment.into(),
+        });
+        self
+    }
+}
+
+/// One repeat's measurements for one (workload, cell).
+struct RunRecord {
+    wall_ms: f64,
+    items_per_sec: f64,
+    llc_mpi: Option<f64>,
+    ipc: Option<f64>,
+    mpki: Option<f64>,
+    stall_ms: Option<f64>,
+    seg_mpi: Vec<(usize, Option<f64>)>,
+    digest: Option<u64>,
+    segments: usize,
+    /// A counter group opened somewhere in this run.
+    counted: bool,
+    /// Any reading was multiplex-scaled.
+    multiplexed: bool,
+    rings_touched: u64,
+}
+
+impl RunRecord {
+    fn metric(&self, m: Metric) -> Option<f64> {
+        match m {
+            Metric::LlcMissesPerItem => self.llc_mpi,
+            Metric::WallMs => Some(self.wall_ms),
+            Metric::ItemsPerSec => Some(self.items_per_sec),
+            Metric::Ipc => self.ipc,
+            Metric::Mpki => self.mpki,
+            Metric::StallMs => self.stall_ms,
+        }
+    }
+}
+
+fn opt_json(v: Option<f64>) -> Value {
+    serde_json::to_value(v).unwrap_or(Value::Null)
+}
+
+fn summary_json(s: Option<&Summary>) -> Value {
+    match s {
+        Some(s) => serde_json::json!({
+            "n": s.n,
+            "mean": s.mean,
+            "stddev": opt_json(s.stddev),
+        }),
+        None => Value::Null,
+    }
+}
+
+impl Sweep {
+    /// Effective (unique) cell labels, validated.
+    fn labels(&self) -> Result<Vec<String>, Box<dyn Error>> {
+        let labels: Vec<String> = self.cells.iter().map(|c| c.label()).collect();
+        for (i, l) in labels.iter().enumerate() {
+            if labels[..i].contains(l) {
+                return Err(format!("duplicate cell label '{l}'").into());
+            }
+        }
+        for c in &self.comparisons {
+            for side in [&c.baseline, &c.treatment] {
+                if !labels.contains(side) {
+                    return Err(format!(
+                        "comparison references unknown cell '{side}' (cells: {})",
+                        labels.join(", ")
+                    )
+                    .into());
+                }
+            }
+        }
+        Ok(labels)
+    }
+
+    /// Execute the whole grid and produce the versioned results
+    /// document ([`SCHEMA`]). Errors on an invalid declaration, a
+    /// planning failure, or — the safety net every experiment inherits —
+    /// any digest divergence between cells of the same workload.
+    pub fn run(&self) -> Result<Value, Box<dyn Error>> {
+        if self.workloads.is_empty() {
+            return Err("sweep has no workloads".into());
+        }
+        if self.cells.is_empty() {
+            return Err("sweep has no cells".into());
+        }
+        if self.repeats == 0 || self.rounds == 0 {
+            return Err("repeats and rounds must be >= 1".into());
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(format!(
+                "confidence must be in (0, 1), got {} (for 95% write 0.95)",
+                self.confidence
+            )
+            .into());
+        }
+        let labels = self.labels()?;
+
+        let mut cells_json: Vec<Value> = Vec::new();
+        // (workload, comparison) -> paired deltas; flattened into the
+        // one BH family at the end.
+        let mut pending: Vec<(String, &Comparison, Vec<f64>, usize)> = Vec::new();
+
+        for (wname, g) in &self.workloads {
+            let planner = Planner::new(CacheParams::new(cache_m(g), 16));
+            let serial_plan = if self.cells.iter().any(|c| c.engine == CellEngine::Serial) {
+                Some(
+                    planner
+                        .plan(g, Horizon::Rounds(self.rounds))
+                        .map_err(|e| format!("{wname}: serial baseline cannot be planned: {e}"))?,
+                )
+            } else {
+                None
+            };
+
+            // Interleave: one repeat visits every cell back to back.
+            let mut runs: Vec<Vec<RunRecord>> = (0..self.cells.len()).map(|_| Vec::new()).collect();
+            let mut reference: Option<(String, Option<u64>)> = None;
+            for _repeat in 0..self.repeats {
+                for (ci, cell) in self.cells.iter().enumerate() {
+                    let rec = match cell.engine {
+                        CellEngine::Serial => run_serial(
+                            serial_plan.as_ref().expect("planned above"),
+                            g,
+                            cell,
+                            self.rounds,
+                        ),
+                        CellEngine::Parallel => run_parallel(&planner, g, cell, self.rounds)
+                            .map_err(|e| format!("{wname}/{}: {e}", labels[ci]))?,
+                    };
+                    match &reference {
+                        None => reference = Some((labels[ci].clone(), rec.digest)),
+                        Some((ref_label, d)) => {
+                            if *d != rec.digest {
+                                return Err(format!(
+                                    "{wname}: digest diverged — cell '{}' produced \
+                                     {:016x}, reference cell '{ref_label}' produced {:016x}",
+                                    labels[ci],
+                                    rec.digest.unwrap_or(0),
+                                    d.unwrap_or(0),
+                                )
+                                .into());
+                            }
+                        }
+                    }
+                    runs[ci].push(rec);
+                }
+            }
+
+            // Per-cell summaries.
+            for (ci, cell) in self.cells.iter().enumerate() {
+                cells_json.push(cell_json(wname, cell, &labels[ci], &runs[ci], self.rounds));
+            }
+
+            // Collect this workload's paired deltas.
+            for comp in &self.comparisons {
+                let series = |label: &str| -> &Vec<RunRecord> {
+                    let i = labels.iter().position(|l| l == label).expect("validated");
+                    &runs[i]
+                };
+                let (base, treat) = (series(&comp.baseline), series(&comp.treatment));
+                // Pair only repeats where both cells produced the
+                // metric; dropping a repeat drops it from both sides.
+                let deltas: Vec<f64> = base
+                    .iter()
+                    .zip(treat)
+                    .filter_map(|(b, t)| Some(b.metric(comp.metric)? - t.metric(comp.metric)?))
+                    .collect();
+                pending.push((wname.clone(), comp, deltas, pending.len()));
+            }
+        }
+
+        // The family of comparisons: bootstrap each, then BH-adjust the
+        // p-values together.
+        /// One comparison's bootstrap outputs: interval, p-value, summary.
+        type CompStats = (Option<(f64, f64)>, Option<f64>, Option<Summary>);
+        let alpha = 1.0 - self.confidence;
+        let stats: Vec<CompStats> = pending
+            .iter()
+            .map(|(_, _, deltas, k)| {
+                let seed = self.seed.wrapping_add(*k as u64);
+                (
+                    bootstrap_mean_ci(deltas, self.bootstrap_iters, self.confidence, seed),
+                    bootstrap_mean_pvalue(deltas, self.bootstrap_iters, seed),
+                    Summary::of(deltas),
+                )
+            })
+            .collect();
+        let tested: Vec<f64> = stats.iter().filter_map(|(_, p, _)| *p).collect();
+        let mut adjusted = benjamini_hochberg(&tested).into_iter();
+        let comparisons_json: Vec<Value> = pending
+            .iter()
+            .zip(&stats)
+            .map(|((wname, comp, deltas, _), (ci, p, summary))| {
+                let p_adj = p.and_then(|_| adjusted.next());
+                serde_json::json!({
+                    "workload": wname,
+                    "metric": comp.metric.name(),
+                    "baseline": comp.baseline,
+                    "treatment": comp.treatment,
+                    "pairs": deltas.len(),
+                    "mean": opt_json(summary.as_ref().map(|s| s.mean)),
+                    "ci_lo": opt_json(ci.map(|c| c.0)),
+                    "ci_hi": opt_json(ci.map(|c| c.1)),
+                    "confidence": self.confidence,
+                    "p": opt_json(*p),
+                    "p_adjusted": opt_json(p_adj),
+                    "significant": serde_json::to_value(p_adj.map(|q| q <= alpha))
+                        .unwrap_or(Value::Null),
+                })
+            })
+            .collect();
+
+        Ok(serde_json::json!({
+            "schema": SCHEMA,
+            "sweep": self.name,
+            "repeats": self.repeats,
+            "rounds": self.rounds,
+            "smoke": smoke(),
+            "confidence": self.confidence,
+            "fdr_alpha": alpha,
+            "bootstrap_iters": self.bootstrap_iters,
+            "seed": self.seed,
+            "workloads": self.workloads.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+            "cells": cells_json,
+            "comparisons": comparisons_json,
+        }))
+    }
+}
+
+/// Run one serial repeat: the two-level schedule for the same number of
+/// granularity-`T` rounds, through the same counter suite, with the
+/// warmup window expressed in firings.
+fn run_serial(plan: &ccs_core::Plan, g: &StreamGraph, cell: &Cell, rounds: u64) -> RunRecord {
+    let mut inst = Instance::synthetic(g.clone());
+    let warm = cell.warmup.min(rounds - 1);
+    let firings_per_round = (plan.run.firings.len() as u64) / rounds;
+    let (run, sample) = ccs_runtime::serial::execute_counted_warm(
+        &mut inst,
+        &plan.run,
+        cell.counters,
+        warm * firings_per_round,
+    );
+    let wall_ms = run.wall.as_secs_f64() * 1e3;
+    let measured_items = (run.sink_items / rounds) * (rounds - warm);
+    RunRecord {
+        wall_ms,
+        items_per_sec: if wall_ms > 0.0 {
+            run.sink_items as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        llc_mpi: sample
+            .as_ref()
+            .and_then(|s| s.per_item(CounterKind::LlcMisses, measured_items)),
+        ipc: sample.as_ref().and_then(|s| s.ipc()),
+        mpki: sample.as_ref().and_then(|s| s.mpki()),
+        stall_ms: None,
+        seg_mpi: Vec::new(),
+        digest: run.digest,
+        segments: plan.partition.num_components(),
+        counted: sample.is_some(),
+        multiplexed: sample.as_ref().is_some_and(|s| s.multiplexed()),
+        rings_touched: 0,
+    }
+}
+
+/// Run one parallel repeat under the cell's [`RunConfig`].
+fn run_parallel(
+    planner: &Planner,
+    g: &StreamGraph,
+    cell: &Cell,
+    rounds: u64,
+) -> Result<RunRecord, Box<dyn Error>> {
+    let mut cfg = RunConfig::new(cell.workers)
+        .with_placement(cell.placement)
+        .with_pinning(cell.pin_cores)
+        .with_counters(cell.counters)
+        .with_warmup(cell.warmup)
+        .with_segment_counters(cell.segment_counters)
+        .with_counter_stride(cell.counter_stride.max(1))
+        .with_warmup_mode(cell.warmup_mode)
+        .with_first_touch(cell.first_touch);
+    if let Some(spec) = &cell.topology {
+        cfg = cfg.with_topology(Topology::synthetic(spec));
+    }
+    let pr = planner.plan_and_run_parallel(Instance::synthetic(g.clone()), rounds, &cfg)?;
+    let stats = pr.stats;
+    let totals = stats.counter_totals();
+    Ok(RunRecord {
+        wall_ms: stats.run.wall.as_secs_f64() * 1e3,
+        items_per_sec: stats.items_per_sec(),
+        llc_mpi: stats.llc_misses_per_item(),
+        ipc: totals.as_ref().and_then(|t| t.ipc()),
+        mpki: totals.as_ref().and_then(|t| t.mpki()),
+        stall_ms: Some(stats.total_stall_time().as_secs_f64() * 1e3),
+        seg_mpi: stats.segment_llc_misses_per_item(),
+        digest: stats.run.digest,
+        segments: stats.segments,
+        counted: stats.counted_workers() > 0,
+        multiplexed: totals.as_ref().is_some_and(|t| t.multiplexed()),
+        rings_touched: stats.rings_first_touched(),
+    })
+}
+
+/// Aggregate one (workload, cell)'s repeats into its results entry.
+fn cell_json(wname: &str, cell: &Cell, label: &str, runs: &[RunRecord], rounds: u64) -> Value {
+    let mpi: Vec<f64> = runs.iter().filter_map(|r| r.llc_mpi).collect();
+    let counted = runs.iter().any(|r| r.counted);
+    let multiplexed = runs.iter().any(|r| r.multiplexed);
+    let status = if !cell.counters {
+        "off"
+    } else if !mpi.is_empty() {
+        if multiplexed {
+            "ok (scaled)"
+        } else {
+            "ok"
+        }
+    } else if counted {
+        // A group opened but the LLC event did not (PMU-less VM).
+        "no llc event"
+    } else {
+        "unavailable"
+    };
+    let segments = runs.first().map_or(0, |r| r.segments);
+
+    let mut metrics = Vec::new();
+    for m in Metric::ALL {
+        let series: Vec<f64> = runs.iter().filter_map(|r| r.metric(m)).collect();
+        if let Some(s) = Summary::of(&series) {
+            metrics.push((m.name().to_string(), summary_json(Some(&s))));
+        }
+    }
+
+    // Per-segment summaries: each segment's series across repeats.
+    let mut per_segment = Vec::new();
+    if cell.segment_counters {
+        for si in 0..segments {
+            let series: Vec<f64> = runs
+                .iter()
+                .filter_map(|r| {
+                    r.seg_mpi
+                        .iter()
+                        .find(|(seg, _)| *seg == si)
+                        .and_then(|(_, v)| *v)
+                })
+                .collect();
+            per_segment.push(serde_json::json!({
+                "seg": si,
+                "llc_misses_per_item": summary_json(Summary::of(&series).as_ref()),
+            }));
+        }
+    }
+
+    let runs_json: Vec<Value> = runs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            serde_json::json!({
+                "repeat": i,
+                "wall_ms": r.wall_ms,
+                "items_per_sec": r.items_per_sec,
+                "llc_misses_per_item": opt_json(r.llc_mpi),
+                "ipc": opt_json(r.ipc),
+                "mpki": opt_json(r.mpki),
+                "stall_ms": opt_json(r.stall_ms),
+            })
+        })
+        .collect();
+
+    serde_json::json!({
+        "workload": wname,
+        "label": label,
+        "engine": match cell.engine {
+            CellEngine::Serial => "serial",
+            CellEngine::Parallel => "parallel",
+        },
+        "workers": cell.workers,
+        "placement": match cell.engine {
+            CellEngine::Serial => Value::Null,
+            CellEngine::Parallel => Value::String(cell.placement.name().to_string()),
+        },
+        "pin_cores": cell.pin_cores,
+        "topology": match &cell.topology {
+            Some(t) => Value::String(t.to_string()),
+            None => Value::Null,
+        },
+        "counters_requested": cell.counters,
+        "segment_counters": cell.segment_counters,
+        "counter_stride": cell.counter_stride.max(1),
+        "warmup_batches": cell.warmup.min(rounds.saturating_sub(1)),
+        "warmup_mode": cell.warmup_mode.name(),
+        "first_touch_rings": cell.first_touch,
+        "rings_touched": runs.iter().map(|r| r.rings_touched).max().unwrap_or(0),
+        "segments": segments,
+        "counters": status,
+        "digest": match runs.first().and_then(|r| r.digest) {
+            Some(d) => Value::String(format!("{d:016x}")),
+            None => Value::Null,
+        },
+        "runs": runs_json,
+        "metrics": Value::Object(metrics),
+        "per_segment": per_segment,
+    })
+}
+
+/// Render a number-or-null JSON field tersely (the shared [`crate::f`]
+/// tiering; `n/a` for null).
+fn jnum(v: &Value) -> String {
+    v.as_f64().map_or_else(|| "n/a".to_string(), crate::f)
+}
+
+/// Render a [`SCHEMA`] results document as aligned text — the one
+/// renderer behind both the experiment binaries and `ccs report`.
+/// Tolerant of nulls (cells measured where counters were unavailable
+/// render `n/a`), intolerant of other schemas.
+pub fn render(v: &Value) -> Result<String, Box<dyn Error>> {
+    if v["schema"].as_str() != Some(SCHEMA) {
+        return Err(format!(
+            "not a {SCHEMA} document (schema: {}); regenerate with `ccs sweep` \
+             or an e19/e20/e21 binary",
+            v["schema"].as_str().unwrap_or("missing"),
+        )
+        .into());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} repeats x {} rounds{}",
+        v["sweep"].as_str().unwrap_or("sweep"),
+        v["repeats"].as_u64().unwrap_or(0),
+        v["rounds"].as_u64().unwrap_or(0),
+        if v["smoke"].as_bool() == Some(true) {
+            " [smoke]"
+        } else {
+            ""
+        },
+    );
+
+    let Value::Array(cells) = &v["cells"] else {
+        return Err("document has no `cells` array".into());
+    };
+    let mut table = crate::Table::new(
+        "",
+        &[
+            "workload",
+            "cell",
+            "workers",
+            "pin",
+            "segs",
+            "n",
+            "wall ms",
+            "items/s (M)",
+            "miss/item",
+            "stddev",
+            "counters",
+        ],
+    );
+    for c in cells {
+        let mpi = &c["metrics"]["llc_misses_per_item"];
+        let wall = &c["metrics"]["wall_ms"];
+        let ips = &c["metrics"]["items_per_sec"]["mean"];
+        table.row(vec![
+            c["workload"].as_str().unwrap_or("?").to_string(),
+            c["label"].as_str().unwrap_or("?").to_string(),
+            c["workers"].as_u64().map_or("?".into(), |w| w.to_string()),
+            c["pin_cores"].as_bool().unwrap_or(false).to_string(),
+            c["segments"].as_u64().map_or("?".into(), |s| s.to_string()),
+            match &c["runs"] {
+                Value::Array(r) => r.len(),
+                _ => 0,
+            }
+            .to_string(),
+            jnum(&wall["mean"]),
+            ips.as_f64()
+                .map_or("n/a".into(), |x| format!("{:.3}", x / 1e6)),
+            jnum(&mpi["mean"]),
+            jnum(&mpi["stddev"]),
+            c["counters"].as_str().unwrap_or("?").to_string(),
+        ]);
+    }
+    out.push_str(&table.body());
+
+    // Per-segment attribution, where present.
+    for c in cells {
+        if let Value::Array(segs) = &c["per_segment"] {
+            let lines: Vec<String> = segs
+                .iter()
+                .filter(|s| !s["llc_misses_per_item"].is_null())
+                .map(|s| {
+                    format!(
+                        "seg {} {} +/- {}",
+                        s["seg"].as_u64().unwrap_or(0),
+                        jnum(&s["llc_misses_per_item"]["mean"]),
+                        jnum(&s["llc_misses_per_item"]["stddev"]),
+                    )
+                })
+                .collect();
+            if !lines.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  {} / {} per-segment miss/item: {}",
+                    c["workload"].as_str().unwrap_or("?"),
+                    c["label"].as_str().unwrap_or("?"),
+                    lines.join(" | "),
+                );
+            }
+        }
+    }
+
+    // The comparison family.
+    if let Value::Array(comps) = &v["comparisons"] {
+        if !comps.is_empty() {
+            let _ = writeln!(
+                out,
+                "paired deltas (baseline - treatment), {} comparisons, \
+                 BH-corrected at FDR {}:",
+                comps.len(),
+                jnum(&v["fdr_alpha"]),
+            );
+        }
+        for d in comps {
+            let metric = d["metric"].as_str().unwrap_or("?");
+            let higher_better = Metric::parse(metric).is_some_and(|m| m.higher_is_better());
+            let significant = d["significant"].as_bool();
+            let mean = d["mean"].as_f64();
+            let verdict = match (significant, mean) {
+                (Some(true), Some(m)) => {
+                    // delta = baseline − treatment: positive means the
+                    // treatment's value is smaller.
+                    if (m > 0.0) != higher_better {
+                        "  => treatment wins"
+                    } else {
+                        "  => baseline wins"
+                    }
+                }
+                (Some(false), _) => "  => no significant difference",
+                _ => "",
+            };
+            let _ = writeln!(
+                out,
+                "  {} {}: {} - {} = {} [{}, {}] over {} pairs, p_adj {}{}",
+                d["workload"].as_str().unwrap_or("?"),
+                metric,
+                d["baseline"].as_str().unwrap_or("?"),
+                d["treatment"].as_str().unwrap_or("?"),
+                jnum(&d["mean"]),
+                jnum(&d["ci_lo"]),
+                jnum(&d["ci_hi"]),
+                d["pairs"].as_u64().unwrap_or(0),
+                jnum(&d["p_adjusted"]),
+                verdict,
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// The shared `main()` tail of every experiment binary: run the
+/// declared sweep, print the rendered report, and save the results
+/// document under `results/<sweep.name>.json`.
+pub fn run_and_save(sweep: &Sweep) -> Value {
+    let out = sweep
+        .run()
+        .unwrap_or_else(|e| panic!("{}: {e}", sweep.name));
+    print!("{}", render(&out).expect("own schema renders"));
+    let dir = crate::results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir exists");
+    let path = dir.join(format!("{}.json", sweep.name));
+    let json = serde_json::to_string_pretty(&out).expect("document serializes");
+    std::fs::write(&path, &json).expect("results written");
+    println!(
+        "json: {} (render with `ccs report {}`)",
+        path.display(),
+        path.display()
+    );
+    if smoke() {
+        println!(
+            "(smoke mode: repeats = {}, rounds = {})",
+            sweep.repeats, sweep.rounds
+        );
+    }
+    out
+}
+
+/// Build a [`Sweep`] from a JSON spec document:
+///
+/// ```json
+/// {
+///   "name": "my-sweep", "repeats": 5, "rounds": 64, "warmup": 16,
+///   "apps": ["fm-radio", "layered-dag"],
+///   "cells": [
+///     {"engine": "serial", "counters": true},
+///     {"workers": 4, "placement": "rr", "pin_cores": true, "counters": true},
+///     {"workers": 4, "placement": "llc", "pin_cores": true, "counters": true,
+///      "label": "llc", "topology": "2x2x2", "segment_counters": true,
+///      "warmup_mode": "epoch", "first_touch": true, "stride": 1}
+///   ],
+///   "comparisons": [
+///     {"metric": "llc_misses_per_item", "baseline": "rr+pin/w4", "treatment": "llc"}
+///   ],
+///   "bootstrap_iters": 1000, "confidence": 0.9, "seed": 42
+/// }
+/// ```
+///
+/// Unknown apps, placements, metrics, or labels are errors. `warmup` at
+/// the top level is the default for cells that do not set their own.
+/// With no `comparisons`, every later cell is compared against the
+/// first on `llc_misses_per_item` and `wall_ms`.
+pub fn from_spec(v: &Value) -> Result<Sweep, Box<dyn Error>> {
+    let mut sweep = Sweep::new(v["name"].as_str().unwrap_or("sweep"));
+    if let Some(r) = v["repeats"].as_u64() {
+        sweep.repeats = r as usize;
+    }
+    if let Some(r) = v["rounds"].as_u64() {
+        sweep.rounds = r;
+    }
+    if let Some(i) = v["bootstrap_iters"].as_u64() {
+        sweep.bootstrap_iters = i as usize;
+    }
+    if let Some(c) = v["confidence"].as_f64() {
+        sweep.confidence = c;
+    }
+    if let Some(s) = v["seed"].as_u64() {
+        sweep.seed = s;
+    }
+    let default_warmup = v["warmup"].as_u64().unwrap_or(0);
+
+    let Value::Array(apps) = &v["apps"] else {
+        return Err("spec needs an `apps` array of workload names".into());
+    };
+    for a in apps {
+        let name = a.as_str().ok_or("app names must be strings")?;
+        let (n, g) = workload(name).ok_or_else(|| {
+            format!("unknown app '{name}' (try `ccs gen app list`, or 'layered-dag')")
+        })?;
+        sweep = sweep.with_workload(n, g);
+    }
+
+    let Value::Array(cells) = &v["cells"] else {
+        return Err("spec needs a `cells` array".into());
+    };
+    for c in cells {
+        let engine = c["engine"].as_str().unwrap_or("parallel");
+        let mut cell = match engine {
+            "serial" => Cell::serial(),
+            "parallel" => {
+                let placement = match c["placement"].as_str() {
+                    None => Placement::RoundRobin,
+                    Some(p) => Placement::parse(p)
+                        .ok_or_else(|| format!("unknown placement '{p}' (rr|greedy|llc)"))?,
+                };
+                Cell::parallel(
+                    c["workers"].as_u64().unwrap_or(2).max(1) as usize,
+                    placement,
+                )
+            }
+            other => return Err(format!("unknown engine '{other}' (serial|parallel)").into()),
+        };
+        if let Some(l) = c["label"].as_str() {
+            cell = cell.with_label(l);
+        }
+        if let Some(p) = c["pin_cores"].as_bool() {
+            cell = cell.with_pinning(p);
+        }
+        if let Some(t) = c["topology"].as_str() {
+            cell = cell.with_topology(t.parse::<TopoSpec>()?);
+        }
+        if let Some(b) = c["counters"].as_bool() {
+            cell = cell.with_counters(b);
+        }
+        if let Some(b) = c["segment_counters"].as_bool() {
+            cell = cell.with_segment_counters(b).with_counters(true);
+        }
+        cell = cell.with_counter_stride(c["stride"].as_u64().unwrap_or(1));
+        cell = cell.with_warmup(c["warmup"].as_u64().unwrap_or(default_warmup));
+        if let Some(m) = c["warmup_mode"].as_str() {
+            cell = cell.with_warmup_mode(match m {
+                "epoch" => WarmupMode::Epoch,
+                "per-worker" => WarmupMode::PerWorker,
+                other => return Err(format!("unknown warmup_mode '{other}'").into()),
+            });
+        }
+        if let Some(b) = c["first_touch"].as_bool() {
+            cell = cell.with_first_touch(b);
+        }
+        sweep = sweep.with_cell(cell);
+    }
+
+    match &v["comparisons"] {
+        Value::Array(comps) => {
+            for d in comps {
+                let metric_name = d["metric"].as_str().unwrap_or("llc_misses_per_item");
+                let metric = Metric::parse(metric_name)
+                    .ok_or_else(|| format!("unknown metric '{metric_name}'"))?;
+                let baseline = d["baseline"]
+                    .as_str()
+                    .ok_or("comparison needs `baseline`")?;
+                let treatment = d["treatment"]
+                    .as_str()
+                    .ok_or("comparison needs `treatment`")?;
+                sweep = sweep.with_comparison(metric, baseline, treatment);
+            }
+        }
+        Value::Null => {
+            sweep = default_comparisons(sweep);
+        }
+        _ => return Err("`comparisons` must be an array".into()),
+    }
+    Ok(sweep)
+}
+
+/// The default comparison family: every cell after the first against
+/// the first, on misses/item and wall time.
+pub fn default_comparisons(mut sweep: Sweep) -> Sweep {
+    let labels: Vec<String> = sweep.cells.iter().map(|c| c.label()).collect();
+    if let Some((base, rest)) = labels.split_first() {
+        for t in rest {
+            for m in [Metric::LlcMissesPerItem, Metric::WallMs] {
+                sweep = sweep.with_comparison(m, base.clone(), t.clone());
+            }
+        }
+    }
+    sweep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_derived_and_overridable() {
+        assert_eq!(Cell::serial().label(), "serial");
+        assert_eq!(Cell::parallel(4, Placement::Llc).label(), "llc/w4");
+        assert_eq!(
+            Cell::parallel(2, Placement::RoundRobin)
+                .with_pinning(true)
+                .label(),
+            "rr+pin/w2"
+        );
+        assert_eq!(
+            Cell::parallel(2, Placement::CommGreedy)
+                .with_topology(TopoSpec::new(2, 2, 2))
+                .label(),
+            "greedy/w2/2x2x2"
+        );
+        assert_eq!(
+            Cell::parallel(2, Placement::Llc).with_label("mine").label(),
+            "mine"
+        );
+    }
+
+    #[test]
+    fn metric_names_roundtrip() {
+        for m in Metric::ALL {
+            assert_eq!(Metric::parse(m.name()), Some(m));
+        }
+        assert_eq!(Metric::parse("bogus"), None);
+        assert!(Metric::ItemsPerSec.higher_is_better());
+        assert!(!Metric::LlcMissesPerItem.higher_is_better());
+    }
+
+    #[test]
+    fn validation_catches_bad_declarations() {
+        let base = Sweep::new("t")
+            .with_workload("w", ccs_graph::gen::pipeline_uniform(4, 16))
+            .with_cell(Cell::parallel(2, Placement::RoundRobin));
+        assert!(Sweep::new("t").run().is_err(), "no workloads");
+        assert!(
+            Sweep::new("t")
+                .with_workload("w", ccs_graph::gen::pipeline_uniform(4, 16))
+                .run()
+                .is_err(),
+            "no cells"
+        );
+        let dup = base
+            .clone()
+            .with_cell(Cell::parallel(2, Placement::RoundRobin));
+        assert!(dup.run().unwrap_err().to_string().contains("duplicate"));
+        let dangling = base
+            .clone()
+            .with_comparison(Metric::WallMs, "rr/w2", "nope");
+        assert!(dangling
+            .run()
+            .unwrap_err()
+            .to_string()
+            .contains("unknown cell"));
+        // A percent-style confidence is rejected up front, not left to
+        // silently void every interval.
+        let mut pct = base.clone();
+        pct.confidence = 95.0;
+        assert!(pct.run().unwrap_err().to_string().contains("confidence"));
+    }
+
+    #[test]
+    fn spec_roundtrip_builds_the_declared_grid() {
+        let spec: Value = serde_json::from_str(
+            r#"{
+              "name": "spec-test", "repeats": 2, "rounds": 4, "warmup": 1,
+              "apps": ["fm-radio"],
+              "cells": [
+                {"engine": "serial", "counters": true},
+                {"workers": 2, "placement": "llc", "pin_cores": true,
+                 "counters": true, "topology": "1x2x2"}
+              ],
+              "comparisons": [
+                {"metric": "wall_ms", "baseline": "serial", "treatment": "llc+pin/w2/1x2x2"}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let sweep = from_spec(&spec).unwrap();
+        assert_eq!(sweep.name, "spec-test");
+        assert_eq!(sweep.repeats, 2);
+        assert_eq!(sweep.rounds, 4);
+        assert_eq!(sweep.workloads.len(), 1);
+        assert_eq!(sweep.cells.len(), 2);
+        assert_eq!(sweep.cells[0].engine, CellEngine::Serial);
+        assert_eq!(sweep.cells[0].warmup, 1, "top-level warmup default");
+        assert_eq!(sweep.cells[1].label(), "llc+pin/w2/1x2x2");
+        assert_eq!(sweep.comparisons.len(), 1);
+        // Unknown apps/placements/metrics are errors.
+        let bad: Value =
+            serde_json::from_str(r#"{"apps": ["nope"], "cells": [{"workers": 2}]}"#).unwrap();
+        assert!(from_spec(&bad).is_err());
+    }
+
+    #[test]
+    fn render_rejects_other_schemas() {
+        let legacy: Value =
+            serde_json::from_str(r#"{"experiment": "e21_steady_state", "cells": []}"#).unwrap();
+        assert!(render(&legacy).is_err());
+    }
+}

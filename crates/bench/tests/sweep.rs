@@ -1,0 +1,187 @@
+//! Integration tests of the declarative sweep engine: the digest
+//! contract (every cell of a sweep computes the same stream), the
+//! versioned document shape, and the renderer round-trip.
+
+use ccs_bench::sweep::{self, Cell, Metric, Sweep};
+use ccs_exec::{Placement, WarmupMode};
+use ccs_topo::TopoSpec;
+use proptest::prelude::*;
+use serde_json::Value;
+
+fn cells_of(doc: &Value) -> &Vec<Value> {
+    match &doc["cells"] {
+        Value::Array(c) => c,
+        other => panic!("cells: {other:?}"),
+    }
+}
+
+/// Every cell entry of a workload must report the identical digest —
+/// the engine asserts it internally; this re-checks the *emitted*
+/// document so report consumers can rely on it too.
+fn assert_digests_agree(doc: &Value) {
+    let cells = cells_of(doc);
+    assert!(!cells.is_empty());
+    for w in cells
+        .iter()
+        .filter_map(|c| c["workload"].as_str())
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let digests: Vec<&str> = cells
+            .iter()
+            .filter(|c| c["workload"].as_str() == Some(w))
+            .filter_map(|c| c["digest"].as_str())
+            .collect();
+        assert!(!digests.is_empty(), "{w}: no digests");
+        assert!(
+            digests.iter().all(|d| *d == digests[0]),
+            "{w}: digests diverge in the emitted document: {digests:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// Arbitrary cell sets over a generated workload: serial baseline,
+    /// random worker counts, placements, pinning, warmup modes,
+    /// first-touch — per-cell digests agree across every sweep cell.
+    fn per_cell_digests_agree_across_arbitrary_sweeps(
+        seed in 0u64..1000,
+        rounds in 2u64..5,
+        repeats in 1usize..3,
+        n_cells in 1usize..4,
+        knobs in prop::collection::vec((1usize..5, 0u8..3, 0u8..2, 0u8..2, 0u8..2), 1..4),
+    ) {
+        prop_assume!(knobs.len() >= n_cells);
+        let g = ccs_graph::gen::layered(
+            &ccs_graph::gen::LayeredCfg {
+                layers: 4,
+                max_width: 3,
+                density: 0.3,
+                state: ccs_graph::gen::StateDist::Uniform(16, 64),
+                max_q: 2,
+            },
+            seed,
+        );
+        let mut s = Sweep::new(format!("prop-{seed}"))
+            .with_repeats(repeats)
+            .with_rounds(rounds)
+            .with_workload("layered", g)
+            .with_cell(Cell::serial().with_counters(true).with_label("serial"));
+        for (i, &(workers, placement, pin, mode, touch)) in
+            knobs.iter().take(n_cells).enumerate()
+        {
+            let placement = [Placement::RoundRobin, Placement::CommGreedy, Placement::Llc]
+                [placement as usize];
+            s = s.with_cell(
+                Cell::parallel(workers, placement)
+                    .with_label(format!("cell-{i}"))
+                    .with_pinning(pin == 1)
+                    .with_topology(TopoSpec::new(1, 2, 2))
+                    .with_counters(true)
+                    .with_warmup(rounds / 2)
+                    .with_warmup_mode(if mode == 1 {
+                        WarmupMode::PerWorker
+                    } else {
+                        WarmupMode::Epoch
+                    })
+                    .with_first_touch(touch == 1),
+            );
+        }
+        let doc = s.run().expect("sweep runs");
+        assert_digests_agree(&doc);
+        prop_assert_eq!(doc["schema"].as_str(), Some(sweep::SCHEMA));
+        prop_assert_eq!(cells_of(&doc).len(), n_cells + 1);
+        // Every cell ran the declared number of interleaved repeats.
+        for c in cells_of(&doc) {
+            match &c["runs"] {
+                Value::Array(r) => prop_assert_eq!(r.len(), repeats),
+                other => panic!("runs: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_document_renders_and_reports_the_family() {
+    // A small but complete sweep: two workloads, serial + two parallel
+    // cells, comparisons on two metrics — the BH family spans
+    // workloads × comparisons.
+    let mut s = Sweep::new("family")
+        .with_repeats(3)
+        .with_rounds(4)
+        .with_workloads(sweep::builtin_workloads())
+        .with_cell(Cell::serial().with_counters(true))
+        .with_cell(
+            Cell::parallel(2, Placement::RoundRobin)
+                .with_counters(true)
+                .with_label("rr"),
+        )
+        .with_cell(
+            Cell::parallel(2, Placement::Llc)
+                .with_counters(true)
+                .with_label("llc"),
+        );
+    for m in [
+        Metric::LlcMissesPerItem,
+        Metric::WallMs,
+        Metric::ItemsPerSec,
+    ] {
+        s = s.with_comparison(m, "rr", "llc");
+    }
+    let doc = s.run().expect("sweep runs");
+    assert_digests_agree(&doc);
+
+    let comps = match &doc["comparisons"] {
+        Value::Array(c) => c,
+        other => panic!("comparisons: {other:?}"),
+    };
+    // 2 workloads x 3 declared comparisons.
+    assert_eq!(comps.len(), 6);
+    // Wall time always measures: full pair count, a p-value, and a
+    // BH-adjusted p-value no smaller than the raw one.
+    for c in comps
+        .iter()
+        .filter(|c| c["metric"].as_str() == Some("wall_ms"))
+    {
+        assert_eq!(c["pairs"].as_u64(), Some(3));
+        let p = c["p"].as_f64().expect("wall_ms p-value");
+        let q = c["p_adjusted"].as_f64().expect("adjusted");
+        assert!(q >= p - 1e-12, "adjusted {q} < raw {p}");
+        assert!(c["significant"].as_bool().is_some());
+    }
+
+    // The renderer accepts its own document and mentions every cell
+    // label and comparison verdict line.
+    let text = sweep::render(&doc).expect("renders");
+    for label in ["serial", "rr", "llc"] {
+        assert!(text.contains(label), "{text}");
+    }
+    assert!(text.contains("paired deltas"), "{text}");
+    assert!(text.contains("BH-corrected"), "{text}");
+
+    // Round-trip through JSON text preserves the render.
+    let reparsed: Value =
+        serde_json::from_str(&serde_json::to_string_pretty(&doc).unwrap()).unwrap();
+    assert_eq!(sweep::render(&reparsed).expect("renders"), text);
+}
+
+#[test]
+fn interleaving_visits_cells_in_declared_order_per_repeat() {
+    // The repeat counter in the emitted runs must index interleaved
+    // rounds (repeat r of every cell happens before repeat r+1 of
+    // any): verify the document exposes `repeat` 0..R per cell.
+    let s = Sweep::new("order")
+        .with_repeats(2)
+        .with_rounds(2)
+        .with_workload("w", ccs_graph::gen::pipeline_uniform(6, 32))
+        .with_cell(Cell::parallel(1, Placement::RoundRobin))
+        .with_cell(Cell::parallel(2, Placement::RoundRobin));
+    let doc = s.run().expect("runs");
+    for c in cells_of(&doc) {
+        let repeats: Vec<u64> = match &c["runs"] {
+            Value::Array(r) => r.iter().map(|x| x["repeat"].as_u64().unwrap()).collect(),
+            other => panic!("runs: {other:?}"),
+        };
+        assert_eq!(repeats, vec![0, 1]);
+    }
+}

@@ -39,7 +39,16 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switches that never take a value.
-const SWITCHES: &[&str] = &["json", "help", "pin-cores", "counters", "segment-counters"];
+const SWITCHES: &[&str] = &[
+    "json",
+    "help",
+    "pin-cores",
+    "counters",
+    "segment-counters",
+    "serial",
+    "first-touch",
+    "per-worker-warmup",
+];
 
 impl Args {
     /// Parse raw arguments (excluding `argv[0]` and the subcommand).

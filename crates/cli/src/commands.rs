@@ -20,6 +20,7 @@ pub fn run(cmd: &str, args: &Args) -> CliResult {
         "partition" => partition(args),
         "simulate" => simulate(args),
         "run-dag" => run_dag(args),
+        "sweep" => sweep_cmd(args),
         "topo" => topo_cmd(args),
         "report" => report_cmd(args),
         "compare" => compare(args),
@@ -45,22 +46,39 @@ USAGE:
   ccs run-dag  FILE --m M [--b B] [--workers N] [--rounds R]
                [--placement rr|greedy|llc] [--topo NxCxK | --topo-from DUMP]
                [--pin-cores] [--counters] [--warmup K] [--segment-counters]
-               [--stride S] [--strategy ...] [--json]
+               [--stride S] [--per-worker-warmup] [--first-touch]
+               [--strategy ...] [--json]
                (real multicore execution with segment-affine workers;
                 llc placement + pinning use the machine topology;
                 --counters samples hardware cache counters per worker,
                 --warmup K discards the first K batches per segment so
-                readings reflect steady state, --segment-counters
-                attributes misses to individual segments, sampling
-                every S-th batch; see docs/MEASUREMENT.md)
+                readings reflect steady state — exact epoch reset by
+                default, --per-worker-warmup for the legacy reset —
+                --segment-counters attributes misses to individual
+                segments sampling every S-th batch, and --first-touch
+                faults ring pages in from consumer workers;
+                see docs/MEASUREMENT.md)
+  ccs sweep [--spec FILE | --apps A,B --workers N,M --placements rr,llc
+             --pin on|off|both [--serial] [--counters] [--segment-counters]
+             [--warmup K] [--stride S] [--first-touch] [--per-worker-warmup]
+             [--topo NxCxK] [--repeats R] [--rounds N] [--baseline LABEL]
+             [--metrics m1,m2] [--name NAME] [--seed S] [--confidence C]]
+            [--json] [-o FILE]
+               (declarative experiment grid: cells x interleaved repeats
+                with digest-equivalence asserted across all cells, per-cell
+                mean +/- stddev, and the declared pairwise paired deltas
+                with bootstrap CIs under Benjamini-Hochberg correction;
+                grid comes from a JSON spec file or from the flags;
+                -o saves the ccs-sweep/v1 document `ccs report` renders)
   ccs topo [--topo NxCxK | --from DUMP] [--json]
                (print the discovered, synthetic, or replayed machine
                 topology plus perf-counter availability; the --json dump
                 is what --from / --topo-from replay)
   ccs report FILE
-               (render an e21_steady_state JSON report — per-cell
-                mean +/- stddev and paired deltas with bootstrap CIs —
-                as a text table)
+               (render a ccs-sweep/v1 results document — per-cell
+                mean +/- stddev, per-segment attribution, and the
+                BH-corrected comparison family — as a text table;
+                `ccs sweep` and the e19/e20/e21 binaries emit it)
   ccs compare FILE --m M [--b B] [--outputs T]
   ccs autotune FILE --m M [--b B] [--outputs T]
   ccs fuse FILE --m M [--b B] [-o FILE]       (partition, then fuse)
@@ -302,7 +320,13 @@ fn run_dag(args: &Args) -> CliResult {
         .with_counters(counters)
         .with_warmup(args.u64_or("warmup", 0)?)
         .with_segment_counters(segment_counters)
-        .with_counter_stride(args.u64_or("stride", 1)?);
+        .with_counter_stride(args.u64_or("stride", 1)?)
+        .with_warmup_mode(if args.has("per-worker-warmup") {
+            ccs_exec::WarmupMode::PerWorker
+        } else {
+            ccs_exec::WarmupMode::Epoch
+        })
+        .with_first_touch(args.has("first-touch"));
     if let Some(topo) = topo_of(args)? {
         cfg = cfg.with_topology(topo);
     }
@@ -385,6 +409,9 @@ fn run_dag(args: &Args) -> CliResult {
             "granularity_t": stats.t,
             "rounds": stats.rounds,
             "warmup_batches": stats.warmup,
+            "warmup_mode": stats.warmup_mode.name(),
+            "first_touch_rings": stats.first_touch_rings,
+            "rings_touched": stats.rings_first_touched(),
             "measured_sink_items": stats.measured_sink_items(),
             "bandwidth": pr.bandwidth.to_f64(),
             "firings": stats.run.firings,
@@ -589,20 +616,9 @@ fn topo_cmd(args: &Args) -> CliResult {
     Ok(out)
 }
 
-/// Render a number-or-null JSON field tersely.
-fn jnum(v: &serde_json::Value) -> String {
-    match v.as_f64() {
-        Some(x) if x.abs() >= 100.0 => format!("{x:.0}"),
-        Some(x) if x.abs() >= 1.0 => format!("{x:.2}"),
-        Some(x) if x != 0.0 => format!("{x:.4}"),
-        Some(_) => "0".to_string(),
-        None => "n/a".to_string(),
-    }
-}
-
-/// `ccs report FILE` — render an `e21_steady_state` JSON report (per-cell
-/// mean ± stddev, per-segment attribution, and paired rr−llc deltas
-/// with bootstrap confidence intervals) as aligned text. Tolerant of
+/// `ccs report FILE` — render a `ccs-sweep/v1` results document (the
+/// schema `ccs sweep` and the e19/e20/e21 binaries emit) as aligned
+/// text, via the same renderer the binaries print with. Tolerant of
 /// nulls: cells measured where counters were unavailable render as
 /// `n/a` rather than erroring, so reports from restricted hosts are
 /// still inspectable.
@@ -611,122 +627,133 @@ fn report_cmd(args: &Args) -> CliResult {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let v: serde_json::Value =
         serde_json::from_str(&text).map_err(|e| format!("{path} is not JSON: {e}"))?;
-    let serde_json::Value::Array(cells) = &v["cells"] else {
-        return Err(format!("{path}: no `cells` array (want an e21_steady_state report)").into());
-    };
-    let mut out = String::new();
-    use std::fmt::Write as _;
-    let _ = writeln!(
-        out,
-        "{}: R={} repeats x {} rounds (warmup {}), {} workers{}",
-        v["experiment"].as_str().unwrap_or("report"),
-        v["repeats"].as_u64().unwrap_or(0),
-        v["rounds"].as_u64().unwrap_or(0),
-        v["warmup_batches"].as_u64().unwrap_or(0),
-        v["workers"].as_u64().unwrap_or(0),
-        if v["smoke"].as_bool() == Some(true) {
-            " [smoke]"
-        } else {
-            ""
-        },
-    );
+    ccs_bench::sweep::render(&v).map_err(|e| format!("{path}: {e}").into())
+}
 
-    // Aligned per-cell table.
-    let headers = [
-        "workload",
-        "mode",
-        "segs",
-        "n",
-        "miss/item",
-        "stddev",
-        "wall ms",
-        "counters",
-    ];
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    for c in cells {
-        let mpi = &c["llc_misses_per_item"];
-        rows.push(vec![
-            c["workload"].as_str().unwrap_or("?").to_string(),
-            c["placement"].as_str().unwrap_or("?").to_string(),
-            c["segments"].as_u64().map_or("?".into(), |s| s.to_string()),
-            mpi["n"].as_u64().map_or("0".into(), |n| n.to_string()),
-            jnum(&mpi["mean"]),
-            jnum(&mpi["stddev"]),
-            jnum(&c["wall_ms"]["mean"]),
-            c["counters"].as_str().unwrap_or("?").to_string(),
-        ]);
-    }
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in &rows {
-        for (i, cell) in row.iter().enumerate() {
-            widths[i] = widths[i].max(cell.len());
-        }
-    }
-    for (i, h) in headers.iter().enumerate() {
-        let _ = write!(out, "{:>w$}  ", h, w = widths[i]);
-    }
-    out.push('\n');
-    for row in &rows {
-        for (i, cell) in row.iter().enumerate() {
-            let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
-        }
-        out.push('\n');
-    }
+/// Comma-separated flag values.
+fn csv(args: &Args, name: &str, default: &str) -> Vec<String> {
+    args.flag(name)
+        .unwrap_or(default)
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
 
-    // Per-segment attribution, where present.
-    for c in cells {
-        if let serde_json::Value::Array(segs) = &c["per_segment"] {
-            let lines: Vec<String> = segs
-                .iter()
-                .filter(|s| !s["llc_misses_per_item"].is_null())
-                .map(|s| {
-                    format!(
-                        "seg {} {} +/- {}",
-                        s["seg"].as_u64().unwrap_or(0),
-                        jnum(&s["llc_misses_per_item"]["mean"]),
-                        jnum(&s["llc_misses_per_item"]["stddev"]),
-                    )
-                })
-                .collect();
-            if !lines.is_empty() {
-                let _ = writeln!(
-                    out,
-                    "  {} / {} per-segment miss/item: {}",
-                    c["workload"].as_str().unwrap_or("?"),
-                    c["placement"].as_str().unwrap_or("?"),
-                    lines.join(" | "),
-                );
+/// `ccs sweep` — declare and run an experiment grid. The grid comes
+/// from `--spec FILE` (a JSON sweep spec, see `ccs_bench::sweep`) or
+/// from the flags: apps × workers × placements × pinning, with an
+/// optional serial baseline cell. Prints the rendered report (or the
+/// raw document with `--json`); `-o FILE` saves the `ccs-sweep/v1`
+/// JSON for `ccs report`.
+fn sweep_cmd(args: &Args) -> CliResult {
+    use ccs_bench::sweep::{self, Cell, Metric, Sweep};
+    let sweep = match args.flag("spec") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let v: serde_json::Value =
+                serde_json::from_str(&text).map_err(|e| format!("{path} is not JSON: {e}"))?;
+            sweep::from_spec(&v)?
+        }
+        None => {
+            let mut s = Sweep::new(args.flag("name").unwrap_or("sweep"))
+                .with_repeats(args.u64_or("repeats", 3)?.max(1) as usize)
+                .with_rounds(args.u64_or("rounds", 8)?.max(1));
+            s.seed = args.u64_or("seed", 42)?;
+            if let Some(c) = args.flag("confidence") {
+                s.confidence = c
+                    .parse::<f64>()
+                    .map_err(|_| format!("--confidence: '{c}' is not a number"))?;
             }
-        }
-    }
-
-    // Paired deltas with CIs.
-    if let serde_json::Value::Array(deltas) = &v["deltas"] {
-        let _ = writeln!(out, "paired deltas (baseline - treatment):");
-        for d in deltas {
-            let verdict = match (d["ci_lo"].as_f64(), d["ci_hi"].as_f64()) {
-                (Some(lo), _) if lo > 0.0 => " => treatment wins",
-                (_, Some(hi)) if hi < 0.0 => " => baseline wins",
-                (Some(_), Some(_)) => " => no significant difference",
-                _ => "",
+            for app in csv(args, "apps", "fm-radio,layered-dag") {
+                let (name, g) = sweep::workload(&app).ok_or_else(|| {
+                    format!("unknown app '{app}' (try `ccs gen app list`, or 'layered-dag')")
+                })?;
+                s = s.with_workload(name, g);
+            }
+            let segment_counters = args.has("segment-counters");
+            let counters = args.has("counters") || segment_counters;
+            let warmup = args.u64_or("warmup", 0)?;
+            let stride = args.u64_or("stride", 1)?;
+            let warmup_mode = if args.has("per-worker-warmup") {
+                ccs_exec::WarmupMode::PerWorker
+            } else {
+                ccs_exec::WarmupMode::Epoch
             };
-            let _ = writeln!(
-                out,
-                "  {} {}: {} - {} = {} [{}, {}] over {} pairs ({}% bootstrap CI){}",
-                d["workload"].as_str().unwrap_or("?"),
-                d["metric"].as_str().unwrap_or("?"),
-                d["baseline"].as_str().unwrap_or("?"),
-                d["treatment"].as_str().unwrap_or("?"),
-                jnum(&d["mean"]),
-                jnum(&d["ci_lo"]),
-                jnum(&d["ci_hi"]),
-                d["pairs"].as_u64().unwrap_or(0),
-                d["confidence"].as_f64().map_or(0.0, |c| c * 100.0),
-                verdict,
-            );
+            let topo = match args.flag("topo") {
+                Some(spec) => Some(spec.parse::<ccs_topo::TopoSpec>()?),
+                None => None,
+            };
+            if args.has("serial") {
+                s = s.with_cell(Cell::serial().with_counters(counters).with_warmup(warmup));
+            }
+            let pins: &[bool] = match args.flag("pin") {
+                None | Some("off") => &[false],
+                Some("on") => &[true],
+                Some("both") => &[false, true],
+                Some(other) => return Err(format!("--pin {other}: want on|off|both").into()),
+            };
+            for w in csv(args, "workers", "2") {
+                let workers = w
+                    .parse::<usize>()
+                    .map_err(|_| format!("--workers: '{w}' is not a number"))?
+                    .max(1);
+                for p in csv(args, "placements", "rr,llc") {
+                    let placement = ccs_exec::Placement::parse(&p)
+                        .ok_or_else(|| format!("unknown placement '{p}' (rr|greedy|llc)"))?;
+                    for &pin in pins {
+                        let mut cell = Cell::parallel(workers, placement)
+                            .with_pinning(pin)
+                            .with_counters(counters)
+                            .with_segment_counters(segment_counters)
+                            .with_counter_stride(stride)
+                            .with_warmup(warmup)
+                            .with_warmup_mode(warmup_mode)
+                            .with_first_touch(args.has("first-touch"));
+                        if let Some(t) = topo {
+                            cell = cell.with_topology(t);
+                        }
+                        s = s.with_cell(cell);
+                    }
+                }
+            }
+            // Comparison family: every cell against the chosen (or
+            // first) baseline, on the requested metrics.
+            match args.flag("baseline") {
+                None => s = sweep::default_comparisons(s),
+                Some(baseline) => {
+                    for m in csv(args, "metrics", "llc_misses_per_item,wall_ms") {
+                        let metric =
+                            Metric::parse(&m).ok_or_else(|| format!("unknown metric '{m}'"))?;
+                        for cell in s.cells.clone() {
+                            let label = cell.label();
+                            if label != baseline {
+                                s = s.with_comparison(metric, baseline, label);
+                            }
+                        }
+                    }
+                }
+            }
+            s
         }
+    };
+    let out = sweep.run()?;
+    let json = serde_json::to_string_pretty(&out)?;
+    if let Some(path) = args.flag("out") {
+        std::fs::write(path, &json)?;
     }
-    Ok(out)
+    if args.has("json") {
+        // Machine-readable mode: pure JSON on stdout, like the other
+        // --json subcommands.
+        return Ok(json);
+    }
+    let mut rendered = ccs_bench::sweep::render(&out)?;
+    if let Some(path) = args.flag("out") {
+        use std::fmt::Write as _;
+        let _ = write!(rendered, "wrote {path}");
+    }
+    Ok(rendered)
 }
 
 fn compare(args: &Args) -> CliResult {
@@ -1041,49 +1068,155 @@ mod tests {
     }
 
     #[test]
-    fn report_renders_e21_json() {
-        let path = tmp("e21.json");
+    fn sweep_output_roundtrips_through_report() {
+        // A tiny grid from flags: serial baseline + rr/llc at 2
+        // workers, 2 interleaved repeats. The engine asserts digest
+        // equivalence across all cells; `-o` saves the ccs-sweep/v1
+        // document and `ccs report` renders the same text.
+        let path = tmp("sweep.json");
+        let rendered = run(
+            "sweep",
+            &args(&[
+                "--apps",
+                "fm-radio",
+                "--workers",
+                "2",
+                "--placements",
+                "rr,llc",
+                "--serial",
+                "--repeats",
+                "2",
+                "--rounds",
+                "3",
+                "--name",
+                "cli-test",
+                "-o",
+                &path,
+            ]),
+        )
+        .unwrap();
+        assert!(
+            rendered.contains("cli-test: 2 repeats x 3 rounds"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("serial"), "{rendered}");
+        assert!(rendered.contains("llc/w2"), "{rendered}");
+        assert!(rendered.contains("paired deltas"), "{rendered}");
+        assert!(rendered.contains(&format!("wrote {path}")), "{rendered}");
+        // Round-trip: the saved document renders to the same report.
+        let reported = run("report", &args(&[&path])).unwrap();
+        assert!(rendered.starts_with(&reported), "{reported}");
+        // The saved document is the versioned schema with digests and
+        // the BH-adjusted comparison family.
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(v["schema"].as_str(), Some("ccs-sweep/v1"));
+        let cells = match &v["cells"] {
+            serde_json::Value::Array(c) => c,
+            other => panic!("cells: {other:?}"),
+        };
+        assert_eq!(cells.len(), 3);
+        let d0 = cells[0]["digest"].as_str().unwrap();
+        assert!(cells.iter().all(|c| c["digest"].as_str() == Some(d0)));
+        let comps = match &v["comparisons"] {
+            serde_json::Value::Array(c) => c,
+            other => panic!("comparisons: {other:?}"),
+        };
+        // Default family: serial (first cell) vs each of the two
+        // parallel cells on miss/item and wall time. Wall time always
+        // measures, so its comparisons carry BH-adjusted p-values.
+        assert_eq!(comps.len(), 4);
+        assert!(comps
+            .iter()
+            .filter(|c| c["metric"].as_str() == Some("wall_ms"))
+            .all(|c| c["p_adjusted"].as_f64().is_some()));
+        // --json emits the document itself — pure JSON on stdout even
+        // with -o, like the other --json subcommands.
+        let json_path = tmp("sweep-json.json");
+        let out = run(
+            "sweep",
+            &args(&[
+                "--apps",
+                "fm-radio",
+                "--workers",
+                "2",
+                "--placements",
+                "rr",
+                "--repeats",
+                "1",
+                "--rounds",
+                "2",
+                "--json",
+                "-o",
+                &json_path,
+            ]),
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["schema"].as_str(), Some("ccs-sweep/v1"));
+        assert_eq!(std::fs::read_to_string(&json_path).unwrap(), out);
+        std::fs::remove_file(json_path).ok();
+        // Bad declarations are errors, not panics.
+        assert!(run("sweep", &args(&["--apps", "nope"])).is_err());
+        assert!(run("sweep", &args(&["--pin", "sideways"])).is_err());
+        // A percent-style confidence is rejected, not silently voided.
+        let err = run(
+            "sweep",
+            &args(&["--apps", "fm-radio", "--rounds", "2", "--confidence", "95"]),
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("confidence"), "{err}");
+        assert!(run(
+            "sweep",
+            &args(&[
+                "--apps",
+                "fm-radio",
+                "--baseline",
+                "rr/w2",
+                "--metrics",
+                "bogus"
+            ])
+        )
+        .is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sweep_runs_from_a_spec_file() {
+        let spec = tmp("spec.json");
         std::fs::write(
-            &path,
+            &spec,
             r#"{
-              "experiment": "e21_steady_state", "repeats": 3, "rounds": 16,
-              "warmup_batches": 4, "workers": 2, "smoke": false,
+              "name": "spec-sweep", "repeats": 2, "rounds": 2,
+              "apps": ["fm-radio"],
               "cells": [
-                {"workload": "demo", "placement": "rr", "segments": 2,
-                 "counters": "ok",
-                 "llc_misses_per_item": {"n": 3, "mean": 4.5, "stddev": 0.25},
-                 "wall_ms": {"n": 3, "mean": 12.0, "stddev": 1.0},
-                 "per_segment": [
-                   {"seg": 0, "llc_misses_per_item": {"n": 3, "mean": 3.0, "stddev": 0.1}},
-                   {"seg": 1, "llc_misses_per_item": null}
-                 ]},
-                {"workload": "demo", "placement": "llc", "segments": 2,
-                 "counters": "unavailable",
-                 "llc_misses_per_item": null, "wall_ms": {"n": 3, "mean": 11.0, "stddev": 0.5},
-                 "per_segment": []}
+                {"workers": 2, "placement": "rr"},
+                {"workers": 2, "placement": "llc", "topology": "1x2x2",
+                 "pin_cores": true, "label": "llc-box"}
               ],
-              "deltas": [
-                {"workload": "demo", "metric": "llc_misses_per_item",
-                 "baseline": "rr", "treatment": "llc", "pairs": 3,
-                 "mean": 1.2, "ci_lo": 0.8, "ci_hi": 1.6, "confidence": 0.9}
+              "comparisons": [
+                {"metric": "wall_ms", "baseline": "rr/w2", "treatment": "llc-box"}
               ]
             }"#,
         )
         .unwrap();
-        let out = run("report", &args(&[&path])).unwrap();
-        assert!(out.contains("R=3 repeats x 16 rounds (warmup 4)"), "{out}");
-        assert!(out.contains("4.50"), "{out}");
-        assert!(out.contains("unavailable"), "{out}");
-        assert!(out.contains("seg 0 3.00 +/- 0.1000"), "{out}");
-        assert!(out.contains("treatment wins"), "{out}");
-        // Nulls render as n/a, not errors.
-        assert!(out.contains("n/a"), "{out}");
-        // Garbage input is an error.
+        let out = run("sweep", &args(&["--spec", &spec])).unwrap();
+        assert!(out.contains("spec-sweep: 2 repeats x 2 rounds"), "{out}");
+        assert!(out.contains("llc-box"), "{out}");
+        assert!(out.contains("wall_ms: rr/w2 - llc-box"), "{out}");
+        std::fs::remove_file(spec).ok();
+    }
+
+    #[test]
+    fn report_rejects_other_schemas() {
+        // Garbage and legacy (pre-sweep) documents are errors with a
+        // pointer at the expected schema.
         let bad = tmp("not-a-report.json");
         std::fs::write(&bad, "{\"cells\": 7}").unwrap();
-        assert!(run("report", &args(&[&bad])).is_err());
+        let err = run("report", &args(&[&bad])).unwrap_err().to_string();
+        assert!(err.contains("ccs-sweep/v1"), "{err}");
         std::fs::remove_file(bad).ok();
-        std::fs::remove_file(path).ok();
     }
 
     #[test]

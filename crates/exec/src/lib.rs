@@ -38,10 +38,14 @@
 //!   mode — the paper's cache claim, observed rather than inferred
 //!   (graceful `counters: None` where `perf_event_open` is denied).
 //!   [`run::RunConfig::warmup_batches`] discards a cold-start window so
-//!   readings reflect steady state, and
+//!   readings reflect steady state (exact under the default
+//!   [`run::WarmupMode::Epoch`] barrier reset, which makes per-worker
+//!   aggregates cover exactly the post-warmup batches),
 //!   [`run::RunConfig::segment_counters`] attributes counting windows
-//!   to individual segments ([`stats::SegmentCounters`]); methodology
-//!   in `docs/MEASUREMENT.md`.
+//!   to individual segments ([`stats::SegmentCounters`]), and
+//!   [`run::RunConfig::first_touch_rings`] faults each ring's pages in
+//!   from its consumer worker for first-touch NUMA placement;
+//!   methodology in `docs/MEASUREMENT.md`.
 //! * **Determinism.** Synchronous dataflow is schedule-deterministic, so
 //!   the sink digest is bit-identical to the serial executor's for the
 //!   same number of batches, at every worker count, placement, and
@@ -60,5 +64,5 @@ pub mod stats;
 
 pub use place::{assign_on, fair_share, Placement};
 pub use plan::{DagExecError, ExecPlan, SegmentPlan};
-pub use run::{execute_dag, execute_dag_cfg, RunConfig};
+pub use run::{execute_dag, execute_dag_cfg, RunConfig, WarmupMode};
 pub use stats::{DagRunStats, SegmentCounters, WorkerStats};

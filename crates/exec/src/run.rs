@@ -34,6 +34,36 @@ use ccs_topo::{pin_current_thread, plan_bindings, CoreBinding, Topology};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+/// When, relative to whom, workers reset their counter groups at the
+/// end of the warmup window ([`RunConfig::warmup_batches`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WarmupMode {
+    /// Epoch reset: every worker caps its segments at `warmup_batches`
+    /// batches, all workers meet at a shared barrier once **every**
+    /// segment in the run has reached the cap, and each resets its
+    /// group there. The measured window then covers exactly batches
+    /// `warmup..rounds` of every segment, so per-worker aggregates are
+    /// exact — no segment can run ahead into the excluded region.
+    #[default]
+    Epoch,
+    /// Legacy per-worker reset: each worker resets alone once its *own*
+    /// segments pass the window. Conservative — a segment that runs
+    /// ahead of its worker's slowest co-tenant gets extra batches
+    /// excluded from that worker's total (per-segment windows are
+    /// unaffected either way).
+    PerWorker,
+}
+
+impl WarmupMode {
+    /// CLI/JSON name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WarmupMode::Epoch => "epoch",
+            WarmupMode::PerWorker => "per-worker",
+        }
+    }
+}
+
 /// How to run a partitioned dag: worker count, placement policy, and
 /// the machine model the policy (and optional core pinning) uses.
 #[derive(Clone, Debug, Default)]
@@ -75,6 +105,16 @@ pub struct RunConfig {
     /// normalization divides by batches actually counted. 0 is treated
     /// as 1.
     pub counter_stride: u64,
+    /// Warmup reset discipline: the exact epoch barrier (default) or
+    /// the legacy per-worker reset. Only consulted when counters are
+    /// requested and `warmup_batches > 0`.
+    pub warmup_mode: WarmupMode,
+    /// Fault in each SPSC ring's pages from its **consumer** worker's
+    /// thread (behind a start barrier, after pinning) before any data
+    /// flows, so first-touch NUMA policy places ring memory on the
+    /// consumer's node instead of wherever the planning thread ran.
+    /// Touched ring counts land in [`WorkerStats::rings_touched`].
+    pub first_touch_rings: bool,
 }
 
 impl RunConfig {
@@ -119,6 +159,16 @@ impl RunConfig {
         self.counter_stride = stride;
         self
     }
+
+    pub fn with_warmup_mode(mut self, mode: WarmupMode) -> RunConfig {
+        self.warmup_mode = mode;
+        self
+    }
+
+    pub fn with_first_touch(mut self, on: bool) -> RunConfig {
+        self.first_touch_rings = on;
+        self
+    }
 }
 
 /// The per-run counter policy handed to each worker: the counter
@@ -134,6 +184,44 @@ struct CounterPlan {
     per_segment: bool,
     /// Sample every n-th post-warmup batch (>= 1).
     stride: u64,
+    /// Epoch warmup: cap at `warmup` batches and reset together at the
+    /// shared barrier (false = legacy per-worker reset).
+    epoch: bool,
+}
+
+/// Reusable all-worker rendezvous (generation-counted so it can be
+/// passed more than once): used for the epoch warmup reset and, with
+/// first-touch ring placement, the pre-run start line.
+struct Rendezvous {
+    state: parking_lot::Mutex<(usize, u64)>,
+    cv: parking_lot::Condvar,
+    total: usize,
+}
+
+impl Rendezvous {
+    fn new(total: usize) -> Rendezvous {
+        Rendezvous {
+            state: parking_lot::Mutex::new((0, 0)),
+            cv: parking_lot::Condvar::new(),
+            total,
+        }
+    }
+
+    /// Block until all `total` workers have arrived.
+    fn wait(&self) {
+        let mut g = self.state.lock();
+        g.0 += 1;
+        if g.0 == self.total {
+            g.0 = 0;
+            g.1 += 1;
+            self.cv.notify_all();
+        } else {
+            let generation = g.1;
+            while g.1 == generation {
+                self.cv.wait(&mut g);
+            }
+        }
+    }
 }
 
 /// One pinned segment's runtime state: kernels and pre-sized scratch,
@@ -334,27 +422,59 @@ pub fn execute_dag_cfg(
     let rings_ref: &[SpscRing] = &rings;
     let gate = ProgressGate::new();
     let gate_ref = &gate;
+    let warmup = if rounds == 0 {
+        0
+    } else {
+        cfg.warmup_batches.min(rounds - 1)
+    };
     let cplan = CounterPlan {
         requested: cfg.counters,
-        warmup: if rounds == 0 {
-            0
-        } else {
-            cfg.warmup_batches.min(rounds - 1)
-        },
+        warmup,
         per_segment: cfg.counters && cfg.segment_counters,
         stride: cfg.counter_stride.max(1),
+        epoch: cfg.counters && warmup > 0 && cfg.warmup_mode == WarmupMode::Epoch,
     };
+    // The epoch reset and the post-first-touch start line are both
+    // all-worker rendezvous; each is only awaited when its feature is on.
+    let barrier = Rendezvous::new(workers);
+    let barrier_ref = &barrier;
+
+    // First-touch ring placement: each ring is faulted in by the worker
+    // that owns its consuming segment (every edge has exactly one
+    // consumer segment, internal edges included, so each ring gets
+    // touched exactly once).
+    let touch_lists: Vec<Vec<usize>> = if cfg.first_touch_rings {
+        let mut lists: Vec<Vec<usize>> = (0..workers).map(|_| Vec::new()).collect();
+        for e in g.edge_ids() {
+            let consumer = owner[plan.seg_of_node[g.edge(e).dst.idx()]];
+            lists[consumer].push(e.idx());
+        }
+        lists
+    } else {
+        (0..workers).map(|_| Vec::new()).collect()
+    };
+    let first_touch = cfg.first_touch_rings;
 
     let start = Instant::now();
     let mut results: Vec<(Vec<SegTask>, WorkerStats)> = Vec::with_capacity(workers);
     crossbeam::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for (w, my_tasks) in per_worker.into_iter().enumerate() {
+        for ((w, my_tasks), touch) in per_worker.into_iter().enumerate().zip(touch_lists) {
             let binding = bindings[w];
             handles.push(scope.spawn(move |_| {
-                worker_loop(
-                    graph, plan_ref, rings_ref, gate_ref, w, binding, cplan, my_tasks, rounds,
-                )
+                worker_loop(WorkerCtx {
+                    g: graph,
+                    plan: plan_ref,
+                    rings: rings_ref,
+                    gate: gate_ref,
+                    barrier: barrier_ref,
+                    worker: w,
+                    binding,
+                    cplan,
+                    touch: if first_touch { Some(touch) } else { None },
+                    tasks: my_tasks,
+                    rounds,
+                })
             }));
         }
         for h in handles {
@@ -407,6 +527,8 @@ pub fn execute_dag_cfg(
         segments,
         counters_requested: cfg.counters,
         warmup: cplan.warmup,
+        warmup_mode: cfg.warmup_mode,
+        first_touch_rings: cfg.first_touch_rings,
     })
 }
 
@@ -423,21 +545,54 @@ fn schedulable(plan: &ExecPlan, rings: &[SpscRing], seg: usize) -> bool {
             .all(|&(e, n)| rings[e.idx()].space() as u64 >= n)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
-    g: &ccs_graph::StreamGraph,
-    plan: &ExecPlan,
-    rings: &[SpscRing],
-    gate: &ProgressGate,
+/// Everything one worker thread needs, bundled so the spawn site stays
+/// readable.
+struct WorkerCtx<'a> {
+    g: &'a ccs_graph::StreamGraph,
+    plan: &'a ExecPlan,
+    rings: &'a [SpscRing],
+    gate: &'a ProgressGate,
+    barrier: &'a Rendezvous,
     worker: usize,
     binding: Option<CoreBinding>,
     cplan: CounterPlan,
-    mut tasks: Vec<SegTask>,
+    /// Ring indices this worker consumes from, to fault in before the
+    /// start line; `None` when first-touch placement is off.
+    touch: Option<Vec<usize>>,
+    tasks: Vec<SegTask>,
     rounds: u64,
-) -> (Vec<SegTask>, WorkerStats) {
+}
+
+fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
+    let WorkerCtx {
+        g,
+        plan,
+        rings,
+        gate,
+        barrier,
+        worker,
+        binding,
+        cplan,
+        touch,
+        mut tasks,
+        rounds,
+    } = ctx;
     // Pin first, then open counters: the self-monitoring group then
     // counts this thread on the core the placement chose for it.
     let pinned_cpu = binding.and_then(|b| pin_current_thread(b.cpu).pinned().then_some(b.cpu));
+    // First-touch before anything flows: fault in the rings this worker
+    // consumes from, then wait at the start line so no producer can push
+    // into a ring a (slower) consumer has not touched yet.
+    let rings_touched = match &touch {
+        Some(list) => {
+            for &r in list {
+                rings[r].first_touch();
+            }
+            barrier.wait();
+            list.len() as u64
+        }
+        None => 0,
+    };
     let counter_set = if cplan.requested {
         ccs_perf::CounterBuilder::cache_suite().open_self_thread()
     } else {
@@ -455,6 +610,7 @@ fn worker_loop(
         counters: None,
         warmup_excluded: 0,
         segment_counters: Vec::new(),
+        rings_touched,
     };
     let mut seg_acc: Vec<SegmentCounters> = if cplan.per_segment {
         tasks
@@ -474,6 +630,10 @@ fn worker_loop(
     // the top of a scheduling pass — never between a counting window's
     // two reads — so per-segment windows always lie inside the
     // post-reset region and their raw sums stay <= the worker total.
+    // Under [`WarmupMode::Epoch`] the scan below additionally caps
+    // every segment at the warmup window until the all-worker
+    // rendezvous, so the reset happens with *every* segment in the run
+    // at exactly `warmup` batches and the worker aggregate is exact.
     let mut warmed = cplan.warmup == 0;
     counter_set.reset();
     counter_set.enable();
@@ -483,12 +643,24 @@ fn worker_loop(
         // re-checks immediately instead of sleeping through the wakeup.
         let epoch = gate.epoch.load(Ordering::SeqCst);
         if !warmed && tasks.iter().all(|t| t.done >= cplan.warmup) {
-            counter_set.reset();
-            if counter_set.is_active() {
-                stats.warmup_excluded = stats.batches;
+            if cplan.epoch {
+                // Capped at the window, every worker lands here with all
+                // of its segments at exactly `warmup` batches; the
+                // rendezvous makes the reset a run-wide instant.
+                barrier.wait();
             }
+            counter_set.reset();
+            stats.warmup_excluded = stats.batches;
             warmed = true;
         }
+        // Pre-rendezvous, epoch mode confines segments to the warmup
+        // window (a `rounds = warmup` prefix run, so it terminates by
+        // the same argument as the run itself).
+        let limit = if cplan.epoch && !warmed {
+            cplan.warmup
+        } else {
+            rounds
+        };
         let mut progressed = false;
         let mut all_done = true;
         for (ti, task) in tasks.iter_mut().enumerate() {
@@ -496,7 +668,7 @@ fn worker_loop(
                 continue;
             }
             all_done = false;
-            if !schedulable(plan, rings, task.seg) {
+            if task.done >= limit || !schedulable(plan, rings, task.seg) {
                 continue;
             }
             // Per-segment counting window: post-warmup (both this

@@ -70,15 +70,22 @@ pub struct WorkerStats {
     /// [`WorkerStats::warmup_excluded`]).
     pub counters: Option<CounterSample>,
     /// Batches this worker executed *before* its steady-state counter
-    /// reset (`PERF_EVENT_IOC_RESET` once every owned segment passed
-    /// [`RunConfig::warmup_batches`](crate::RunConfig::warmup_batches)) —
-    /// work excluded from [`WorkerStats::counters`]. Zero when warmup
-    /// was off or no group opened.
+    /// reset point (`PERF_EVENT_IOC_RESET` once the warmup window
+    /// passed) — work excluded from [`WorkerStats::counters`]. Zero
+    /// when warmup was off. Under the default
+    /// [`WarmupMode::Epoch`](crate::run::WarmupMode::Epoch) this is
+    /// *exactly* `owned segments × warmup_batches` (the scheduler caps
+    /// at the window until the shared reset barrier); under the legacy
+    /// per-worker reset it can exceed that when a segment runs ahead.
     pub warmup_excluded: u64,
     /// Per-segment counter attribution
     /// ([`RunConfig::segment_counters`](crate::RunConfig::segment_counters)),
     /// one entry per owned segment; empty when attribution was off.
     pub segment_counters: Vec<SegmentCounters>,
+    /// SPSC rings whose pages this worker faulted in before the run
+    /// ([`RunConfig::first_touch_rings`](crate::RunConfig::first_touch_rings));
+    /// zero when first-touch placement was off.
+    pub rings_touched: u64,
 }
 
 /// Outcome of a parallel dag execution.
@@ -103,6 +110,12 @@ pub struct DagRunStats {
     /// [`RunConfig::warmup_batches`](crate::RunConfig::warmup_batches),
     /// clamped below `rounds` so a measurement window always remains).
     pub warmup: u64,
+    /// The warmup reset discipline the run was configured with (only
+    /// consequential when counters were requested and `warmup > 0`).
+    pub warmup_mode: crate::run::WarmupMode,
+    /// Whether SPSC ring pages were faulted in from their consumer
+    /// workers before the run ([`RunConfig::first_touch_rings`](crate::RunConfig::first_touch_rings)).
+    pub first_touch_rings: bool,
 }
 
 impl DagRunStats {
@@ -132,6 +145,12 @@ impl DagRunStats {
             .iter()
             .filter(|w| w.pinned_cpu.is_some())
             .count()
+    }
+
+    /// Rings faulted in from their consumer workers (first-touch
+    /// placement); zero when the feature was off.
+    pub fn rings_first_touched(&self) -> u64 {
+        self.workers.iter().map(|w| w.rings_touched).sum()
     }
 
     /// Run-wide counter totals: per-worker samples summed. `None` when
@@ -228,6 +247,7 @@ mod tests {
             counters,
             warmup_excluded: 0,
             segment_counters: Vec::new(),
+            rings_touched: 0,
         }
     }
 
@@ -257,6 +277,8 @@ mod tests {
             segments: 2,
             counters_requested: true,
             warmup: 0,
+            warmup_mode: crate::run::WarmupMode::Epoch,
+            first_touch_rings: false,
         }
     }
 

@@ -4,7 +4,7 @@
 //! readings it yields (when the environment allows counters at all)
 //! must be internally consistent with the run they describe.
 
-use ccs_exec::{execute_dag_cfg, Placement, RunConfig};
+use ccs_exec::{execute_dag_cfg, Placement, RunConfig, WarmupMode};
 use ccs_graph::gen::{self, LayeredCfg, StateDist};
 use ccs_graph::RateAnalysis;
 use ccs_partition::dag_greedy;
@@ -264,7 +264,8 @@ fn ccs_no_perf_forces_clean_fallback() {
     assert_eq!(stats.run.digest, want);
     // The per-segment layer degrades to the same clean shape: records
     // exist (with batch accounting) but nothing was counted, and the
-    // warmup bookkeeping stays zero because no group ever opened.
+    // warmup bookkeeping still reflects the (no-op) reset point — under
+    // the default epoch mode, exactly one window per owned segment.
     let segs = stats.segment_counters();
     assert_eq!(segs.len(), stats.segments);
     assert!(segs.iter().all(|sc| sc.batches == 2));
@@ -273,5 +274,116 @@ fn ccs_no_perf_forces_clean_fallback() {
         .segment_llc_misses_per_item()
         .iter()
         .all(|(_, v)| v.is_none()));
-    assert!(stats.workers.iter().all(|w| w.warmup_excluded == 0));
+    assert!(stats
+        .workers
+        .iter()
+        .all(|w| w.warmup_excluded == w.segments.len() as u64));
+}
+
+#[test]
+fn epoch_warmup_is_exact_and_digest_invariant() {
+    // The epoch reset caps every segment at the warmup window and
+    // resets all groups at one rendezvous, so each worker's excluded
+    // work is *exactly* `owned segments x warmup` — deterministically,
+    // with or without a PMU. The legacy per-worker reset stays
+    // available behind the flag and can only exclude more.
+    let cfg_g = LayeredCfg {
+        layers: 5,
+        max_width: 4,
+        density: 0.35,
+        state: StateDist::Uniform(16, 64),
+        max_q: 2,
+    };
+    for seed in 0..3u64 {
+        let g = gen::layered(&cfg_g, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let p = dag_greedy::greedy_topo(&g, 96);
+        let rounds = 6;
+        let warmup = 2;
+        let plain = execute_dag_cfg(
+            Instance::synthetic(g.clone()),
+            &ra,
+            &p,
+            48,
+            rounds,
+            &RunConfig::new(3),
+        )
+        .unwrap();
+        let mut excluded = Vec::new();
+        for mode in [WarmupMode::Epoch, WarmupMode::PerWorker] {
+            let cfg = RunConfig::new(3)
+                .with_counters(true)
+                .with_warmup(warmup)
+                .with_warmup_mode(mode);
+            let stats =
+                execute_dag_cfg(Instance::synthetic(g.clone()), &ra, &p, 48, rounds, &cfg).unwrap();
+            let tag = format!("seed {seed} mode {mode:?}");
+            assert_eq!(stats.run.digest, plain.run.digest, "{tag}");
+            assert_eq!(stats.run.firings, plain.run.firings, "{tag}");
+            assert_eq!(stats.warmup_mode, mode, "{tag}");
+            for w in &stats.workers {
+                let exact = w.segments.len() as u64 * warmup;
+                match mode {
+                    WarmupMode::Epoch => {
+                        assert_eq!(w.warmup_excluded, exact, "{tag} worker {}", w.worker)
+                    }
+                    WarmupMode::PerWorker => {
+                        assert!(w.warmup_excluded >= exact, "{tag} worker {}", w.worker)
+                    }
+                }
+                assert_eq!(w.batches, stats.rounds * w.segments.len() as u64, "{tag}");
+            }
+            excluded.push(stats.workers.iter().map(|w| w.warmup_excluded).sum::<u64>());
+        }
+        // Epoch never excludes more than the legacy reset.
+        assert!(excluded[0] <= excluded[1], "seed {seed}: {excluded:?}");
+    }
+}
+
+#[test]
+fn first_touch_rings_is_invisible_and_recorded() {
+    // Faulting ring pages from consumer threads may not change any
+    // observable output, and every ring must be touched exactly once.
+    let cfg_g = LayeredCfg {
+        layers: 5,
+        max_width: 4,
+        density: 0.35,
+        state: StateDist::Uniform(16, 64),
+        max_q: 2,
+    };
+    for seed in 0..3u64 {
+        let g = gen::layered(&cfg_g, seed);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let p = dag_greedy::greedy_topo(&g, 96);
+        let plain = execute_dag_cfg(
+            Instance::synthetic(g.clone()),
+            &ra,
+            &p,
+            48,
+            4,
+            &RunConfig::new(3),
+        )
+        .unwrap();
+        assert!(!plain.first_touch_rings);
+        assert_eq!(plain.rings_first_touched(), 0);
+        for pin in [false, true] {
+            let cfg = RunConfig::new(3)
+                .with_placement(Placement::Llc)
+                .with_topology(Topology::synthetic(&TopoSpec::new(1, 2, 2)))
+                .with_pinning(pin)
+                .with_first_touch(true);
+            let touched =
+                execute_dag_cfg(Instance::synthetic(g.clone()), &ra, &p, 48, 4, &cfg).unwrap();
+            let tag = format!("seed {seed} pin {pin}");
+            assert_eq!(touched.run.digest, plain.run.digest, "{tag}");
+            assert_eq!(touched.run.sink_items, plain.run.sink_items, "{tag}");
+            assert!(touched.first_touch_rings, "{tag}");
+            // One touch per edge: internal and cross rings alike.
+            assert_eq!(
+                touched.rings_first_touched(),
+                g.edge_count() as u64,
+                "{tag}"
+            );
+        }
+    }
 }
