@@ -14,7 +14,8 @@
 //! * [`Cell`] — one point of the grid: workload-independent executor
 //!   configuration (serial or parallel; workers, placement, pinning,
 //!   topology, counters, per-segment attribution, warmup window and
-//!   reset mode, first-touch ring placement).
+//!   reset mode, first-touch ring placement, event tracing and counter
+//!   windows).
 //! * [`Sweep`] — a named set of cells × workloads × repeats plus the
 //!   declared [`Comparison`]s. [`Sweep::run`] executes the grid through
 //!   [`execute_dag_cfg`](ccs_exec::execute_dag_cfg) (parallel cells)
@@ -145,6 +146,14 @@ pub struct Cell {
     pub warmup_mode: WarmupMode,
     /// Fault ring pages in from consumer workers before steady state.
     pub first_touch: bool,
+    /// Record per-worker event timelines (`ccs-obs`): batch/stall
+    /// spans, warmup resets, window boundaries. On the serial engine,
+    /// block spans chunked by round.
+    pub trace: bool,
+    /// Close a counter window every this many batches per worker (0 =
+    /// off). Serial cells convert the cadence to firings so windows
+    /// line up with W-round parallel ones.
+    pub windows: u64,
 }
 
 impl Cell {
@@ -163,6 +172,8 @@ impl Cell {
             warmup: 0,
             warmup_mode: WarmupMode::default(),
             first_touch: false,
+            trace: false,
+            windows: 0,
         }
     }
 
@@ -217,6 +228,16 @@ impl Cell {
 
     pub fn with_first_touch(mut self, on: bool) -> Cell {
         self.first_touch = on;
+        self
+    }
+
+    pub fn with_trace(mut self, on: bool) -> Cell {
+        self.trace = on;
+        self
+    }
+
+    pub fn with_windows(mut self, every: u64) -> Cell {
+        self.windows = every;
         self
     }
 
@@ -402,6 +423,16 @@ struct RunRecord {
     /// Any reading was multiplex-scaled.
     multiplexed: bool,
     rings_touched: u64,
+    /// Trace events kept across all workers (0 when tracing is off).
+    trace_events: u64,
+    /// Trace events lost to ring overflow.
+    trace_dropped: u64,
+    /// Counter windows closed across all workers.
+    window_count: usize,
+    /// Windows with no counter sample (no group opened).
+    windows_timing_only: usize,
+    /// Windows whose PMU residency fell below the warning threshold.
+    windows_scaled_low: usize,
 }
 
 impl RunRecord {
@@ -617,12 +648,19 @@ fn run_serial(plan: &ccs_core::Plan, g: &StreamGraph, cell: &Cell, rounds: u64) 
     let mut inst = Instance::synthetic(g.clone());
     let warm = cell.warmup.min(rounds - 1);
     let firings_per_round = (plan.run.firings.len() as u64) / rounds;
-    let (run, sample) = ccs_runtime::serial::execute_counted_warm(
+    let (run, obs) = ccs_runtime::serial::execute_obs(
         &mut inst,
         &plan.run,
-        cell.counters,
-        warm * firings_per_round,
+        &ccs_runtime::ObsConfig {
+            counters: cell.counters,
+            warmup_firings: warm * firings_per_round,
+            window_firings: cell.windows * firings_per_round,
+            block_firings: if cell.trace { firings_per_round } else { 0 },
+            trace: cell.trace,
+            ..ccs_runtime::ObsConfig::default()
+        },
     );
+    let sample = obs.sample;
     let wall_ms = run.wall.as_secs_f64() * 1e3;
     let measured_items = (run.sink_items / rounds) * (rounds - warm);
     RunRecord {
@@ -644,6 +682,15 @@ fn run_serial(plan: &ccs_core::Plan, g: &StreamGraph, cell: &Cell, rounds: u64) 
         counted: sample.is_some(),
         multiplexed: sample.as_ref().is_some_and(|s| s.multiplexed()),
         rings_touched: 0,
+        trace_events: obs.trace.as_ref().map_or(0, |t| t.events.len() as u64),
+        trace_dropped: obs.trace.as_ref().map_or(0, |t| t.dropped),
+        window_count: obs.windows.len(),
+        windows_timing_only: obs.windows.iter().filter(|w| w.timing_only()).count(),
+        windows_scaled_low: obs
+            .windows
+            .iter()
+            .filter(|w| w.scaled_below(ccs_obs::MULTIPLEX_WARN_RATIO))
+            .count(),
     }
 }
 
@@ -662,7 +709,9 @@ fn run_parallel(
         .with_segment_counters(cell.segment_counters)
         .with_counter_stride(cell.counter_stride.max(1))
         .with_warmup_mode(cell.warmup_mode)
-        .with_first_touch(cell.first_touch);
+        .with_first_touch(cell.first_touch)
+        .with_trace(cell.trace)
+        .with_windows(cell.windows);
     if let Some(spec) = &cell.topology {
         cfg = cfg.with_topology(Topology::synthetic(spec));
     }
@@ -682,6 +731,11 @@ fn run_parallel(
         counted: stats.counted_workers() > 0,
         multiplexed: totals.as_ref().is_some_and(|t| t.multiplexed()),
         rings_touched: stats.rings_first_touched(),
+        trace_events: stats.trace_events(),
+        trace_dropped: stats.trace_dropped(),
+        window_count: stats.window_count(),
+        windows_timing_only: stats.windows_timing_only(),
+        windows_scaled_low: stats.windows_scaled_low(),
     })
 }
 
@@ -750,6 +804,23 @@ fn cell_json(wname: &str, cell: &Cell, label: &str, runs: &[RunRecord], rounds: 
         })
         .collect();
 
+    // Observability accounting, summed over the cell's repeats; absent
+    // entirely when neither tracing nor windows were requested, so
+    // pre-obs documents and plain cells render identically.
+    let obs = if cell.trace || cell.windows > 0 {
+        serde_json::json!({
+            "trace": cell.trace,
+            "windows_every": cell.windows,
+            "trace_events": runs.iter().map(|r| r.trace_events).sum::<u64>(),
+            "trace_dropped": runs.iter().map(|r| r.trace_dropped).sum::<u64>(),
+            "windows": runs.iter().map(|r| r.window_count).sum::<usize>(),
+            "windows_timing_only": runs.iter().map(|r| r.windows_timing_only).sum::<usize>(),
+            "windows_scaled_low": runs.iter().map(|r| r.windows_scaled_low).sum::<usize>(),
+        })
+    } else {
+        Value::Null
+    };
+
     serde_json::json!({
         "workload": wname,
         "label": label,
@@ -783,6 +854,7 @@ fn cell_json(wname: &str, cell: &Cell, label: &str, runs: &[RunRecord], rounds: 
         "runs": runs_json,
         "metrics": Value::Object(metrics),
         "per_segment": per_segment,
+        "obs": obs,
     })
 }
 
@@ -890,6 +962,46 @@ pub fn render(v: &Value) -> Result<String, Box<dyn Error>> {
         }
     }
 
+    // Observability health, where cells traced or windowed: drops and
+    // low-residency windows degrade the data quietly unless surfaced.
+    for c in cells {
+        let obs = &c["obs"];
+        if obs.is_null() {
+            continue;
+        }
+        let who = format!(
+            "{}/{}",
+            c["workload"].as_str().unwrap_or("?"),
+            c["label"].as_str().unwrap_or("?"),
+        );
+        let dropped = obs["trace_dropped"].as_u64().unwrap_or(0);
+        if dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  warning: {who}: ring overflow dropped {dropped} trace events \
+                 across repeats — the timeline is truncated; raise the ring \
+                 capacity (--trace-cap)",
+            );
+        }
+        let windows = obs["windows"].as_u64().unwrap_or(0);
+        let scaled_low = obs["windows_scaled_low"].as_u64().unwrap_or(0);
+        if scaled_low > 0 {
+            let _ = writeln!(
+                out,
+                "  warning: {who}: {scaled_low} of {windows} counter windows ran below \
+                 {:.0}% PMU residency — multiplex-scaled counts are estimates",
+                100.0 * ccs_obs::MULTIPLEX_WARN_RATIO,
+            );
+        }
+        let timing_only = obs["windows_timing_only"].as_u64().unwrap_or(0);
+        if windows > 0 && timing_only == windows {
+            let _ = writeln!(
+                out,
+                "  note: {who}: counter windows are timing-only (no counter group opened)",
+            );
+        }
+    }
+
     // The comparison family.
     if let Value::Array(comps) = &v["comparisons"] {
         if !comps.is_empty() {
@@ -976,7 +1088,8 @@ pub fn run_and_save(sweep: &Sweep) -> Value {
 ///     {"workers": 4, "placement": "rr", "pin_cores": true, "counters": true},
 ///     {"workers": 4, "placement": "llc", "pin_cores": true, "counters": true,
 ///      "label": "llc", "topology": "2x2x2", "segment_counters": true,
-///      "warmup_mode": "epoch", "first_touch": true, "stride": 1}
+///      "warmup_mode": "epoch", "first_touch": true, "stride": 1,
+///      "trace": true, "windows": 4}
 ///   ],
 ///   "comparisons": [
 ///     {"metric": "llc_misses_per_item", "baseline": "rr+pin/w4", "treatment": "llc"}
@@ -1066,6 +1179,10 @@ pub fn from_spec(v: &Value) -> Result<Sweep, Box<dyn Error>> {
         if let Some(b) = c["first_touch"].as_bool() {
             cell = cell.with_first_touch(b);
         }
+        if let Some(b) = c["trace"].as_bool() {
+            cell = cell.with_trace(b);
+        }
+        cell = cell.with_windows(c["windows"].as_u64().unwrap_or(0));
         sweep = sweep.with_cell(cell);
     }
 

@@ -48,6 +48,8 @@ const SWITCHES: &[&str] = &[
     "serial",
     "first-touch",
     "per-worker-warmup",
+    "trace",
+    "no-counters",
 ];
 
 impl Args {

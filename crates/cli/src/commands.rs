@@ -20,6 +20,7 @@ pub fn run(cmd: &str, args: &Args) -> CliResult {
         "partition" => partition(args),
         "simulate" => simulate(args),
         "run-dag" => run_dag(args),
+        "trace" => trace_cmd(args),
         "sweep" => sweep_cmd(args),
         "topo" => topo_cmd(args),
         "report" => report_cmd(args),
@@ -47,6 +48,7 @@ USAGE:
                [--placement rr|greedy|llc] [--topo NxCxK | --topo-from DUMP]
                [--pin-cores] [--counters] [--warmup K] [--segment-counters]
                [--stride S] [--per-worker-warmup] [--first-touch]
+               [--trace] [--windows W] [--trace-cap C]
                [--strategy ...] [--json]
                (real multicore execution with segment-affine workers;
                 llc placement + pinning use the machine topology;
@@ -56,12 +58,25 @@ USAGE:
                 default, --per-worker-warmup for the legacy reset —
                 --segment-counters attributes misses to individual
                 segments sampling every S-th batch, and --first-touch
-                faults ring pages in from consumer workers;
-                see docs/MEASUREMENT.md)
+                faults ring pages in from consumer workers; --trace
+                records per-worker event timelines and --windows W
+                closes a counter window every W batches;
+                see docs/MEASUREMENT.md and docs/OBSERVABILITY.md)
+  ccs trace FILE --m M [--b B] [--workers N] [--rounds R] [--serial]
+            [--windows W] [--trace-cap C] [--no-counters] [--warmup K]
+            [--placement rr|greedy|llc] [--topo NxCxK] [--pin-cores]
+            [--strategy ...] [--json] [-o FILE]
+               (run with event tracing on and export the merged
+                per-worker timelines as Chrome trace-event JSON —
+                load FILE in Perfetto (ui.perfetto.dev) or render the
+                summary with `ccs report`; counter windows every W
+                batches [default 1] annotate the timeline, degrading
+                to timing-only without a PMU; see docs/OBSERVABILITY.md)
   ccs sweep [--spec FILE | --apps A,B --workers N,M --placements rr,llc
              --pin on|off|both [--serial] [--counters] [--segment-counters]
              [--warmup K] [--stride S] [--first-touch] [--per-worker-warmup]
-             [--topo NxCxK] [--repeats R] [--rounds N] [--baseline LABEL]
+             [--trace] [--windows W] [--topo NxCxK] [--repeats R]
+             [--rounds N] [--baseline LABEL]
              [--metrics m1,m2] [--name NAME] [--seed S] [--confidence C]]
             [--json] [-o FILE]
                (declarative experiment grid: cells x interleaved repeats
@@ -75,10 +90,12 @@ USAGE:
                 topology plus perf-counter availability; the --json dump
                 is what --from / --topo-from replay)
   ccs report FILE
-               (render a ccs-sweep/v1 results document — per-cell
-                mean +/- stddev, per-segment attribution, and the
-                BH-corrected comparison family — as a text table;
-                `ccs sweep` and the e19/e20/e21 binaries emit it)
+               (render a results document as text, dispatching on its
+                schema: ccs-sweep/v1 — per-cell mean +/- stddev,
+                per-segment attribution, and the BH-corrected comparison
+                family, from `ccs sweep` and the e19..e22 binaries — or
+                ccs-trace/v1 — per-worker event/window summary with
+                drop and PMU-residency warnings, from `ccs trace`)
   ccs compare FILE --m M [--b B] [--outputs T]
   ccs autotune FILE --m M [--b B] [--outputs T]
   ccs fuse FILE --m M [--b B] [-o FILE]       (partition, then fuse)
@@ -326,7 +343,10 @@ fn run_dag(args: &Args) -> CliResult {
         } else {
             ccs_exec::WarmupMode::Epoch
         })
-        .with_first_touch(args.has("first-touch"));
+        .with_first_touch(args.has("first-touch"))
+        .with_trace(args.has("trace"))
+        .with_windows(args.u64_or("windows", 0)?)
+        .with_trace_capacity(args.u64_or("trace-cap", 0)? as usize);
     if let Some(topo) = topo_of(args)? {
         cfg = cfg.with_topology(topo);
     }
@@ -350,6 +370,9 @@ fn run_dag(args: &Args) -> CliResult {
                     "pinned_cpu": w.pinned_cpu,
                     "counters": w.counters.as_ref().map(|s| s.to_json(None)),
                     "warmup_excluded_batches": w.warmup_excluded,
+                    "windows": w.windows.iter().map(ccs_obs::window_json).collect::<Vec<_>>(),
+                    "trace_events": w.trace.as_ref().map_or(0, |t| t.events.len() as u64),
+                    "trace_dropped": w.trace.as_ref().map_or(0, |t| t.dropped),
                 })
             })
             .collect();
@@ -412,6 +435,18 @@ fn run_dag(args: &Args) -> CliResult {
             "warmup_mode": stats.warmup_mode.name(),
             "first_touch_rings": stats.first_touch_rings,
             "rings_touched": stats.rings_first_touched(),
+            "trace_enabled": stats.trace_enabled,
+            "trace_events": stats.trace_events(),
+            "trace_dropped": stats.trace_dropped(),
+            "window_batches": stats.window_batches,
+            // All workers' windows merged onto one time axis.
+            "windows": stats.windows().iter().map(|(w, s)| {
+                let mut v = ccs_obs::window_json(s);
+                if let serde_json::Value::Object(pairs) = &mut v {
+                    pairs.insert(0, ("worker".into(), serde_json::json!(*w as u64)));
+                }
+                v
+            }).collect::<Vec<_>>(),
             "measured_sink_items": stats.measured_sink_items(),
             "bandwidth": pr.bandwidth.to_f64(),
             "firings": stats.run.firings,
@@ -508,6 +543,19 @@ fn run_dag(args: &Args) -> CliResult {
             }
         }
     }
+    if stats.trace_enabled || stats.window_batches > 0 {
+        let _ = writeln!(
+            out,
+            "obs: {} trace events ({} dropped) | {} counter windows every {} batches \
+             ({} timing-only, {} low-residency) — export with `ccs trace`",
+            stats.trace_events(),
+            stats.trace_dropped(),
+            stats.window_count(),
+            stats.window_batches,
+            stats.windows_timing_only(),
+            stats.windows_scaled_low(),
+        );
+    }
     if segment_counters {
         let per_round = stats.items_per_round();
         for sc in stats.segment_counters() {
@@ -546,6 +594,138 @@ fn run_dag(args: &Args) -> CliResult {
         );
     }
     Ok(out)
+}
+
+/// `ccs trace` — run a graph with event tracing on and export the
+/// per-worker timelines as a Chrome trace-event document
+/// (`ccs-trace/v1`). The default output is the text summary; `--json`
+/// prints the raw document and `-o FILE` saves it for Perfetto
+/// (ui.perfetto.dev) or a later `ccs report`. Counter windows close
+/// every W batches (`--windows`, default 1) so each worker's track
+/// carries a counter series next to its batch/stall spans; without a
+/// usable PMU the windows degrade to timing-only spans.
+fn trace_cmd(args: &Args) -> CliResult {
+    use ccs_obs::chrome::{self, TraceWorker};
+    let path = args.positional(0, "graph file")?;
+    let g = load(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .map_or_else(|| path.to_string(), |s| s.to_string_lossy().into_owned());
+    let planner = Planner::new(params_of(args)?).with_strategy(strategy_of(args)?);
+    let rounds = args.u64_or("rounds", 8)?.max(1);
+    let windows = args.u64_or("windows", 1)?;
+    let trace_cap = args.u64_or("trace-cap", 0)? as usize;
+    // Tracing is the point of this subcommand, so counters default on
+    // (they only annotate; `--no-counters` drops to timing-only).
+    let counters = !args.has("no-counters");
+    let warmup = args.u64_or("warmup", 0)?;
+
+    if args.has("serial") {
+        let plan = planner.plan(&g, Horizon::Rounds(rounds))?;
+        let firings_per_round = (plan.run.firings.len() as u64) / rounds;
+        let mut inst = ccs_runtime::Instance::synthetic(g);
+        let (run, obs) = ccs_runtime::serial::execute_obs(
+            &mut inst,
+            &plan.run,
+            &ccs_runtime::ObsConfig {
+                counters,
+                warmup_firings: warmup.min(rounds - 1) * firings_per_round,
+                window_firings: windows * firings_per_round,
+                block_firings: firings_per_round,
+                trace: true,
+                trace_capacity: trace_cap,
+            },
+        );
+        let tl = obs.trace.as_ref().expect("trace was requested");
+        let workers = [TraceWorker {
+            worker: 0,
+            name: "serial".to_string(),
+            events: &tl.events,
+            dropped: tl.dropped,
+            windows: &obs.windows,
+        }];
+        let meta = serde_json::json!({
+            "engine": "serial",
+            "workers": 1u64,
+            "rounds": rounds,
+            "windows_every": windows,
+            "wall_ms": run.wall.as_secs_f64() * 1e3,
+            "digest": format!("{:016x}", run.digest.unwrap_or(0)),
+        });
+        return emit_trace(args, chrome::document(&name, meta, &workers));
+    }
+
+    let workers = args.u64_or("workers", 2)?.max(1) as usize;
+    let placement = match args.flag("placement") {
+        None => ccs_exec::Placement::RoundRobin,
+        Some(p) => ccs_exec::Placement::parse(p)
+            .ok_or_else(|| format!("unknown placement '{p}' (rr|greedy|llc)"))?,
+    };
+    let mut cfg = RunConfig::new(workers)
+        .with_placement(placement)
+        .with_pinning(args.has("pin-cores"))
+        .with_counters(counters)
+        .with_warmup(warmup)
+        .with_warmup_mode(if args.has("per-worker-warmup") {
+            ccs_exec::WarmupMode::PerWorker
+        } else {
+            ccs_exec::WarmupMode::Epoch
+        })
+        .with_trace(true)
+        .with_windows(windows)
+        .with_trace_capacity(trace_cap);
+    if let Some(topo) = topo_of(args)? {
+        cfg = cfg.with_topology(topo);
+    }
+    let inst = ccs_runtime::Instance::synthetic(g);
+    let pr = planner.plan_and_run_parallel(inst, rounds, &cfg)?;
+    let stats = &pr.stats;
+    let tracks: Vec<TraceWorker> = stats
+        .workers
+        .iter()
+        .map(|w| TraceWorker {
+            worker: w.worker,
+            name: match w.pinned_cpu {
+                Some(cpu) => format!("worker {} @cpu{cpu}", w.worker),
+                None => format!("worker {}", w.worker),
+            },
+            events: w.trace.as_ref().map_or(&[][..], |t| &t.events),
+            dropped: w.trace.as_ref().map_or(0, |t| t.dropped),
+            windows: &w.windows,
+        })
+        .collect();
+    let meta = serde_json::json!({
+        "engine": "parallel",
+        "strategy": pr.strategy_used,
+        "placement": placement.name(),
+        "workers": workers as u64,
+        "rounds": rounds,
+        "windows_every": windows,
+        "wall_ms": stats.run.wall.as_secs_f64() * 1e3,
+        "digest": format!("{:016x}", stats.run.digest.unwrap_or(0)),
+    });
+    emit_trace(args, chrome::document(&name, meta, &tracks))
+}
+
+/// Shared tail of `ccs trace`: save with `-o`, print raw JSON with
+/// `--json`, otherwise render the text summary.
+fn emit_trace(args: &Args, doc: serde_json::Value) -> CliResult {
+    let json = serde_json::to_string_pretty(&doc)?;
+    if let Some(path) = args.flag("out") {
+        std::fs::write(path, &json)?;
+    }
+    if args.has("json") {
+        return Ok(json);
+    }
+    let mut rendered = ccs_obs::chrome::render(&doc)?;
+    if let Some(path) = args.flag("out") {
+        use std::fmt::Write as _;
+        let _ = write!(
+            rendered,
+            "wrote {path} — load it at ui.perfetto.dev or chrome://tracing"
+        );
+    }
+    Ok(rendered)
 }
 
 fn topo_cmd(args: &Args) -> CliResult {
@@ -627,6 +807,11 @@ fn report_cmd(args: &Args) -> CliResult {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let v: serde_json::Value =
         serde_json::from_str(&text).map_err(|e| format!("{path} is not JSON: {e}"))?;
+    // Dispatch on the document's schema tag: trace exports render
+    // through `ccs-obs`, everything else through the sweep renderer.
+    if v["schema"].as_str() == Some(ccs_obs::chrome::SCHEMA) {
+        return ccs_obs::chrome::render(&v).map_err(|e| format!("{path}: {e}").into());
+    }
     ccs_bench::sweep::render(&v).map_err(|e| format!("{path}: {e}").into())
 }
 
@@ -686,7 +871,13 @@ fn sweep_cmd(args: &Args) -> CliResult {
                 None => None,
             };
             if args.has("serial") {
-                s = s.with_cell(Cell::serial().with_counters(counters).with_warmup(warmup));
+                s = s.with_cell(
+                    Cell::serial()
+                        .with_counters(counters)
+                        .with_warmup(warmup)
+                        .with_trace(args.has("trace"))
+                        .with_windows(args.u64_or("windows", 0)?),
+                );
             }
             let pins: &[bool] = match args.flag("pin") {
                 None | Some("off") => &[false],
@@ -710,7 +901,9 @@ fn sweep_cmd(args: &Args) -> CliResult {
                             .with_counter_stride(stride)
                             .with_warmup(warmup)
                             .with_warmup_mode(warmup_mode)
-                            .with_first_touch(args.has("first-touch"));
+                            .with_first_touch(args.has("first-touch"))
+                            .with_trace(args.has("trace"))
+                            .with_windows(args.u64_or("windows", 0)?);
                         if let Some(t) = topo {
                             cell = cell.with_topology(t);
                         }
@@ -1068,6 +1261,119 @@ mod tests {
     }
 
     #[test]
+    fn run_dag_trace_and_windows_json() {
+        let path = tmp("g12.json");
+        run(
+            "gen",
+            &args(&["pipeline", "--len", "10", "--state", "64", "-o", &path]),
+        )
+        .unwrap();
+        let base = [&path, "--m", "1024", "--workers", "2", "--rounds", "3"];
+        // Reference digest with observability off; the obs fields are
+        // present but inert.
+        let mut plain: Vec<&str> = base.to_vec();
+        plain.push("--json");
+        let parsed: serde_json::Value =
+            serde_json::from_str(&run("run-dag", &args(&plain)).unwrap()).unwrap();
+        let digest = parsed["digest"].as_str().unwrap().to_string();
+        assert_eq!(parsed["trace_enabled"].as_bool(), Some(false));
+        assert_eq!(parsed["trace_events"].as_u64(), Some(0));
+        assert_eq!(parsed["window_batches"].as_u64(), Some(0));
+        // Trace + windows: same digest, a recorded timeline, and the
+        // merged per-worker window array.
+        let mut traced: Vec<&str> = base.to_vec();
+        traced.extend(["--trace", "--windows", "1", "--counters", "--json"]);
+        let parsed: serde_json::Value =
+            serde_json::from_str(&run("run-dag", &args(&traced)).unwrap()).unwrap();
+        assert_eq!(parsed["digest"].as_str(), Some(digest.as_str()));
+        assert_eq!(parsed["trace_enabled"].as_bool(), Some(true));
+        assert!(parsed["trace_events"].as_u64().unwrap() > 0);
+        assert_eq!(parsed["trace_dropped"].as_u64(), Some(0));
+        assert_eq!(parsed["window_batches"].as_u64(), Some(1));
+        let windows = match &parsed["windows"] {
+            serde_json::Value::Array(w) => w,
+            other => panic!("windows: {other:?}"),
+        };
+        assert!(!windows.is_empty());
+        assert!(windows[0]["worker"].as_u64().is_some());
+        assert!(windows[0]["batches"].as_u64().unwrap() >= 1);
+        assert!(parsed["per_worker"][0]["trace_events"].as_u64().is_some());
+        // Text mode carries the obs summary line.
+        let mut text: Vec<&str> = base.to_vec();
+        text.extend(["--trace", "--windows", "1"]);
+        let out = run("run-dag", &args(&text)).unwrap();
+        assert!(out.contains("obs:"), "{out}");
+        assert!(out.contains("export with `ccs trace`"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trace_exports_chrome_documents() {
+        let g = tmp("g13.json");
+        run(
+            "gen",
+            &args(&["pipeline", "--len", "10", "--state", "64", "-o", &g]),
+        )
+        .unwrap();
+        // Parallel run: save the document, render the text summary.
+        let doc_path = tmp("trace-doc.json");
+        let rendered = run(
+            "trace",
+            &args(&[
+                &g,
+                "--m",
+                "1024",
+                "--workers",
+                "2",
+                "--rounds",
+                "3",
+                "--windows",
+                "1",
+                "-o",
+                &doc_path,
+            ]),
+        )
+        .unwrap();
+        assert!(rendered.contains("engine: \"parallel\""), "{rendered}");
+        assert!(rendered.contains("worker 0:"), "{rendered}");
+        assert!(
+            rendered.contains(&format!("wrote {doc_path}")),
+            "{rendered}"
+        );
+        // The saved document is the versioned trace schema with a
+        // non-empty Chrome trace-event array (spans + thread metadata).
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&doc_path).unwrap()).unwrap();
+        assert_eq!(v["schema"].as_str(), Some("ccs-trace/v1"));
+        let events = match &v["traceEvents"] {
+            serde_json::Value::Array(e) => e,
+            other => panic!("traceEvents: {other:?}"),
+        };
+        assert!(!events.is_empty());
+        assert!(events.iter().any(|e| e["ph"].as_str() == Some("X")));
+        assert!(events.iter().any(|e| e["ph"].as_str() == Some("M")));
+        // `ccs report` dispatches on the schema tag and renders the
+        // same summary.
+        let reported = run("report", &args(&[&doc_path])).unwrap();
+        assert!(rendered.starts_with(&reported), "{reported}");
+        // Serial path: `--json` prints the raw document.
+        let out = run(
+            "trace",
+            &args(&[&g, "--m", "1024", "--serial", "--rounds", "3", "--json"]),
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["schema"].as_str(), Some("ccs-trace/v1"));
+        assert_eq!(v["meta"]["engine"].as_str(), Some("serial"));
+        match &v["traceEvents"] {
+            serde_json::Value::Array(e) => assert!(!e.is_empty()),
+            other => panic!("traceEvents: {other:?}"),
+        }
+        std::fs::remove_file(doc_path).ok();
+        std::fs::remove_file(g).ok();
+    }
+
+    #[test]
     fn sweep_output_roundtrips_through_report() {
         // A tiny grid from flags: serial baseline + rr/llc at 2
         // workers, 2 interleaved repeats. The engine asserts digest
@@ -1179,6 +1485,51 @@ mod tests {
             ])
         )
         .is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sweep_trace_flags_reach_the_cells() {
+        // `--trace --windows W` flows into every declared cell (serial
+        // baseline included) and the saved document carries the per-cell
+        // obs block.
+        let path = tmp("sweep-trace.json");
+        run(
+            "sweep",
+            &args(&[
+                "--apps",
+                "fm-radio",
+                "--workers",
+                "2",
+                "--placements",
+                "rr",
+                "--serial",
+                "--trace",
+                "--windows",
+                "1",
+                "--repeats",
+                "1",
+                "--rounds",
+                "2",
+                "-o",
+                &path,
+            ]),
+        )
+        .unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let cells = match &v["cells"] {
+            serde_json::Value::Array(c) => c,
+            other => panic!("cells: {other:?}"),
+        };
+        assert_eq!(cells.len(), 2);
+        for c in cells {
+            let obs = &c["obs"];
+            assert_eq!(obs["trace"].as_bool(), Some(true), "{obs:?}");
+            assert_eq!(obs["windows_every"].as_u64(), Some(1));
+            assert!(obs["trace_events"].as_u64().unwrap() > 0);
+            assert!(obs["windows"].as_u64().unwrap() > 0);
+        }
         std::fs::remove_file(path).ok();
     }
 

@@ -46,6 +46,16 @@
 //!   [`run::RunConfig::first_touch_rings`] faults each ring's pages in
 //!   from its consumer worker for first-touch NUMA placement;
 //!   methodology in `docs/MEASUREMENT.md`.
+//! * **Time-resolved observability.** With [`run::RunConfig::trace`],
+//!   each worker records batch and stall spans, warmup resets, and
+//!   ring first-touches into a private bounded `ccs-obs` event ring
+//!   (drops counted, never silent), and
+//!   [`run::RunConfig::window_batches`] closes a counter window every
+//!   W batches — cumulative group reads differenced by
+//!   `delta_since` into [`stats::WorkerStats::windows`] — so warmup
+//!   decay and phase behavior are visible, not just end-of-run
+//!   aggregates. `ccs trace` exports the merged timelines as Chrome
+//!   trace-event JSON; event model in `docs/OBSERVABILITY.md`.
 //! * **Determinism.** Synchronous dataflow is schedule-deterministic, so
 //!   the sink digest is bit-identical to the serial executor's for the
 //!   same number of batches, at every worker count, placement, and
@@ -62,6 +72,8 @@ pub mod plan;
 pub mod run;
 pub mod stats;
 
+#[doc(no_inline)]
+pub use ccs_obs::{Timeline, WindowSample};
 pub use place::{assign_on, fair_share, Placement};
 pub use plan::{DagExecError, ExecPlan, SegmentPlan};
 pub use run::{execute_dag, execute_dag_cfg, RunConfig, WarmupMode};

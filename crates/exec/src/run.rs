@@ -25,6 +25,7 @@ use crate::place::{assign_on, Placement};
 use crate::plan::{DagExecError, ExecPlan};
 use crate::stats::{DagRunStats, SegmentCounters, WorkerStats};
 use ccs_graph::RateAnalysis;
+use ccs_obs::{Clock, EventKind, Tracer, WindowSampler};
 use ccs_partition::Partition;
 use ccs_runtime::instance::Instance;
 use ccs_runtime::kernel::Kernel;
@@ -115,6 +116,25 @@ pub struct RunConfig {
     /// consumer's node instead of wherever the planning thread ran.
     /// Touched ring counts land in [`WorkerStats::rings_touched`].
     pub first_touch_rings: bool,
+    /// Record a per-worker event timeline (batch and stall spans,
+    /// warmup resets, ring first-touches, window boundaries) into a
+    /// private bounded [`ccs_obs::EventRing`]. Off (the default), the
+    /// tracer reduces to a single never-taken branch on the hot path;
+    /// on, each event is one timestamp read and one slot write, and
+    /// ring overflow overwrites the oldest events while counting the
+    /// drops ([`ccs_obs::Timeline::dropped`]).
+    pub trace: bool,
+    /// Close a counter window every this many batches (per worker):
+    /// the group is re-read and differenced with
+    /// [`ccs_perf::CounterSample::delta_since`] into
+    /// [`WorkerStats::windows`], giving the time-resolved miss/IPC
+    /// signal end-of-run totals cannot show. 0 (the default) disables
+    /// windows; without an open counter group they degrade to
+    /// timing-only samples.
+    pub window_batches: u64,
+    /// Per-worker event ring capacity when tracing; 0 selects
+    /// [`ccs_obs::DEFAULT_RING_CAPACITY`].
+    pub trace_capacity: usize,
 }
 
 impl RunConfig {
@@ -169,6 +189,36 @@ impl RunConfig {
         self.first_touch_rings = on;
         self
     }
+
+    pub fn with_trace(mut self, on: bool) -> RunConfig {
+        self.trace = on;
+        self
+    }
+
+    pub fn with_windows(mut self, window_batches: u64) -> RunConfig {
+        self.window_batches = window_batches;
+        self
+    }
+
+    pub fn with_trace_capacity(mut self, capacity: usize) -> RunConfig {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+/// The per-run observability policy handed to each worker: whether to
+/// trace, the window cadence, and the shared run clock all timestamps
+/// are taken against.
+#[derive(Clone, Copy)]
+struct ObsPlan {
+    /// Record an event timeline into a bounded per-worker ring.
+    trace: bool,
+    /// Event ring capacity (0 selects the default).
+    capacity: usize,
+    /// Close a counter window every this many batches (0 = off).
+    window: u64,
+    /// Shared monotonic origin, so per-worker timelines merge.
+    clock: Clock,
 }
 
 /// The per-run counter policy handed to each worker: the counter
@@ -454,6 +504,12 @@ pub fn execute_dag_cfg(
         (0..workers).map(|_| Vec::new()).collect()
     };
     let first_touch = cfg.first_touch_rings;
+    let obs = ObsPlan {
+        trace: cfg.trace,
+        capacity: cfg.trace_capacity,
+        window: cfg.window_batches,
+        clock: Clock::start(),
+    };
 
     let start = Instant::now();
     let mut results: Vec<(Vec<SegTask>, WorkerStats)> = Vec::with_capacity(workers);
@@ -471,6 +527,7 @@ pub fn execute_dag_cfg(
                     worker: w,
                     binding,
                     cplan,
+                    obs,
                     touch: if first_touch { Some(touch) } else { None },
                     tasks: my_tasks,
                     rounds,
@@ -529,6 +586,8 @@ pub fn execute_dag_cfg(
         warmup: cplan.warmup,
         warmup_mode: cfg.warmup_mode,
         first_touch_rings: cfg.first_touch_rings,
+        trace_enabled: cfg.trace,
+        window_batches: cfg.window_batches,
     })
 }
 
@@ -556,6 +615,7 @@ struct WorkerCtx<'a> {
     worker: usize,
     binding: Option<CoreBinding>,
     cplan: CounterPlan,
+    obs: ObsPlan,
     /// Ring indices this worker consumes from, to fault in before the
     /// start line; `None` when first-touch placement is off.
     touch: Option<Vec<usize>>,
@@ -573,6 +633,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
         worker,
         binding,
         cplan,
+        obs,
         touch,
         mut tasks,
         rounds,
@@ -580,6 +641,11 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
     // Pin first, then open counters: the self-monitoring group then
     // counts this thread on the core the placement chose for it.
     let pinned_cpu = binding.and_then(|b| pin_current_thread(b.cpu).pinned().then_some(b.cpu));
+    let mut tracer = if obs.trace {
+        Tracer::on(obs.capacity)
+    } else {
+        Tracer::off()
+    };
     // First-touch before anything flows: fault in the rings this worker
     // consumes from, then wait at the start line so no producer can push
     // into a ring a (slower) consumer has not touched yet.
@@ -587,6 +653,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
         Some(list) => {
             for &r in list {
                 rings[r].first_touch();
+                tracer.record(obs.clock.now_ns(), 0, EventKind::RingFirstTouch { ring: r });
             }
             barrier.wait();
             list.len() as u64
@@ -611,6 +678,8 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
         warmup_excluded: 0,
         segment_counters: Vec::new(),
         rings_touched,
+        windows: Vec::new(),
+        trace: None,
     };
     let mut seg_acc: Vec<SegmentCounters> = if cplan.per_segment {
         tasks
@@ -635,8 +704,16 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
     // rendezvous, so the reset happens with *every* segment in the run
     // at exactly `warmup` batches and the worker aggregate is exact.
     let mut warmed = cplan.warmup == 0;
+    // Counter windows ride on *cumulative* group reads differenced by
+    // `delta_since`, so they never reset the group and cannot disturb
+    // the end-of-run totals. The only reset in play is the warmup one,
+    // which flushes the open window and re-baselines below.
+    let mut wins = WindowSampler::new(obs.window);
     counter_set.reset();
     counter_set.enable();
+    if wins.enabled() {
+        wins.start(obs.clock.now_ns(), counter_set.sample());
+    }
     loop {
         // Epoch snapshot *before* scanning: progress a peer makes during
         // the scan moves the epoch past this value, so a post-scan park
@@ -649,7 +726,15 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
                 // rendezvous makes the reset a run-wide instant.
                 barrier.wait();
             }
+            // The reset zeroes the cumulative reads any open counter
+            // window is baselined on: flush the partial window first,
+            // then re-baseline on the post-reset (zeroed) group.
+            wins.flush(obs.clock.now_ns(), || counter_set.sample());
             counter_set.reset();
+            if wins.enabled() {
+                wins.rebaseline(obs.clock.now_ns(), counter_set.sample());
+            }
+            tracer.record(obs.clock.now_ns(), 0, EventKind::WarmupReset);
             stats.warmup_excluded = stats.batches;
             warmed = true;
         }
@@ -682,7 +767,13 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
             let before = if window { counter_set.sample() } else { None };
             let t0 = Instant::now();
             run_batch(g, plan, rings, task, &mut stats.firings);
-            stats.busy += t0.elapsed();
+            let dur = t0.elapsed();
+            stats.busy += dur;
+            tracer.record(
+                obs.clock.offset_ns(t0),
+                dur.as_nanos() as u64,
+                EventKind::Batch { seg: task.seg },
+            );
             if let Some(before) = before {
                 if let Some(after) = counter_set.sample() {
                     seg_acc[ti].sample.merge(&after.delta_since(&before));
@@ -694,6 +785,11 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
             }
             task.done += 1;
             stats.batches += 1;
+            if wins.enabled() {
+                if let Some(index) = wins.on_batch(obs.clock.now_ns(), || counter_set.sample()) {
+                    tracer.record(obs.clock.now_ns(), 0, EventKind::Window { index });
+                }
+            }
             progressed = true;
             gate.bump();
         }
@@ -707,16 +803,25 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
         stats.stalls += 1;
         unproductive += 1;
         let t0 = Instant::now();
-        if unproductive <= SPIN_PASSES {
+        let parked = unproductive > SPIN_PASSES;
+        if !parked {
             std::thread::yield_now();
         } else {
             gate.park_if_stale(epoch);
         }
-        stats.stall_time += t0.elapsed();
+        let dur = t0.elapsed();
+        stats.stall_time += dur;
+        tracer.record(
+            obs.clock.offset_ns(t0),
+            dur.as_nanos() as u64,
+            EventKind::Stall { parked },
+        );
     }
+    stats.windows = wins.finish(obs.clock.now_ns(), || counter_set.sample());
     counter_set.disable();
     stats.counters = counter_set.sample();
     stats.segment_counters = seg_acc;
+    stats.trace = tracer.finish();
     (tasks, stats)
 }
 

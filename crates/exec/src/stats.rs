@@ -1,5 +1,6 @@
 //! Per-worker and aggregate execution statistics.
 
+use ccs_obs::{Timeline, WindowSample, MULTIPLEX_WARN_RATIO};
 use ccs_perf::{CounterKind, CounterSample};
 use ccs_runtime::serial::RunStats;
 use std::time::Duration;
@@ -86,6 +87,17 @@ pub struct WorkerStats {
     /// ([`RunConfig::first_touch_rings`](crate::RunConfig::first_touch_rings));
     /// zero when first-touch placement was off.
     pub rings_touched: u64,
+    /// Closed counter windows
+    /// ([`RunConfig::window_batches`](crate::RunConfig::window_batches)):
+    /// the group re-read every W batches and differenced into
+    /// per-window deltas. Empty when windows were off; timing-only
+    /// samples (no counter group) still appear so the cadence is
+    /// visible.
+    pub windows: Vec<WindowSample>,
+    /// Recorded event timeline
+    /// ([`RunConfig::trace`](crate::RunConfig::trace)); `None` when
+    /// tracing was off.
+    pub trace: Option<Timeline>,
 }
 
 /// Outcome of a parallel dag execution.
@@ -116,6 +128,13 @@ pub struct DagRunStats {
     /// Whether SPSC ring pages were faulted in from their consumer
     /// workers before the run ([`RunConfig::first_touch_rings`](crate::RunConfig::first_touch_rings)).
     pub first_touch_rings: bool,
+    /// Whether event tracing was on
+    /// ([`RunConfig::trace`](crate::RunConfig::trace)).
+    pub trace_enabled: bool,
+    /// The configured counter-window cadence in batches
+    /// ([`RunConfig::window_batches`](crate::RunConfig::window_batches));
+    /// 0 when windows were off.
+    pub window_batches: u64,
 }
 
 impl DagRunStats {
@@ -207,6 +226,65 @@ impl DagRunStats {
         all
     }
 
+    /// All closed counter windows across workers as `(worker, window)`
+    /// pairs, sorted by window start time — the run's merged
+    /// time-resolved counter signal. Empty when
+    /// [`RunConfig::window_batches`](crate::RunConfig::window_batches)
+    /// was 0.
+    pub fn windows(&self) -> Vec<(usize, &WindowSample)> {
+        let mut all: Vec<(usize, &WindowSample)> = self
+            .workers
+            .iter()
+            .flat_map(|w| w.windows.iter().map(move |s| (w.worker, s)))
+            .collect();
+        all.sort_by_key(|(w, s)| (s.start_ns, *w));
+        all
+    }
+
+    /// Total closed counter windows across workers.
+    pub fn window_count(&self) -> usize {
+        self.workers.iter().map(|w| w.windows.len()).sum()
+    }
+
+    /// Windows whose counts were multiplex-scaled below the reporting
+    /// threshold ([`MULTIPLEX_WARN_RATIO`]) — estimates, not counts.
+    pub fn windows_scaled_low(&self) -> usize {
+        self.workers
+            .iter()
+            .flat_map(|w| w.windows.iter())
+            .filter(|s| s.scaled_below(MULTIPLEX_WARN_RATIO))
+            .count()
+    }
+
+    /// Windows carrying no counter delta at all (the group never
+    /// opened — containers, `CCS_NO_PERF`): the timing-only fallback.
+    pub fn windows_timing_only(&self) -> usize {
+        self.workers
+            .iter()
+            .flat_map(|w| w.windows.iter())
+            .filter(|s| s.timing_only())
+            .count()
+    }
+
+    /// Events surviving in all per-worker trace rings (0 when tracing
+    /// was off).
+    pub fn trace_events(&self) -> u64 {
+        self.workers
+            .iter()
+            .filter_map(|w| w.trace.as_ref())
+            .map(|t| t.events.len() as u64)
+            .sum()
+    }
+
+    /// Events lost to trace-ring overflow across workers.
+    pub fn trace_dropped(&self) -> u64 {
+        self.workers
+            .iter()
+            .filter_map(|w| w.trace.as_ref())
+            .map(|t| t.dropped)
+            .sum()
+    }
+
     /// Per-segment LLC misses per sink item over the steady-state
     /// window: `(segment, misses/item)`, sorted by segment. An entry is
     /// `None` where the segment counted no batches or the LLC event
@@ -248,6 +326,8 @@ mod tests {
             warmup_excluded: 0,
             segment_counters: Vec::new(),
             rings_touched: 0,
+            windows: Vec::new(),
+            trace: None,
         }
     }
 
@@ -279,6 +359,8 @@ mod tests {
             warmup: 0,
             warmup_mode: crate::run::WarmupMode::Epoch,
             first_touch_rings: false,
+            trace_enabled: false,
+            window_batches: 0,
         }
     }
 
@@ -374,6 +456,57 @@ mod tests {
             .get(CounterKind::LlcMisses)
             .unwrap();
         assert!(seg_sum <= worker_sum);
+    }
+
+    #[test]
+    fn windows_merge_sorted_and_classified() {
+        use ccs_obs::{Event, EventKind, Timeline};
+        let win = |start: u64, sample: Option<CounterSample>| WindowSample {
+            index: 0,
+            start_batch: 0,
+            batches: 1,
+            start_ns: start,
+            end_ns: start + 10,
+            sample,
+        };
+        let mut w0 = worker(0, None);
+        w0.windows = vec![win(50, Some(misses(5))), win(200, None)];
+        w0.trace = Some(Timeline {
+            events: vec![Event {
+                ts_ns: 0,
+                dur_ns: 1,
+                kind: EventKind::Batch { seg: 0 },
+            }],
+            dropped: 3,
+        });
+        let mut w1 = worker(1, None);
+        let mut scaled = misses(9);
+        scaled.time_enabled_ns = 1000;
+        scaled.time_running_ns = 100; // 10% residency: below threshold
+        w1.windows = vec![win(100, Some(scaled))];
+        let s = stats(vec![w0, w1], 50);
+        let merged = s.windows();
+        assert_eq!(
+            merged
+                .iter()
+                .map(|(w, s)| (*w, s.start_ns))
+                .collect::<Vec<_>>(),
+            vec![(0, 50), (1, 100), (0, 200)]
+        );
+        assert_eq!(s.window_count(), 3);
+        assert_eq!(s.windows_scaled_low(), 1);
+        assert_eq!(s.windows_timing_only(), 1);
+        assert_eq!(s.trace_events(), 1);
+        assert_eq!(s.trace_dropped(), 3);
+    }
+
+    #[test]
+    fn no_obs_means_empty_aggregates() {
+        let s = stats(vec![worker(0, None)], 10);
+        assert!(s.windows().is_empty());
+        assert_eq!(s.window_count(), 0);
+        assert_eq!(s.trace_events(), 0);
+        assert_eq!(s.trace_dropped(), 0);
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! Chrome trace-event export and the `ccs report` text summary.
+//!
+//! A trace document is one JSON object: the standard `traceEvents`
+//! array (what Perfetto and `chrome://tracing` load — one track per
+//! worker, batch and stall spans, warmup/first-touch instants, counter
+//! series from the windows) plus a `schema` tag and a precomputed
+//! `summary` block. Trace viewers ignore the extra top-level keys, so
+//! the same file feeds both Perfetto and `ccs report`.
+
+use crate::event::{Event, EventKind};
+use crate::window::{window_json, WindowSample};
+use serde_json::{json, Value};
+
+/// Schema tag of a trace document (`ccs report` dispatches on this).
+pub const SCHEMA: &str = "ccs-trace/v1";
+
+/// PMU residency (`time_running / time_enabled`) below which a counter
+/// window's scaled counts are flagged as multiplex estimates.
+pub const MULTIPLEX_WARN_RATIO: f64 = 0.5;
+
+/// One worker's contribution to a trace document.
+#[derive(Clone, Debug)]
+pub struct TraceWorker<'a> {
+    /// Worker index (0-based; the serial executor is worker 0).
+    pub worker: usize,
+    /// Track label, e.g. `"worker 2 @cpu5"` or `"serial"`.
+    pub name: String,
+    /// Recorded events, chronological.
+    pub events: &'a [Event],
+    /// Events the ring dropped.
+    pub dropped: u64,
+    /// Closed counter windows.
+    pub windows: &'a [WindowSample],
+}
+
+/// Merge per-worker timelines onto one time axis. The sort is stable,
+/// so two events of one worker never reorder (their recorded order is
+/// their causal order); ties across workers resolve by input order.
+pub fn merge_timelines(per_worker: &[(usize, &[Event])]) -> Vec<(usize, Event)> {
+    let mut all: Vec<(usize, Event)> = per_worker
+        .iter()
+        .flat_map(|&(w, events)| events.iter().map(move |&e| (w, e)))
+        .collect();
+    all.sort_by_key(|(_, e)| e.ts_ns);
+    all
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Tid offset for the per-worker counter-window track (keeps window
+/// spans from visually nesting inside batch spans on the main track).
+const WINDOW_TID_BASE: usize = 1000;
+
+fn span(pid: u64, tid: usize, name: String, cat: &str, ts_ns: u64, dur_ns: u64) -> Value {
+    obj(vec![
+        ("ph", json!("X")),
+        ("pid", json!(pid)),
+        ("tid", json!(tid as u64)),
+        ("name", Value::String(name)),
+        ("cat", json!(cat)),
+        ("ts", json!(us(ts_ns))),
+        ("dur", json!(us(dur_ns))),
+    ])
+}
+
+fn instant(pid: u64, tid: usize, name: String, cat: &str, ts_ns: u64) -> Value {
+    obj(vec![
+        ("ph", json!("i")),
+        ("s", json!("t")),
+        ("pid", json!(pid)),
+        ("tid", json!(tid as u64)),
+        ("name", Value::String(name)),
+        ("cat", json!(cat)),
+        ("ts", json!(us(ts_ns))),
+    ])
+}
+
+fn event_json(w: &TraceWorker, e: &Event) -> Value {
+    match e.kind {
+        EventKind::Batch { seg } => span(
+            0,
+            w.worker,
+            format!("seg {seg}"),
+            "batch",
+            e.ts_ns,
+            e.dur_ns,
+        ),
+        EventKind::SerialBlock { index } => span(
+            0,
+            w.worker,
+            format!("block {index}"),
+            "batch",
+            e.ts_ns,
+            e.dur_ns,
+        ),
+        EventKind::Stall { parked } => span(
+            0,
+            w.worker,
+            (if parked { "park" } else { "spin" }).to_string(),
+            "stall",
+            e.ts_ns,
+            e.dur_ns,
+        ),
+        EventKind::WarmupReset => {
+            instant(0, w.worker, "warmup-reset".to_string(), "warmup", e.ts_ns)
+        }
+        EventKind::RingFirstTouch { ring } => instant(
+            0,
+            w.worker,
+            format!("ring {ring} first-touch"),
+            "ring",
+            e.ts_ns,
+        ),
+        EventKind::Window { index } => {
+            instant(0, w.worker, format!("window {index}"), "window", e.ts_ns)
+        }
+    }
+}
+
+fn window_events(w: &TraceWorker, s: &WindowSample, out: &mut Vec<Value>) {
+    // A span on the worker's dedicated window track...
+    let mut annotated = span(
+        0,
+        WINDOW_TID_BASE + w.worker,
+        format!("window {}", s.index),
+        "window",
+        s.start_ns,
+        s.end_ns.saturating_sub(s.start_ns),
+    );
+    if let Value::Object(pairs) = &mut annotated {
+        pairs.push(("args".to_string(), window_json(s)));
+    }
+    out.push(annotated);
+    // ...plus counter series Perfetto renders as per-worker graphs.
+    if let Some(sample) = &s.sample {
+        if let Some(misses) = sample.get(ccs_perf::CounterKind::LlcMisses) {
+            out.push(obj(vec![
+                ("ph", json!("C")),
+                ("pid", json!(0u64)),
+                ("name", Value::String(format!("w{} llc-misses", w.worker))),
+                ("ts", json!(us(s.start_ns))),
+                ("args", json!({ "misses": misses })),
+            ]));
+        }
+        if let Some(mpki) = sample.mpki() {
+            out.push(obj(vec![
+                ("ph", json!("C")),
+                ("pid", json!(0u64)),
+                ("name", Value::String(format!("w{} mpki", w.worker))),
+                ("ts", json!(us(s.start_ns))),
+                ("args", json!({ "mpki": mpki })),
+            ]));
+        }
+    }
+}
+
+fn worker_summary(w: &TraceWorker) -> Value {
+    let mut batches = 0u64;
+    let mut batch_ns = 0u64;
+    let mut stalls = 0u64;
+    let mut stall_ns = 0u64;
+    let mut parks = 0u64;
+    for e in w.events {
+        match e.kind {
+            EventKind::Batch { .. } | EventKind::SerialBlock { .. } => {
+                batches += 1;
+                batch_ns += e.dur_ns;
+            }
+            EventKind::Stall { parked } => {
+                stalls += 1;
+                parks += parked as u64;
+                stall_ns += e.dur_ns;
+            }
+            _ => {}
+        }
+    }
+    let scaled_low = w
+        .windows
+        .iter()
+        .filter(|s| s.scaled_below(MULTIPLEX_WARN_RATIO))
+        .count();
+    let timing_only = w.windows.iter().filter(|s| s.timing_only()).count();
+    json!({
+        "worker": w.worker,
+        "name": w.name,
+        "events": w.events.len() as u64,
+        "dropped": w.dropped,
+        "batches": batches,
+        "batch_ms": batch_ns as f64 / 1e6,
+        "stalls": stalls,
+        "parks": parks,
+        "stall_ms": stall_ns as f64 / 1e6,
+        "windows": w.windows.len() as u64,
+        "windows_scaled_low": scaled_low as u64,
+        "windows_timing_only": timing_only as u64,
+    })
+}
+
+/// Build a `ccs-trace/v1` document: Chrome `traceEvents` for the given
+/// workers plus a summary block. `meta` is caller context (engine,
+/// rounds, wall clock, ...) surfaced verbatim under `"meta"` and echoed
+/// by the text renderer.
+pub fn document(name: &str, meta: Value, workers: &[TraceWorker]) -> Value {
+    let mut trace_events = Vec::new();
+    for w in workers {
+        trace_events.push(obj(vec![
+            ("ph", json!("M")),
+            ("pid", json!(0u64)),
+            ("tid", json!(w.worker as u64)),
+            ("name", json!("thread_name")),
+            ("args", json!({ "name": w.name })),
+        ]));
+        if !w.windows.is_empty() {
+            trace_events.push(obj(vec![
+                ("ph", json!("M")),
+                ("pid", json!(0u64)),
+                ("tid", json!((WINDOW_TID_BASE + w.worker) as u64)),
+                ("name", json!("thread_name")),
+                ("args", json!({ "name": format!("{} windows", w.name) })),
+            ]));
+        }
+        for e in w.events {
+            trace_events.push(event_json(w, e));
+        }
+        for s in w.windows {
+            window_events(w, s, &mut trace_events);
+        }
+    }
+    let per_worker: Vec<Value> = workers.iter().map(worker_summary).collect();
+    let total = |key: &str| -> u64 { per_worker.iter().filter_map(|v| v[key].as_u64()).sum() };
+    let summary = json!({
+        "events": total("events"),
+        "dropped": total("dropped"),
+        "windows": total("windows"),
+        "windows_scaled_low": total("windows_scaled_low"),
+        "windows_timing_only": total("windows_timing_only"),
+        "workers": Value::Array(per_worker),
+    });
+    json!({
+        "schema": SCHEMA,
+        "name": name,
+        "displayTimeUnit": "ms",
+        "meta": meta,
+        "summary": summary,
+        "traceEvents": Value::Array(trace_events),
+    })
+}
+
+fn fms(v: &Value) -> String {
+    match v.as_f64() {
+        Some(x) => format!("{x:.2}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Render a trace document as the `ccs report` text summary. Errors
+/// (not a trace document, missing summary) come back as strings for
+/// the CLI to surface.
+pub fn render(doc: &Value) -> Result<String, String> {
+    if doc["schema"].as_str() != Some(SCHEMA) {
+        return Err(format!(
+            "not a {SCHEMA} document (schema: {:?})",
+            doc["schema"].as_str()
+        ));
+    }
+    let mut out = String::new();
+    let name = doc["name"].as_str().unwrap_or("trace");
+    out.push_str(&format!("trace: {name}\n"));
+    let meta = &doc["meta"];
+    for key in ["engine", "workers", "rounds", "windows_every", "wall_ms"] {
+        let v = &meta[key];
+        if !v.is_null() {
+            let shown = match v {
+                Value::Float(_) => fms(v),
+                other => serde_json::to_string(other).unwrap_or_default(),
+            };
+            out.push_str(&format!("  {key}: {shown}\n"));
+        }
+    }
+    let s = &doc["summary"];
+    if s.is_null() {
+        return Err("trace document has no summary block".to_string());
+    }
+    out.push_str(&format!(
+        "  events: {} ({} dropped)   windows: {}\n",
+        s["events"].as_u64().unwrap_or(0),
+        s["dropped"].as_u64().unwrap_or(0),
+        s["windows"].as_u64().unwrap_or(0),
+    ));
+    if let Value::Array(workers) = &s["workers"] {
+        for w in workers {
+            out.push_str(&format!(
+                "  {}: {} events, {} batches ({} ms busy), {} stalls ({} parked, {} ms), {} windows\n",
+                w["name"].as_str().unwrap_or("?"),
+                w["events"].as_u64().unwrap_or(0),
+                w["batches"].as_u64().unwrap_or(0),
+                fms(&w["batch_ms"]),
+                w["stalls"].as_u64().unwrap_or(0),
+                w["parks"].as_u64().unwrap_or(0),
+                fms(&w["stall_ms"]),
+                w["windows"].as_u64().unwrap_or(0),
+            ));
+        }
+    }
+    for w in warnings(s) {
+        out.push_str(&format!("  warning: {w}\n"));
+    }
+    Ok(out)
+}
+
+/// Observability warnings for a trace (or any object shaped like its
+/// summary block): event drops and low-residency counter windows are
+/// reported, never silently averaged into the totals.
+pub fn warnings(summary: &Value) -> Vec<String> {
+    let mut out = Vec::new();
+    let dropped = summary["dropped"].as_u64().unwrap_or(0);
+    if dropped > 0 {
+        out.push(format!(
+            "ring overflow dropped {dropped} events — the timeline is truncated; raise the ring capacity (--trace-cap)"
+        ));
+    }
+    let scaled = summary["windows_scaled_low"].as_u64().unwrap_or(0);
+    if scaled > 0 {
+        out.push(format!(
+            "{scaled} of {} counter windows ran below {:.0}% PMU residency — multiplex-scaled counts are estimates, not counts",
+            summary["windows"].as_u64().unwrap_or(0),
+            MULTIPLEX_WARN_RATIO * 100.0,
+        ));
+    }
+    let timing_only = summary["windows_timing_only"].as_u64().unwrap_or(0);
+    if timing_only > 0 {
+        out.push(format!(
+            "{timing_only} windows are timing-only (no counter group opened)"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_perf::{CounterKind, CounterSample, Reading};
+
+    fn batch(ts: u64, dur: u64, seg: usize) -> Event {
+        Event {
+            ts_ns: ts,
+            dur_ns: dur,
+            kind: EventKind::Batch { seg },
+        }
+    }
+
+    fn window(index: u64, start: u64, end: u64, sample: Option<CounterSample>) -> WindowSample {
+        WindowSample {
+            index,
+            start_batch: 0,
+            batches: 2,
+            start_ns: start,
+            end_ns: end,
+            sample,
+        }
+    }
+
+    fn sample(misses: u64, enabled: u64, running: u64) -> CounterSample {
+        CounterSample {
+            time_enabled_ns: enabled,
+            time_running_ns: running,
+            readings: vec![Reading {
+                kind: CounterKind::LlcMisses,
+                raw: misses,
+                scaled: misses,
+            }],
+        }
+    }
+
+    fn doc_roundtrip(doc: &Value) -> Value {
+        serde_json::from_str(&serde_json::to_string(doc).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn document_is_valid_chrome_trace_json() {
+        let events = vec![
+            batch(0, 100, 1),
+            Event {
+                ts_ns: 100,
+                dur_ns: 50,
+                kind: EventKind::Stall { parked: true },
+            },
+            Event {
+                ts_ns: 150,
+                dur_ns: 0,
+                kind: EventKind::WarmupReset,
+            },
+        ];
+        let windows = vec![window(0, 0, 150, Some(sample(42, 100, 100)))];
+        let workers = [TraceWorker {
+            worker: 0,
+            name: "worker 0".to_string(),
+            events: &events,
+            dropped: 0,
+            windows: &windows,
+        }];
+        let doc = doc_roundtrip(&document("t", json!({"workers": 1u64}), &workers));
+        assert_eq!(doc["schema"].as_str(), Some(SCHEMA));
+        let Value::Array(tes) = &doc["traceEvents"] else {
+            panic!("traceEvents must be an array");
+        };
+        assert!(!tes.is_empty());
+        for te in tes {
+            let ph = te["ph"].as_str().expect("every event has a phase");
+            assert!(matches!(ph, "M" | "X" | "i" | "C"), "ph {ph}");
+            assert!(!te["name"].is_null());
+            if ph == "X" {
+                assert!(te["ts"].as_f64().is_some() && te["dur"].as_f64().is_some());
+            }
+        }
+        // One main-track name, one window-track name, three ring
+        // events, one window span, one llc counter series point (no
+        // instructions => no mpki point).
+        assert_eq!(tes.len(), 2 + 3 + 1 + 1);
+        assert_eq!(doc["summary"]["events"].as_u64(), Some(3));
+        assert_eq!(doc["summary"]["windows"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn render_reports_and_warns() {
+        let events = vec![batch(0, 100, 0)];
+        let windows = vec![
+            window(0, 0, 100, Some(sample(10, 1000, 200))), // 20% residency
+            window(1, 100, 200, None),                      // timing-only
+        ];
+        let workers = [TraceWorker {
+            worker: 3,
+            name: "worker 3".to_string(),
+            events: &events,
+            dropped: 7,
+            windows: &windows,
+        }];
+        let doc = document("overflowing", json!({"engine": "parallel"}), &workers);
+        let text = render(&doc).unwrap();
+        assert!(text.contains("trace: overflowing"));
+        assert!(text.contains("worker 3"));
+        assert!(text.contains("dropped 7 events"), "{text}");
+        assert!(text.contains("below 50% PMU residency"), "{text}");
+        assert!(text.contains("timing-only"), "{text}");
+    }
+
+    #[test]
+    fn render_rejects_other_schemas() {
+        assert!(render(&json!({"schema": "ccs-sweep/v1"})).is_err());
+        assert!(render(&json!({"x": 1u64})).is_err());
+    }
+
+    #[test]
+    fn clean_trace_renders_without_warnings() {
+        let events = vec![batch(0, 10, 0)];
+        let windows = vec![window(0, 0, 10, Some(sample(1, 100, 100)))];
+        let workers = [TraceWorker {
+            worker: 0,
+            name: "worker 0".to_string(),
+            events: &events,
+            dropped: 0,
+            windows: &windows,
+        }];
+        let doc = document("clean", Value::Null, &workers);
+        let text = render(&doc).unwrap();
+        assert!(!text.contains("warning:"), "{text}");
+    }
+
+    #[test]
+    fn merge_is_time_ordered_and_stable() {
+        let w0 = vec![batch(10, 1, 0), batch(20, 1, 0), batch(20, 1, 1)];
+        let w1 = vec![batch(5, 1, 2), batch(20, 1, 2)];
+        let merged = merge_timelines(&[(0, &w0), (1, &w1)]);
+        let ts: Vec<u64> = merged.iter().map(|(_, e)| e.ts_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        // Per-worker order is preserved among the ts=20 tie cluster.
+        let w0_segs: Vec<usize> = merged
+            .iter()
+            .filter(|(w, _)| *w == 0)
+            .map(|(_, e)| match e.kind {
+                EventKind::Batch { seg } => seg,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(w0_segs, vec![0, 0, 1]);
+    }
+}

@@ -1,0 +1,357 @@
+//! Per-worker event rings: bounded, allocation-free, drop-counting.
+//!
+//! Each worker owns its ring exclusively — events are recorded by the
+//! thread that produced them and only read back after the run — so the
+//! hot path is a bounds check and a slot write: no locks, no atomics,
+//! no allocation (the buffer is sized once up front). When the ring is
+//! full the oldest event is overwritten and the drop counter advances;
+//! a truncated timeline always says how much it lost.
+
+use std::time::Instant;
+
+/// Default per-worker ring capacity (events). At ~32 bytes per event
+/// this is ~2 MiB per worker — enough for tens of thousands of batches
+/// before wrap-around, while still bounding a pathological run.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// What happened. Spans carry their duration in [`Event::dur_ns`];
+/// instantaneous events leave it zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// One granularity-`T` batch of segment `seg` (span).
+    Batch {
+        /// Segment index (contracted topological order).
+        seg: usize,
+    },
+    /// A block of consecutive firings in the serial executor (span) —
+    /// the serial schedule is a flat firing list, so its timeline is
+    /// chunked by round rather than by segment.
+    SerialBlock {
+        /// Block ordinal (0-based).
+        index: u64,
+    },
+    /// An unproductive scheduling pass (span): no owned segment was
+    /// schedulable, so the worker yielded (`parked = false`) or blocked
+    /// on the progress condvar (`parked = true`).
+    Stall {
+        /// Whether the pass fell through the spin tier into the condvar.
+        parked: bool,
+    },
+    /// The steady-state counter reset: the warmup window closed and the
+    /// group was zeroed (at the shared barrier under epoch warmup).
+    WarmupReset,
+    /// This worker faulted in the pages of ring `ring` before the run
+    /// (first-touch NUMA placement).
+    RingFirstTouch {
+        /// Ring (edge) index.
+        ring: usize,
+    },
+    /// Counter window `index` closed; the payload lives in the matching
+    /// [`WindowSample`](crate::WindowSample).
+    Window {
+        /// Window ordinal (0-based, per worker).
+        index: u64,
+    },
+}
+
+/// One timeline entry: a monotonic timestamp (nanoseconds since the
+/// run's [`Clock`] origin), a span duration (zero for instants), and
+/// the kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the run origin (span start for spans).
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds; zero for instantaneous events.
+    pub dur_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Monotonic run clock: a shared origin every worker timestamps
+/// against, so per-worker timelines merge on a common axis.
+#[derive(Clone, Copy, Debug)]
+pub struct Clock {
+    origin: Instant,
+}
+
+impl Clock {
+    /// Start the clock now (call once per run, before spawning workers).
+    pub fn start() -> Clock {
+        Clock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the origin.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Nanoseconds from the origin to `t` (a timestamp taken with
+    /// `Instant::now()` on any thread after [`Clock::start`]).
+    #[inline]
+    pub fn offset_ns(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.origin).as_nanos() as u64
+    }
+}
+
+/// A bounded circular event buffer owned by one worker.
+///
+/// `push` never allocates (capacity is reserved up front) and never
+/// blocks; once full, each push overwrites the oldest event and counts
+/// a drop. Iteration yields surviving events in record (and therefore
+/// timestamp) order.
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    /// Oldest slot once the buffer has wrapped; next overwrite target.
+    head: usize,
+    cap: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `cap` events (`cap` is clamped to >= 1).
+    pub fn with_capacity(cap: usize) -> EventRing {
+        let cap = cap.max(1);
+        EventRing {
+            buf: Vec::with_capacity(cap),
+            head: 0,
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Record an event, overwriting the oldest (and counting a drop)
+    /// when full.
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held (<= capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum events held before overwriting begins.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events lost to overwriting so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Surviving events in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Consume the ring into `(chronological events, drop count)`.
+    pub fn into_parts(mut self) -> (Vec<Event>, u64) {
+        self.buf.rotate_left(self.head);
+        (self.buf, self.dropped)
+    }
+}
+
+/// One worker's recorded events plus its drop count — what an
+/// [`EventRing`] leaves behind after a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Timeline {
+    /// Surviving events, sorted by timestamp (stable: ties keep their
+    /// record order).
+    pub events: Vec<Event>,
+    /// Events lost to ring overflow.
+    pub dropped: u64,
+}
+
+/// The per-worker recording handle: an [`EventRing`] when tracing is
+/// on, nothing when it is off. A disabled tracer's [`Tracer::record`]
+/// is one predictable branch — the ring, its buffer, and every
+/// timestamp read are simply absent.
+#[derive(Debug)]
+pub struct Tracer {
+    ring: Option<EventRing>,
+}
+
+impl Tracer {
+    /// A disabled tracer: records nothing, costs a branch.
+    pub fn off() -> Tracer {
+        Tracer { ring: None }
+    }
+
+    /// An enabled tracer with the given ring capacity (0 selects
+    /// [`DEFAULT_RING_CAPACITY`]).
+    pub fn on(capacity: usize) -> Tracer {
+        let cap = if capacity == 0 {
+            DEFAULT_RING_CAPACITY
+        } else {
+            capacity
+        };
+        Tracer {
+            ring: Some(EventRing::with_capacity(cap)),
+        }
+    }
+
+    /// Whether events are being kept.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Record a span (or instant, with `dur_ns = 0`). No-op when
+    /// disabled.
+    #[inline]
+    pub fn record(&mut self, ts_ns: u64, dur_ns: u64, kind: EventKind) {
+        if let Some(ring) = &mut self.ring {
+            ring.push(Event {
+                ts_ns,
+                dur_ns,
+                kind,
+            });
+        }
+    }
+
+    /// Finish recording: the timeline when tracing was on. Spans are
+    /// recorded at completion but timestamped at their *start*, so the
+    /// raw ring can hold a span after an instant that fell inside it;
+    /// finishing stable-sorts by timestamp (ties keep record order),
+    /// making every returned timeline monotone.
+    pub fn finish(self) -> Option<Timeline> {
+        self.ring.map(|r| {
+            let (mut events, dropped) = r.into_parts();
+            events.sort_by_key(|e| e.ts_ns);
+            Timeline { events, dropped }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            dur_ns: 0,
+            kind: EventKind::Stall { parked: false },
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_overwriting_oldest() {
+        let mut r = EventRing::with_capacity(4);
+        for t in 0..4 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 0);
+        // Two more: 0 and 1 are gone, 2..=5 survive, in order.
+        r.push(ev(4));
+        r.push(ev(5));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<u64> = r.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wraps_many_times_and_accounts_every_drop() {
+        let mut r = EventRing::with_capacity(3);
+        for t in 0..100 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 97);
+        let (events, dropped) = r.into_parts();
+        assert_eq!(dropped, 97);
+        assert_eq!(
+            events.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![97, 98, 99]
+        );
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let mut r = EventRing::with_capacity(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.iter().next().unwrap().ts_ns, 2);
+    }
+
+    #[test]
+    fn push_does_not_allocate_past_capacity() {
+        let mut r = EventRing::with_capacity(8);
+        let cap_before = r.buf.capacity();
+        for t in 0..1000 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.buf.capacity(), cap_before);
+    }
+
+    #[test]
+    fn clock_timestamps_are_monotonic_per_worker() {
+        // Events recorded in program order through one Clock carry
+        // non-decreasing timestamps — the property the merge relies on.
+        let clock = Clock::start();
+        let mut r = EventRing::with_capacity(64);
+        for _ in 0..50 {
+            r.push(ev(clock.now_ns()));
+        }
+        let ts: Vec<u64> = r.iter().map(|e| e.ts_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+        // Wrap-around preserves chronology too.
+        let mut small = EventRing::with_capacity(8);
+        for _ in 0..50 {
+            small.push(ev(clock.now_ns()));
+        }
+        let ts: Vec<u64> = small.iter().map(|e| e.ts_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::off();
+        assert!(!t.enabled());
+        t.record(1, 0, EventKind::WarmupReset);
+        assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn enabled_tracer_keeps_events_and_drops() {
+        let mut t = Tracer::on(2);
+        for i in 0..5u64 {
+            t.record(i, 1, EventKind::Batch { seg: i as usize });
+        }
+        let tl = t.finish().unwrap();
+        assert_eq!(tl.events.len(), 2);
+        assert_eq!(tl.dropped, 3);
+        assert_eq!(tl.events[0].ts_ns, 3);
+        assert_eq!(tl.events[1].ts_ns, 4);
+    }
+
+    #[test]
+    fn zero_capacity_selects_default() {
+        let t = Tracer::on(0);
+        assert_eq!(t.ring.as_ref().unwrap().capacity(), DEFAULT_RING_CAPACITY);
+    }
+}

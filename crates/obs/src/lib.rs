@@ -1,0 +1,38 @@
+//! Low-overhead runtime observability for the executors.
+//!
+//! Every number the rest of the workspace reports is an end-of-run
+//! aggregate, but the paper's claims are about *when* cache behavior
+//! happens: cold-start misses decaying through warmup, stalls hiding
+//! inside the gating protocol, one slow segment serializing its
+//! neighbors. This crate provides the time-resolved side:
+//!
+//! - [`EventRing`] / [`Tracer`]: a private, bounded, allocation-free
+//!   event log per worker thread. Batches, stall spans, warmup resets,
+//!   ring first-touches, and window boundaries are recorded with
+//!   monotonic timestamps from a shared [`Clock`]; overflow overwrites
+//!   the oldest events and is *counted*, never silently absorbed, and a
+//!   disabled tracer is a single branch on the hot path.
+//! - [`WindowSampler`]: periodic re-reads of the worker's hardware
+//!   counter group every W batches, differenced with
+//!   [`ccs_perf::CounterSample::delta_since`] into [`WindowSample`]s —
+//!   the per-phase signal (misses/IPC over time) that an adaptive
+//!   scheduler would close its loop on. When no counter group opened
+//!   (containers, `CCS_NO_PERF`), windows degrade to timing-only.
+//! - [`chrome`]: export of per-worker timelines as Chrome trace-event
+//!   JSON (loadable in Perfetto / `chrome://tracing`), plus the text
+//!   summary renderer behind `ccs report`.
+//!
+//! The crate deliberately depends only on `ccs-perf`: both executors
+//! (`ccs-runtime`'s serial loop and `ccs-exec`'s workers) layer it in
+//! without a dependency cycle, and observability itself never touches
+//! graph or schedule state — it only watches.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod window;
+
+pub use chrome::{merge_timelines, TraceWorker, MULTIPLEX_WARN_RATIO, SCHEMA};
+pub use event::{Clock, Event, EventKind, EventRing, Timeline, Tracer, DEFAULT_RING_CAPACITY};
+pub use window::{window_json, WindowSample, WindowSampler};

@@ -33,4 +33,4 @@ pub use kernel::Kernel;
 pub use parallel::execute_parallel;
 pub use parallel_pipeline::execute_parallel_pipeline;
 pub use ring::{Ring, SpscRing};
-pub use serial::{execute, RunStats};
+pub use serial::{execute, execute_obs, ObsConfig, RunStats, SerialObs};

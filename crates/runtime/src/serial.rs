@@ -7,6 +7,8 @@
 use crate::instance::Instance;
 use crate::ring::Ring;
 use ccs_graph::{NodeId, StreamGraph};
+use ccs_obs::{Clock, EventKind, Timeline, Tracer, WindowSample, WindowSampler};
+use ccs_perf::CounterSample;
 use ccs_sched::SchedRun;
 use std::time::{Duration, Instant};
 
@@ -93,6 +95,66 @@ pub fn execute_counted_warm(
     counters: bool,
     warmup_firings: u64,
 ) -> (RunStats, Option<ccs_perf::CounterSample>) {
+    let (stats, obs) = execute_obs(
+        inst,
+        run,
+        &ObsConfig {
+            counters,
+            warmup_firings,
+            ..ObsConfig::default()
+        },
+    );
+    (stats, obs.sample)
+}
+
+/// Observability options for [`execute_obs`] — the serial analogues of
+/// the parallel executor's `RunConfig` counter/trace/window knobs.
+#[derive(Clone, Debug, Default)]
+pub struct ObsConfig {
+    /// Sample hardware counters (the `ccs-perf` cache suite) around
+    /// the firing loop.
+    pub counters: bool,
+    /// Zero the counter group after this many firings (the serial
+    /// warmup window; ignored when it would leave no measured window).
+    pub warmup_firings: u64,
+    /// Close a counter window every this many firings (0 = off):
+    /// cumulative group reads differenced with
+    /// [`CounterSample::delta_since`], the serial analogue of the
+    /// parallel executor's per-worker window cadence. Callers usually
+    /// pass `W · firings_per_round` so serial windows line up with
+    /// W-batch parallel ones.
+    pub window_firings: u64,
+    /// Record a `SerialBlock` span every this many firings (0 = off).
+    /// The serial schedule is one flat firing list, so its timeline is
+    /// chunked into fixed-size blocks — pass firings-per-round to get
+    /// one span per granularity-`T` round.
+    pub block_firings: u64,
+    /// Record an event timeline into a bounded ring.
+    pub trace: bool,
+    /// Event ring capacity when tracing (0 selects the default).
+    pub trace_capacity: usize,
+}
+
+/// What [`execute_obs`] observed, next to the (unperturbed) run stats.
+#[derive(Clone, Debug, Default)]
+pub struct SerialObs {
+    /// The end-of-run counter sample (post-warmup window when one was
+    /// configured); `None` when counters were off or unavailable.
+    pub sample: Option<CounterSample>,
+    /// Closed counter windows ([`ObsConfig::window_firings`]); empty
+    /// when windows were off, timing-only when no group opened.
+    pub windows: Vec<WindowSample>,
+    /// Recorded event timeline ([`ObsConfig::trace`]); `None` when
+    /// tracing was off.
+    pub trace: Option<Timeline>,
+}
+
+/// [`execute_counted_warm`] plus time-resolved observability: an event
+/// timeline (block spans, the warmup reset) and periodic counter
+/// windows, both collected by the same `ccs-obs` machinery the
+/// parallel workers use. Execution itself — digest, items, firing
+/// count — is identical to [`execute`] under every configuration.
+pub fn execute_obs(inst: &mut Instance, run: &SchedRun, cfg: &ObsConfig) -> (RunStats, SerialObs) {
     let g = &inst.graph;
     assert_eq!(run.capacities.len(), g.edge_count());
     let mut rings: Vec<Ring> = g
@@ -100,30 +162,77 @@ pub fn execute_counted_warm(
         .map(|e| Ring::new(run.capacities[e.idx()].max(1) as usize))
         .collect();
     let mut scratch = Scratch::for_graph(g);
-    let counter_set = if counters {
+    let counter_set = if cfg.counters {
         ccs_perf::CounterBuilder::cache_suite().open_self_thread()
     } else {
         ccs_perf::CounterSet::unavailable("counters not requested")
     };
     // A warmup that would leave no measured window is ignored.
-    let warmup = if warmup_firings < run.firings.len() as u64 {
-        warmup_firings
+    let warmup = if cfg.warmup_firings < run.firings.len() as u64 {
+        cfg.warmup_firings
     } else {
         0
     };
+    let clock = Clock::start();
+    let mut tracer = if cfg.trace {
+        Tracer::on(cfg.trace_capacity)
+    } else {
+        Tracer::off()
+    };
+    let mut wins = WindowSampler::new(cfg.window_firings);
 
     let sink = g.single_sink();
     let mut sink_items = 0u64;
     counter_set.reset();
     counter_set.enable();
+    if wins.enabled() {
+        wins.start(clock.now_ns(), counter_set.sample());
+    }
+    let mut block_index = 0u64;
+    let mut block_start_ns = clock.now_ns();
     let start = Instant::now();
     for (i, &v) in run.firings.iter().enumerate() {
         if warmup > 0 && i as u64 == warmup {
+            // The reset would corrupt any open window's cumulative
+            // baseline: flush, reset, re-baseline (same protocol as
+            // the parallel workers).
+            wins.flush(clock.now_ns(), || counter_set.sample());
             counter_set.reset();
+            if wins.enabled() {
+                wins.rebaseline(clock.now_ns(), counter_set.sample());
+            }
+            tracer.record(clock.now_ns(), 0, EventKind::WarmupReset);
         }
         fire_once(inst, &mut rings, &mut scratch, v, sink, &mut sink_items);
+        if wins.enabled() {
+            if let Some(index) = wins.on_batch(clock.now_ns(), || counter_set.sample()) {
+                tracer.record(clock.now_ns(), 0, EventKind::Window { index });
+            }
+        }
+        if cfg.trace && cfg.block_firings > 0 && (i as u64 + 1).is_multiple_of(cfg.block_firings) {
+            let now = clock.now_ns();
+            tracer.record(
+                block_start_ns,
+                now - block_start_ns,
+                EventKind::SerialBlock { index: block_index },
+            );
+            block_index += 1;
+            block_start_ns = now;
+        }
     }
     let wall = start.elapsed();
+    if cfg.trace
+        && cfg.block_firings > 0
+        && !(run.firings.len() as u64).is_multiple_of(cfg.block_firings)
+    {
+        let now = clock.now_ns();
+        tracer.record(
+            block_start_ns,
+            now - block_start_ns,
+            EventKind::SerialBlock { index: block_index },
+        );
+    }
+    let windows = wins.finish(clock.now_ns(), || counter_set.sample());
     counter_set.disable();
     let stats = RunStats {
         wall,
@@ -131,7 +240,12 @@ pub fn execute_counted_warm(
         sink_items,
         digest: inst.sink_digest(),
     };
-    (stats, counter_set.sample())
+    let obs = SerialObs {
+        sample: counter_set.sample(),
+        windows,
+        trace: tracer.finish(),
+    };
+    (stats, obs)
 }
 
 #[inline]
@@ -216,6 +330,63 @@ mod tests {
             assert_eq!(warm.firings, plain.firings);
             assert_eq!(warm.sink_items, plain.sink_items);
         }
+    }
+
+    #[test]
+    fn observed_execution_does_not_perturb_results() {
+        let g = gen::pipeline(&PipelineCfg::default(), 7);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let run = baseline::single_appearance(&g, &ra, 4);
+        let mut i1 = Instance::synthetic(g.clone());
+        let plain = execute(&mut i1, &run);
+        let cfg = ObsConfig {
+            counters: true,
+            warmup_firings: run.firings.len() as u64 / 3,
+            window_firings: 5,
+            block_firings: 8,
+            trace: true,
+            trace_capacity: 0,
+        };
+        let mut i2 = Instance::synthetic(g);
+        let (observed, obs) = execute_obs(&mut i2, &run, &cfg);
+        assert_eq!(observed.digest, plain.digest);
+        assert_eq!(observed.firings, plain.firings);
+        assert_eq!(observed.sink_items, plain.sink_items);
+        // Windows close on the firing cadence whether or not a counter
+        // group opened (timing-only fallback), partial final included.
+        let expect = (run.firings.len() as u64).div_ceil(5) as usize;
+        assert_eq!(obs.windows.len(), expect);
+        assert!(obs.windows.iter().all(|w| w.batches > 0));
+        // The trace holds one block span per 8 firings (last partial),
+        // the warmup reset, and the window instants, all in time order.
+        let tl = obs.trace.expect("tracing was on");
+        assert_eq!(tl.dropped, 0);
+        let blocks = tl
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, ccs_obs::EventKind::SerialBlock { .. }))
+            .count();
+        assert_eq!(blocks, (run.firings.len() as u64).div_ceil(8) as usize);
+        assert!(tl
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, ccs_obs::EventKind::WarmupReset)));
+        assert!(tl.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn obs_defaults_match_plain_execution() {
+        let g = gen::pipeline(&PipelineCfg::default(), 4);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let run = baseline::single_appearance(&g, &ra, 3);
+        let mut i1 = Instance::synthetic(g.clone());
+        let plain = execute(&mut i1, &run);
+        let mut i2 = Instance::synthetic(g);
+        let (stats, obs) = execute_obs(&mut i2, &run, &ObsConfig::default());
+        assert_eq!(stats.digest, plain.digest);
+        assert!(obs.sample.is_none());
+        assert!(obs.windows.is_empty());
+        assert!(obs.trace.is_none());
     }
 
     #[test]
