@@ -51,6 +51,10 @@ use std::fmt::Write as _;
 /// report` accepts exactly this schema.
 pub const SCHEMA: &str = "ccs-sweep/v1";
 
+/// Stall share (stall / (busy + stall), run-wide) above which the
+/// report warns that a cell is bottlenecked.
+pub const STALL_WARN_SHARE: f64 = 0.4;
+
 /// `CCS_SMOKE=1`: shrink sweeps for CI.
 pub fn smoke() -> bool {
     std::env::var("CCS_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
@@ -350,6 +354,9 @@ pub struct Sweep {
     pub confidence: f64,
     /// Bootstrap base seed (each comparison offsets deterministically).
     pub seed: u64,
+    /// PMU-residency ratio below which a counter window counts as
+    /// low-residency in the obs accounting and the report warnings.
+    pub warn_residency: f64,
 }
 
 impl Sweep {
@@ -364,6 +371,7 @@ impl Sweep {
             bootstrap_iters: 1000,
             confidence: 0.9,
             seed: 42,
+            warn_residency: ccs_obs::MULTIPLEX_WARN_RATIO,
         }
     }
 
@@ -433,6 +441,12 @@ struct RunRecord {
     windows_timing_only: usize,
     /// Windows whose PMU residency fell below the warning threshold.
     windows_scaled_low: usize,
+    /// Run-wide stall share, stall / (busy + stall) across workers
+    /// (parallel cells only).
+    stall_share: Option<f64>,
+    /// Top blamed bottleneck from the stall-attribution telemetry
+    /// (traced parallel cells only).
+    bottleneck: Option<ccs_insight::Bottleneck>,
 }
 
 impl RunRecord {
@@ -537,9 +551,12 @@ impl Sweep {
                             g,
                             cell,
                             self.rounds,
+                            self.warn_residency,
                         ),
-                        CellEngine::Parallel => run_parallel(&planner, g, cell, self.rounds)
-                            .map_err(|e| format!("{wname}/{}: {e}", labels[ci]))?,
+                        CellEngine::Parallel => {
+                            run_parallel(&planner, g, cell, self.rounds, self.warn_residency)
+                                .map_err(|e| format!("{wname}/{}: {e}", labels[ci]))?
+                        }
                     };
                     match &reference {
                         None => reference = Some((labels[ci].clone(), rec.digest)),
@@ -634,6 +651,7 @@ impl Sweep {
             "fdr_alpha": alpha,
             "bootstrap_iters": self.bootstrap_iters,
             "seed": self.seed,
+            "warn_residency": self.warn_residency,
             "workloads": self.workloads.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
             "cells": cells_json,
             "comparisons": comparisons_json,
@@ -644,7 +662,13 @@ impl Sweep {
 /// Run one serial repeat: the two-level schedule for the same number of
 /// granularity-`T` rounds, through the same counter suite, with the
 /// warmup window expressed in firings.
-fn run_serial(plan: &ccs_core::Plan, g: &StreamGraph, cell: &Cell, rounds: u64) -> RunRecord {
+fn run_serial(
+    plan: &ccs_core::Plan,
+    g: &StreamGraph,
+    cell: &Cell,
+    rounds: u64,
+    warn_residency: f64,
+) -> RunRecord {
     let mut inst = Instance::synthetic(g.clone());
     let warm = cell.warmup.min(rounds - 1);
     let firings_per_round = (plan.run.firings.len() as u64) / rounds;
@@ -689,8 +713,10 @@ fn run_serial(plan: &ccs_core::Plan, g: &StreamGraph, cell: &Cell, rounds: u64) 
         windows_scaled_low: obs
             .windows
             .iter()
-            .filter(|w| w.scaled_below(ccs_obs::MULTIPLEX_WARN_RATIO))
+            .filter(|w| w.scaled_below(warn_residency))
             .count(),
+        stall_share: None,
+        bottleneck: None,
     }
 }
 
@@ -700,6 +726,7 @@ fn run_parallel(
     g: &StreamGraph,
     cell: &Cell,
     rounds: u64,
+    warn_residency: f64,
 ) -> Result<RunRecord, Box<dyn Error>> {
     let mut cfg = RunConfig::new(cell.workers)
         .with_placement(cell.placement)
@@ -718,13 +745,29 @@ fn run_parallel(
     let pr = planner.plan_and_run_parallel(Instance::synthetic(g.clone()), rounds, &cfg)?;
     let stats = pr.stats;
     let totals = stats.counter_totals();
+    let busy_ms: f64 = stats
+        .workers
+        .iter()
+        .map(|w| w.busy.as_secs_f64() * 1e3)
+        .sum();
+    let stall_ms = stats.total_stall_time().as_secs_f64() * 1e3;
+    let bottleneck = if cell.trace {
+        let slices: Vec<(usize, &[ccs_obs::Event])> = stats
+            .workers
+            .iter()
+            .filter_map(|w| w.trace.as_ref().map(|t| (w.worker, &t.events[..])))
+            .collect();
+        ccs_insight::top_bottleneck(&slices)
+    } else {
+        None
+    };
     Ok(RunRecord {
         wall_ms: stats.run.wall.as_secs_f64() * 1e3,
         items_per_sec: stats.items_per_sec(),
         llc_mpi: stats.llc_misses_per_item(),
         ipc: totals.as_ref().and_then(|t| t.ipc()),
         mpki: totals.as_ref().and_then(|t| t.mpki()),
-        stall_ms: Some(stats.total_stall_time().as_secs_f64() * 1e3),
+        stall_ms: Some(stall_ms),
         seg_mpi: stats.segment_llc_misses_per_item(),
         digest: stats.run.digest,
         segments: stats.segments,
@@ -735,7 +778,13 @@ fn run_parallel(
         trace_dropped: stats.trace_dropped(),
         window_count: stats.window_count(),
         windows_timing_only: stats.windows_timing_only(),
-        windows_scaled_low: stats.windows_scaled_low(),
+        windows_scaled_low: stats.windows_scaled_below(warn_residency),
+        stall_share: if busy_ms + stall_ms > 0.0 {
+            Some(stall_ms / (busy_ms + stall_ms))
+        } else {
+            None
+        },
+        bottleneck,
     })
 }
 
@@ -808,6 +857,41 @@ fn cell_json(wname: &str, cell: &Cell, label: &str, runs: &[RunRecord], rounds: 
     // entirely when neither tracing nor windows were requested, so
     // pre-obs documents and plain cells render identically.
     let obs = if cell.trace || cell.windows > 0 {
+        // Per-cell analysis digest: mean run-wide stall share across
+        // repeats, and the dominant blamed bottleneck (the (seg, edge,
+        // reason) whose repeats' top entries sum to the most blamed
+        // time) — the lightweight live cut of `ccs analyze`.
+        let shares: Vec<f64> = runs.iter().filter_map(|r| r.stall_share).collect();
+        let mut tops: std::collections::BTreeMap<(usize, usize, &'static str), (f64, u64)> =
+            std::collections::BTreeMap::new();
+        for b in runs.iter().filter_map(|r| r.bottleneck) {
+            let e = tops
+                .entry((b.seg, b.edge, b.reason.name()))
+                .or_insert((0.0, 0));
+            e.0 += b.blamed_ms;
+            e.1 += b.stalls;
+        }
+        let top = tops
+            .into_iter()
+            .max_by(|a, b| {
+                a.1 .0
+                    .partial_cmp(&b.1 .0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|((seg, edge, reason), (blamed_ms, stalls))| {
+                serde_json::json!({
+                    "seg": seg as u64,
+                    "edge": edge as u64,
+                    "reason": reason,
+                    "blamed_ms": blamed_ms,
+                    "stalls": stalls,
+                })
+            })
+            .unwrap_or(Value::Null);
+        let analysis = serde_json::json!({
+            "stall_share": opt_json(Summary::of(&shares).map(|s| s.mean)),
+            "top_bottleneck": top,
+        });
         serde_json::json!({
             "trace": cell.trace,
             "windows_every": cell.windows,
@@ -816,6 +900,7 @@ fn cell_json(wname: &str, cell: &Cell, label: &str, runs: &[RunRecord], rounds: 
             "windows": runs.iter().map(|r| r.window_count).sum::<usize>(),
             "windows_timing_only": runs.iter().map(|r| r.windows_timing_only).sum::<usize>(),
             "windows_scaled_low": runs.iter().map(|r| r.windows_scaled_low).sum::<usize>(),
+            "analysis": analysis,
         })
     } else {
         Value::Null
@@ -962,8 +1047,12 @@ pub fn render(v: &Value) -> Result<String, Box<dyn Error>> {
         }
     }
 
-    // Observability health, where cells traced or windowed: drops and
-    // low-residency windows degrade the data quietly unless surfaced.
+    // Observability health, where cells traced or windowed: drops,
+    // low-residency windows, and heavy stalling degrade the data (or
+    // the run) quietly unless surfaced.
+    let warn_residency = v["warn_residency"]
+        .as_f64()
+        .unwrap_or(ccs_obs::MULTIPLEX_WARN_RATIO);
     for c in cells {
         let obs = &c["obs"];
         if obs.is_null() {
@@ -990,7 +1079,7 @@ pub fn render(v: &Value) -> Result<String, Box<dyn Error>> {
                 out,
                 "  warning: {who}: {scaled_low} of {windows} counter windows ran below \
                  {:.0}% PMU residency — multiplex-scaled counts are estimates",
-                100.0 * ccs_obs::MULTIPLEX_WARN_RATIO,
+                100.0 * warn_residency,
             );
         }
         let timing_only = obs["windows_timing_only"].as_u64().unwrap_or(0);
@@ -999,6 +1088,27 @@ pub fn render(v: &Value) -> Result<String, Box<dyn Error>> {
                 out,
                 "  note: {who}: counter windows are timing-only (no counter group opened)",
             );
+        }
+        let analysis = &obs["analysis"];
+        if let Some(share) = analysis["stall_share"].as_f64() {
+            if share >= STALL_WARN_SHARE {
+                let top = &analysis["top_bottleneck"];
+                let blamed = if top.is_null() {
+                    "no attributed bottleneck — re-run with --trace".to_string()
+                } else {
+                    format!(
+                        "bottleneck seg {} via edge {} ({})",
+                        top["seg"].as_u64().unwrap_or(0),
+                        top["edge"].as_u64().unwrap_or(0),
+                        top["reason"].as_str().unwrap_or("?"),
+                    )
+                };
+                let _ = writeln!(
+                    out,
+                    "  warning: {who}: workers stalled {:.0}% of busy time — {blamed}",
+                    100.0 * share,
+                );
+            }
         }
     }
 
@@ -1094,7 +1204,8 @@ pub fn run_and_save(sweep: &Sweep) -> Value {
 ///   "comparisons": [
 ///     {"metric": "llc_misses_per_item", "baseline": "rr+pin/w4", "treatment": "llc"}
 ///   ],
-///   "bootstrap_iters": 1000, "confidence": 0.9, "seed": 42
+///   "bootstrap_iters": 1000, "confidence": 0.9, "seed": 42,
+///   "warn_residency": 0.5
 /// }
 /// ```
 ///
@@ -1118,6 +1229,9 @@ pub fn from_spec(v: &Value) -> Result<Sweep, Box<dyn Error>> {
     }
     if let Some(s) = v["seed"].as_u64() {
         sweep.seed = s;
+    }
+    if let Some(w) = v["warn_residency"].as_f64() {
+        sweep.warn_residency = w;
     }
     let default_warmup = v["warmup"].as_u64().unwrap_or(0);
 

@@ -41,7 +41,16 @@ USAGE:
   ccs gen pipeline --len N --state S [-o FILE]
   ccs gen layered  --layers N --width W [--max-q Q] [-o FILE]
   ccs gen app NAME [-o FILE]               (see `ccs gen app list`)
-  ccs analyze FILE
+  ccs analyze FILE [--json] [-o FILE]
+               (structural rate analysis of a StreamGraph; given a
+                ccs-trace/v1 document instead, runs the bottleneck
+                analysis — per-worker time breakdowns, stall blame per
+                edge, ring occupancy, bottleneck ranking with the
+                blocking chain, and mpki/stall-share drift — emitting a
+                ccs-analysis/v1 document `ccs report` renders)
+  ccs analyze FILE --m M [trace flags]
+               (live mode: run the StreamGraph with tracing on — the
+                same run `ccs trace` exports — and analyze it directly)
   ccs partition FILE --m M [--b B] [--strategy greedy2m|dp|dag|exact]
   ccs simulate FILE --m M [--b B] [--outputs T] [--json]
   ccs run-dag  FILE --m M [--b B] [--workers N] [--rounds R]
@@ -49,7 +58,7 @@ USAGE:
                [--pin-cores] [--counters] [--warmup K] [--segment-counters]
                [--stride S] [--per-worker-warmup] [--first-touch]
                [--trace] [--windows W] [--trace-cap C]
-               [--strategy ...] [--json]
+               [--warn-residency R] [--strategy ...] [--json]
                (real multicore execution with segment-affine workers;
                 llc placement + pinning use the machine topology;
                 --counters samples hardware cache counters per worker,
@@ -65,19 +74,24 @@ USAGE:
   ccs trace FILE --m M [--b B] [--workers N] [--rounds R] [--serial]
             [--windows W] [--trace-cap C] [--no-counters] [--warmup K]
             [--placement rr|greedy|llc] [--topo NxCxK] [--pin-cores]
-            [--strategy ...] [--json] [-o FILE]
+            [--warn-residency R] [--strategy ...] [--json] [-o FILE]
                (run with event tracing on and export the merged
                 per-worker timelines as Chrome trace-event JSON —
                 load FILE in Perfetto (ui.perfetto.dev) or render the
                 summary with `ccs report`; counter windows every W
                 batches [default 1] annotate the timeline, degrading
-                to timing-only without a PMU; see docs/OBSERVABILITY.md)
+                to timing-only without a PMU; stalls carry the blocking
+                edge and ring occupancy is sampled at batch boundaries,
+                so the export feeds `ccs analyze`; --warn-residency sets
+                the low-PMU-residency warning threshold baked into the
+                document; see docs/OBSERVABILITY.md)
   ccs sweep [--spec FILE | --apps A,B --workers N,M --placements rr,llc
              --pin on|off|both [--serial] [--counters] [--segment-counters]
              [--warmup K] [--stride S] [--first-touch] [--per-worker-warmup]
              [--trace] [--windows W] [--topo NxCxK] [--repeats R]
              [--rounds N] [--baseline LABEL]
-             [--metrics m1,m2] [--name NAME] [--seed S] [--confidence C]]
+             [--metrics m1,m2] [--name NAME] [--seed S] [--confidence C]
+             [--warn-residency R]]
             [--json] [-o FILE]
                (declarative experiment grid: cells x interleaved repeats
                 with digest-equivalence asserted across all cells, per-cell
@@ -93,9 +107,11 @@ USAGE:
                (render a results document as text, dispatching on its
                 schema: ccs-sweep/v1 — per-cell mean +/- stddev,
                 per-segment attribution, and the BH-corrected comparison
-                family, from `ccs sweep` and the e19..e22 binaries — or
+                family, from `ccs sweep` and the e19..e22 binaries —
                 ccs-trace/v1 — per-worker event/window summary with
-                drop and PMU-residency warnings, from `ccs trace`)
+                drop and PMU-residency warnings, from `ccs trace` — or
+                ccs-analysis/v1 — the bottleneck/drift analysis from
+                `ccs analyze`)
   ccs compare FILE --m M [--b B] [--outputs T]
   ccs autotune FILE --m M [--b B] [--outputs T]
   ccs fuse FILE --m M [--b B] [-o FILE]       (partition, then fuse)
@@ -177,8 +193,31 @@ fn gen(args: &Args) -> CliResult {
     emit(args, serde_json::to_string_pretty(&graph)?)
 }
 
+/// `ccs analyze` — dispatch on content. A `ccs-trace/v1` document is
+/// analyzed into a `ccs-analysis/v1` one (stall blame, ring occupancy,
+/// bottleneck ranking, drift); a StreamGraph with `--m` is run live
+/// with tracing on (the same run `ccs trace` makes) and the resulting
+/// document analyzed; a plain StreamGraph gets the structural rate
+/// analysis.
 fn analyze(args: &Args) -> CliResult {
-    let g = load(args.positional(0, "graph file")?)?;
+    let path = args.positional(0, "graph or trace file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if let Ok(v) = serde_json::from_str::<serde_json::Value>(&text) {
+        if v["schema"].as_str() == Some(ccs_obs::chrome::SCHEMA) {
+            let analysis = ccs_insight::analyze_doc(&v).map_err(|e| format!("{path}: {e}"))?;
+            return emit_analysis(args, analysis);
+        }
+    }
+    if args.flag("m").is_some() {
+        // Live mode: run the graph with tracing on (the exact run `ccs
+        // trace` exports) and analyze the in-memory document, so the
+        // file and live paths cannot diverge.
+        let doc = build_trace_doc(args)?;
+        let analysis = ccs_insight::analyze_doc(&doc).map_err(|e| format!("{path}: {e}"))?;
+        return emit_analysis(args, analysis);
+    }
+    let g: StreamGraph = serde_json::from_str(&text)
+        .map_err(|e| format!("{path} is not a StreamGraph JSON: {e}"))?;
     let ra = RateAnalysis::analyze_single_io(&g)?;
     let mut out = String::new();
     use std::fmt::Write as _;
@@ -553,7 +592,7 @@ fn run_dag(args: &Args) -> CliResult {
             stats.window_count(),
             stats.window_batches,
             stats.windows_timing_only(),
-            stats.windows_scaled_low(),
+            stats.windows_scaled_below(warn_residency_of(args)?),
         );
     }
     if segment_counters {
@@ -605,6 +644,13 @@ fn run_dag(args: &Args) -> CliResult {
 /// carries a counter series next to its batch/stall spans; without a
 /// usable PMU the windows degrade to timing-only spans.
 fn trace_cmd(args: &Args) -> CliResult {
+    emit_trace(args, build_trace_doc(args)?)
+}
+
+/// The `ccs trace` run itself: execute the graph with tracing on and
+/// build the `ccs-trace/v1` document. Shared with `ccs analyze --m`
+/// (live analysis), so both subcommands describe the identical run.
+fn build_trace_doc(args: &Args) -> Result<serde_json::Value, Box<dyn Error>> {
     use ccs_obs::chrome::{self, TraceWorker};
     let path = args.positional(0, "graph file")?;
     let g = load(path)?;
@@ -619,6 +665,19 @@ fn trace_cmd(args: &Args) -> CliResult {
     // (they only annotate; `--no-counters` drops to timing-only).
     let counters = !args.has("no-counters");
     let warmup = args.u64_or("warmup", 0)?;
+    let warn_residency = warn_residency_of(args)?;
+    // Echo where the machine model came from, so a saved document is
+    // self-describing on another machine.
+    let topology = match (args.flag("topo"), args.flag("topo-from")) {
+        (Some(spec), _) => spec.to_string(),
+        (None, Some(_)) => "replay".to_string(),
+        (None, None) => "host".to_string(),
+    };
+    let warmup_mode = if args.has("per-worker-warmup") {
+        ccs_exec::WarmupMode::PerWorker
+    } else {
+        ccs_exec::WarmupMode::Epoch
+    };
 
     if args.has("serial") {
         let plan = planner.plan(&g, Horizon::Rounds(rounds))?;
@@ -648,11 +707,12 @@ fn trace_cmd(args: &Args) -> CliResult {
             "engine": "serial",
             "workers": 1u64,
             "rounds": rounds,
+            "warmup": warmup.min(rounds - 1),
             "windows_every": windows,
             "wall_ms": run.wall.as_secs_f64() * 1e3,
             "digest": format!("{:016x}", run.digest.unwrap_or(0)),
         });
-        return emit_trace(args, chrome::document(&name, meta, &workers));
+        return Ok(chrome::document_with(&name, meta, &workers, warn_residency));
     }
 
     let workers = args.u64_or("workers", 2)?.max(1) as usize;
@@ -666,11 +726,7 @@ fn trace_cmd(args: &Args) -> CliResult {
         .with_pinning(args.has("pin-cores"))
         .with_counters(counters)
         .with_warmup(warmup)
-        .with_warmup_mode(if args.has("per-worker-warmup") {
-            ccs_exec::WarmupMode::PerWorker
-        } else {
-            ccs_exec::WarmupMode::Epoch
-        })
+        .with_warmup_mode(warmup_mode)
         .with_trace(true)
         .with_windows(windows)
         .with_trace_capacity(trace_cap);
@@ -698,13 +754,17 @@ fn trace_cmd(args: &Args) -> CliResult {
         "engine": "parallel",
         "strategy": pr.strategy_used,
         "placement": placement.name(),
+        "pin_cores": cfg.pin_cores,
+        "topology": topology,
+        "warmup_mode": warmup_mode.name(),
         "workers": workers as u64,
         "rounds": rounds,
+        "warmup": warmup,
         "windows_every": windows,
         "wall_ms": stats.run.wall.as_secs_f64() * 1e3,
         "digest": format!("{:016x}", stats.run.digest.unwrap_or(0)),
     });
-    emit_trace(args, chrome::document(&name, meta, &tracks))
+    Ok(chrome::document_with(&name, meta, &tracks, warn_residency))
 }
 
 /// Shared tail of `ccs trace`: save with `-o`, print raw JSON with
@@ -726,6 +786,37 @@ fn emit_trace(args: &Args, doc: serde_json::Value) -> CliResult {
         );
     }
     Ok(rendered)
+}
+
+/// Shared tail of trace analysis (`ccs analyze`): save the
+/// `ccs-analysis/v1` document with `-o`, print it raw with `--json`,
+/// otherwise render the text summary.
+fn emit_analysis(args: &Args, doc: serde_json::Value) -> CliResult {
+    let json = serde_json::to_string_pretty(&doc)?;
+    if let Some(path) = args.flag("out") {
+        std::fs::write(path, &json)?;
+    }
+    if args.has("json") {
+        return Ok(json);
+    }
+    let mut rendered = ccs_insight::render(&doc)?;
+    if let Some(path) = args.flag("out") {
+        use std::fmt::Write as _;
+        let _ = write!(rendered, "wrote {path}");
+    }
+    Ok(rendered)
+}
+
+/// `--warn-residency R`: the PMU-residency ratio below which a counter
+/// window is flagged as low-residency (default
+/// [`ccs_obs::MULTIPLEX_WARN_RATIO`]).
+fn warn_residency_of(args: &Args) -> Result<f64, Box<dyn Error>> {
+    match args.flag("warn-residency") {
+        None => Ok(ccs_obs::MULTIPLEX_WARN_RATIO),
+        Some(w) => w
+            .parse::<f64>()
+            .map_err(|_| format!("--warn-residency: '{w}' is not a number").into()),
+    }
 }
 
 fn topo_cmd(args: &Args) -> CliResult {
@@ -808,9 +899,13 @@ fn report_cmd(args: &Args) -> CliResult {
     let v: serde_json::Value =
         serde_json::from_str(&text).map_err(|e| format!("{path} is not JSON: {e}"))?;
     // Dispatch on the document's schema tag: trace exports render
-    // through `ccs-obs`, everything else through the sweep renderer.
+    // through `ccs-obs`, analysis documents through `ccs-insight`,
+    // everything else through the sweep renderer.
     if v["schema"].as_str() == Some(ccs_obs::chrome::SCHEMA) {
         return ccs_obs::chrome::render(&v).map_err(|e| format!("{path}: {e}").into());
+    }
+    if v["schema"].as_str() == Some(ccs_insight::SCHEMA) {
+        return ccs_insight::render(&v).map_err(|e| format!("{path}: {e}").into());
     }
     ccs_bench::sweep::render(&v).map_err(|e| format!("{path}: {e}").into())
 }
@@ -833,7 +928,7 @@ fn csv(args: &Args, name: &str, default: &str) -> Vec<String> {
 /// JSON for `ccs report`.
 fn sweep_cmd(args: &Args) -> CliResult {
     use ccs_bench::sweep::{self, Cell, Metric, Sweep};
-    let sweep = match args.flag("spec") {
+    let mut sweep = match args.flag("spec") {
         Some(path) => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -931,6 +1026,11 @@ fn sweep_cmd(args: &Args) -> CliResult {
             s
         }
     };
+    // The flag overrides both the flag-built grid and a spec file;
+    // absent, a spec's own `warn_residency` (or the default) stands.
+    if args.flag("warn-residency").is_some() {
+        sweep.warn_residency = warn_residency_of(args)?;
+    }
     let out = sweep.run()?;
     let json = serde_json::to_string_pretty(&out)?;
     if let Some(path) = args.flag("out") {

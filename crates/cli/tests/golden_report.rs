@@ -1,0 +1,72 @@
+//! Golden-file round trips for the versioned result documents.
+//!
+//! The fixtures are checked-in outputs of real runs: a `ccs-trace/v1`
+//! export, the `ccs-analysis/v1` document `ccs analyze` derives from
+//! it, and a `ccs-sweep/v1` grid. Each must keep rendering through
+//! `ccs report` exactly as the checked-in text, and the analyzer must
+//! keep regenerating the analysis fixture from the trace fixture —
+//! so a schema or renderer change that would orphan saved documents
+//! fails here instead of in a user's results directory.
+
+use ccs_cli::{run, Args};
+
+fn args(words: &[&str]) -> Args {
+    Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+}
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn golden(name: &str) -> String {
+    std::fs::read_to_string(fixture(name)).expect("fixture exists")
+}
+
+#[test]
+fn report_renders_each_schema_exactly_as_checked_in() {
+    // `ccs` prints with a trailing newline the returned string lacks;
+    // compare modulo that.
+    for (doc, text) in [
+        ("sweep-v1.json", "sweep-v1.txt"),
+        ("trace-v1.json", "trace-v1.txt"),
+        ("analysis-v1.json", "analysis-v1.txt"),
+    ] {
+        let rendered = run("report", &args(&[&fixture(doc)])).unwrap();
+        assert_eq!(
+            rendered.trim_end(),
+            golden(text).trim_end(),
+            "{doc} no longer renders as {text}"
+        );
+    }
+}
+
+#[test]
+fn analyze_regenerates_the_analysis_fixture_from_the_trace() {
+    let out = run("analyze", &args(&[&fixture("trace-v1.json"), "--json"])).unwrap();
+    assert_eq!(
+        out.trim_end(),
+        golden("analysis-v1.json").trim_end(),
+        "ccs analyze drifted from the checked-in ccs-analysis/v1 fixture"
+    );
+}
+
+#[test]
+fn analyze_text_mode_matches_the_report_render() {
+    // The two user-facing ways to read an analysis — `ccs analyze
+    // TRACE` directly and `ccs report` over the saved document — must
+    // agree.
+    let direct = run("analyze", &args(&[&fixture("trace-v1.json")])).unwrap();
+    assert_eq!(direct.trim_end(), golden("analysis-v1.txt").trim_end());
+}
+
+#[test]
+fn fixture_documents_carry_their_schema_tags() {
+    for (doc, schema) in [
+        ("sweep-v1.json", "ccs-sweep/v1"),
+        ("trace-v1.json", "ccs-trace/v1"),
+        ("analysis-v1.json", "ccs-analysis/v1"),
+    ] {
+        let v: serde_json::Value = serde_json::from_str(&golden(doc)).unwrap();
+        assert_eq!(v["schema"].as_str(), Some(schema), "{doc}");
+    }
+}

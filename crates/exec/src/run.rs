@@ -25,7 +25,7 @@ use crate::place::{assign_on, Placement};
 use crate::plan::{DagExecError, ExecPlan};
 use crate::stats::{DagRunStats, SegmentCounters, WorkerStats};
 use ccs_graph::RateAnalysis;
-use ccs_obs::{Clock, EventKind, Tracer, WindowSampler};
+use ccs_obs::{Blocked, Clock, EventKind, StallReason, Tracer, WindowSampler};
 use ccs_partition::Partition;
 use ccs_runtime::instance::Instance;
 use ccs_runtime::kernel::Kernel;
@@ -604,6 +604,48 @@ fn schedulable(plan: &ExecPlan, rings: &[SpscRing], seg: usize) -> bool {
             .all(|&(e, n)| rings[e.idx()].space() as u64 >= n)
 }
 
+/// Stall attribution: the first failing gate among this worker's
+/// unfinished, limit-eligible segments. Mirrors the [`schedulable`]
+/// scan but names the edge — which ring starves or backpressures which
+/// segment, and which peer segment is on its other end. Only called on
+/// the stall path, and only when tracing is enabled, so the gate itself
+/// never pays for it.
+fn blocking_edge(
+    g: &ccs_graph::StreamGraph,
+    plan: &ExecPlan,
+    rings: &[SpscRing],
+    tasks: &[SegTask],
+    limit: u64,
+) -> Option<Blocked> {
+    for task in tasks {
+        if task.done >= limit {
+            continue;
+        }
+        let s = &plan.segments[task.seg];
+        for &(e, n) in &s.in_batch {
+            if (rings[e.idx()].len() as u64) < n {
+                return Some(Blocked {
+                    edge: e.idx(),
+                    seg: task.seg,
+                    peer: plan.seg_of_node[g.edge(e).src.idx()],
+                    reason: StallReason::ProducerEmpty,
+                });
+            }
+        }
+        for &(e, n) in &s.out_batch {
+            if (rings[e.idx()].space() as u64) < n {
+                return Some(Blocked {
+                    edge: e.idx(),
+                    seg: task.seg,
+                    peer: plan.seg_of_node[g.edge(e).dst.idx()],
+                    reason: StallReason::ConsumerFull,
+                });
+            }
+        }
+    }
+    None
+}
+
 /// Everything one worker thread needs, bundled so the spawn site stays
 /// readable.
 struct WorkerCtx<'a> {
@@ -774,6 +816,24 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
                 dur.as_nanos() as u64,
                 EventKind::Batch { seg: task.seg },
             );
+            if tracer.enabled() {
+                // Ring occupancy at the batch boundary: one instant per
+                // ring this segment touches, all on one timestamp.
+                let now = obs.clock.now_ns();
+                let s = &plan.segments[task.seg];
+                for &(e, _) in s.in_batch.iter().chain(s.out_batch.iter()) {
+                    let r = &rings[e.idx()];
+                    tracer.record(
+                        now,
+                        0,
+                        EventKind::RingOccupancy {
+                            ring: e.idx(),
+                            len: r.len() as u64,
+                            cap: r.capacity() as u64,
+                        },
+                    );
+                }
+            }
             if let Some(before) = before {
                 if let Some(after) = counter_set.sample() {
                     seg_acc[ti].sample.merge(&after.delta_since(&before));
@@ -802,6 +862,13 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
         }
         stats.stalls += 1;
         unproductive += 1;
+        // Attribute the stall while the blocking ring state is current
+        // (before yielding lets a peer drain or fill it).
+        let blocked = if tracer.enabled() {
+            blocking_edge(g, plan, rings, &tasks, limit)
+        } else {
+            None
+        };
         let t0 = Instant::now();
         let parked = unproductive > SPIN_PASSES;
         if !parked {
@@ -814,7 +881,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
         tracer.record(
             obs.clock.offset_ns(t0),
             dur.as_nanos() as u64,
-            EventKind::Stall { parked },
+            EventKind::Stall { parked, blocked },
         );
     }
     stats.windows = wins.finish(obs.clock.now_ns(), || counter_set.sample());

@@ -249,10 +249,16 @@ impl DagRunStats {
     /// Windows whose counts were multiplex-scaled below the reporting
     /// threshold ([`MULTIPLEX_WARN_RATIO`]) — estimates, not counts.
     pub fn windows_scaled_low(&self) -> usize {
+        self.windows_scaled_below(MULTIPLEX_WARN_RATIO)
+    }
+
+    /// [`windows_scaled_low`](Self::windows_scaled_low) at a caller-
+    /// chosen residency threshold (`--warn-residency`).
+    pub fn windows_scaled_below(&self, ratio: f64) -> usize {
         self.workers
             .iter()
             .flat_map(|w| w.windows.iter())
-            .filter(|s| s.scaled_below(MULTIPLEX_WARN_RATIO))
+            .filter(|s| s.scaled_below(ratio))
             .count()
     }
 

@@ -1,0 +1,91 @@
+//! EWMA drift tracking with change-point flags.
+//!
+//! The controller-facing signal: a smoothed level per metric and the
+//! window indices where the raw series jumped out of its recent band.
+//! Deliberately simple — an exponentially weighted mean plus an
+//! exponentially weighted mean absolute deviation, with a point
+//! flagged when it lands more than `BAND` deviations from the level.
+//! No allocation beyond the output, no second pass, suitable for
+//! online use.
+
+/// Smoothing factor: weight of the newest observation.
+const ALPHA: f64 = 0.3;
+
+/// Flag threshold, in units of the tracked mean absolute deviation.
+const BAND: f64 = 3.0;
+
+/// Observations to absorb before flagging anything (the EWMA needs a
+/// few points to mean something).
+const WARMUP_POINTS: usize = 3;
+
+/// The result of tracking one metric series.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DriftTrack {
+    /// Final EWMA level (`None` for an empty series).
+    pub ewma: Option<f64>,
+    /// Indices (into the series) flagged as change points.
+    pub change_points: Vec<usize>,
+}
+
+/// Track `xs` with an EWMA (alpha 0.3) and flag change points: index
+/// `i` is flagged when `xs[i]` deviates from the running level by more
+/// than 3 tracked mean-absolute-deviations (floored at `eps`, the
+/// metric's noise scale). The first few points are never flagged.
+pub fn ewma_change_points(xs: &[f64], eps: f64) -> DriftTrack {
+    let mut track = DriftTrack::default();
+    let mut mean = 0.0f64;
+    let mut dev = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        if i == 0 {
+            mean = x;
+            track.ewma = Some(mean);
+            continue;
+        }
+        let err = (x - mean).abs();
+        if i >= WARMUP_POINTS && err > BAND * dev.max(eps) {
+            track.change_points.push(i);
+        }
+        mean += ALPHA * (x - mean);
+        dev += ALPHA * (err - dev);
+        track.ewma = Some(mean);
+    }
+    track
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_series() {
+        assert_eq!(ewma_change_points(&[], 0.1), DriftTrack::default());
+        let t = ewma_change_points(&[2.0], 0.1);
+        assert_eq!(t.ewma, Some(2.0));
+        assert!(t.change_points.is_empty());
+    }
+
+    #[test]
+    fn steady_series_flags_nothing() {
+        let xs: Vec<f64> = (0..50).map(|i| 1.0 + 0.01 * ((i % 3) as f64)).collect();
+        let t = ewma_change_points(&xs, 0.1);
+        assert!(t.change_points.is_empty(), "{:?}", t.change_points);
+        assert!((t.ewma.unwrap() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn step_change_is_flagged_once_then_absorbed() {
+        // 20 windows at 1.0, then a jump to 5.0 that persists.
+        let xs: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { 5.0 }).collect();
+        let t = ewma_change_points(&xs, 0.1);
+        assert!(t.change_points.contains(&20), "{:?}", t.change_points);
+        // Once the level adapts, the new plateau stops flagging.
+        assert!(!t.change_points.contains(&39), "{:?}", t.change_points);
+        assert!((t.ewma.unwrap() - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn early_points_are_never_flagged() {
+        let t = ewma_change_points(&[0.0, 100.0, 0.0], 0.1);
+        assert!(t.change_points.is_empty(), "{:?}", t.change_points);
+    }
+}

@@ -55,7 +55,9 @@ fn obj(pairs: Vec<(&str, Value)>) -> Value {
 
 /// Tid offset for the per-worker counter-window track (keeps window
 /// spans from visually nesting inside batch spans on the main track).
-const WINDOW_TID_BASE: usize = 1000;
+/// Public so trace consumers (`ccs-insight`) can map window tracks
+/// back to their workers.
+pub const WINDOW_TID_BASE: usize = 1000;
 
 fn span(pid: u64, tid: usize, name: String, cat: &str, ts_ns: u64, dur_ns: u64) -> Value {
     obj(vec![
@@ -99,14 +101,40 @@ fn event_json(w: &TraceWorker, e: &Event) -> Value {
             e.ts_ns,
             e.dur_ns,
         ),
-        EventKind::Stall { parked } => span(
-            0,
-            w.worker,
-            (if parked { "park" } else { "spin" }).to_string(),
-            "stall",
-            e.ts_ns,
-            e.dur_ns,
-        ),
+        EventKind::Stall { parked, blocked } => {
+            let mut s = span(
+                0,
+                w.worker,
+                (if parked { "park" } else { "spin" }).to_string(),
+                "stall",
+                e.ts_ns,
+                e.dur_ns,
+            );
+            if let (Some(b), Value::Object(pairs)) = (blocked, &mut s) {
+                pairs.push((
+                    "args".to_string(),
+                    json!({
+                        "edge": b.edge as u64,
+                        "seg": b.seg as u64,
+                        "peer": b.peer as u64,
+                        "reason": b.reason.name(),
+                    }),
+                ));
+            }
+            s
+        }
+        EventKind::RingOccupancy { ring, len, cap } => obj(vec![
+            ("ph", json!("C")),
+            ("pid", json!(0u64)),
+            ("tid", json!(w.worker as u64)),
+            ("name", Value::String(format!("ring {ring} occupancy"))),
+            ("cat", json!("occupancy")),
+            ("ts", json!(us(e.ts_ns))),
+            (
+                "args",
+                json!({ "ring": ring as u64, "len": len, "cap": cap }),
+            ),
+        ]),
         EventKind::WarmupReset => {
             instant(0, w.worker, "warmup-reset".to_string(), "warmup", e.ts_ns)
         }
@@ -160,7 +188,7 @@ fn window_events(w: &TraceWorker, s: &WindowSample, out: &mut Vec<Value>) {
     }
 }
 
-fn worker_summary(w: &TraceWorker) -> Value {
+fn worker_summary(w: &TraceWorker, warn_ratio: f64) -> Value {
     let mut batches = 0u64;
     let mut batch_ns = 0u64;
     let mut stalls = 0u64;
@@ -172,7 +200,7 @@ fn worker_summary(w: &TraceWorker) -> Value {
                 batches += 1;
                 batch_ns += e.dur_ns;
             }
-            EventKind::Stall { parked } => {
+            EventKind::Stall { parked, .. } => {
                 stalls += 1;
                 parks += parked as u64;
                 stall_ns += e.dur_ns;
@@ -183,7 +211,7 @@ fn worker_summary(w: &TraceWorker) -> Value {
     let scaled_low = w
         .windows
         .iter()
-        .filter(|s| s.scaled_below(MULTIPLEX_WARN_RATIO))
+        .filter(|s| s.scaled_below(warn_ratio))
         .count();
     let timing_only = w.windows.iter().filter(|s| s.timing_only()).count();
     json!({
@@ -207,6 +235,13 @@ fn worker_summary(w: &TraceWorker) -> Value {
 /// rounds, wall clock, ...) surfaced verbatim under `"meta"` and echoed
 /// by the text renderer.
 pub fn document(name: &str, meta: Value, workers: &[TraceWorker]) -> Value {
+    document_with(name, meta, workers, MULTIPLEX_WARN_RATIO)
+}
+
+/// [`document`] with a custom multiplex-residency warning threshold.
+/// The threshold is baked into the summary (`"warn_residency"`) so a
+/// saved document renders with the same warnings it was built with.
+pub fn document_with(name: &str, meta: Value, workers: &[TraceWorker], warn_ratio: f64) -> Value {
     let mut trace_events = Vec::new();
     for w in workers {
         trace_events.push(obj(vec![
@@ -232,7 +267,10 @@ pub fn document(name: &str, meta: Value, workers: &[TraceWorker]) -> Value {
             window_events(w, s, &mut trace_events);
         }
     }
-    let per_worker: Vec<Value> = workers.iter().map(worker_summary).collect();
+    let per_worker: Vec<Value> = workers
+        .iter()
+        .map(|w| worker_summary(w, warn_ratio))
+        .collect();
     let total = |key: &str| -> u64 { per_worker.iter().filter_map(|v| v[key].as_u64()).sum() };
     let summary = json!({
         "events": total("events"),
@@ -240,6 +278,7 @@ pub fn document(name: &str, meta: Value, workers: &[TraceWorker]) -> Value {
         "windows": total("windows"),
         "windows_scaled_low": total("windows_scaled_low"),
         "windows_timing_only": total("windows_timing_only"),
+        "warn_residency": warn_ratio,
         "workers": Value::Array(per_worker),
     });
     json!({
@@ -273,7 +312,19 @@ pub fn render(doc: &Value) -> Result<String, String> {
     let name = doc["name"].as_str().unwrap_or("trace");
     out.push_str(&format!("trace: {name}\n"));
     let meta = &doc["meta"];
-    for key in ["engine", "workers", "rounds", "windows_every", "wall_ms"] {
+    for key in [
+        "engine",
+        "strategy",
+        "placement",
+        "pin_cores",
+        "topology",
+        "warmup_mode",
+        "workers",
+        "rounds",
+        "warmup",
+        "windows_every",
+        "wall_ms",
+    ] {
         let v = &meta[key];
         if !v.is_null() {
             let shown = match v {
@@ -327,10 +378,13 @@ pub fn warnings(summary: &Value) -> Vec<String> {
     }
     let scaled = summary["windows_scaled_low"].as_u64().unwrap_or(0);
     if scaled > 0 {
+        let ratio = summary["warn_residency"]
+            .as_f64()
+            .unwrap_or(MULTIPLEX_WARN_RATIO);
         out.push(format!(
             "{scaled} of {} counter windows ran below {:.0}% PMU residency — multiplex-scaled counts are estimates, not counts",
             summary["windows"].as_u64().unwrap_or(0),
-            MULTIPLEX_WARN_RATIO * 100.0,
+            ratio * 100.0,
         ));
     }
     let timing_only = summary["windows_timing_only"].as_u64().unwrap_or(0);
@@ -389,7 +443,10 @@ mod tests {
             Event {
                 ts_ns: 100,
                 dur_ns: 50,
-                kind: EventKind::Stall { parked: true },
+                kind: EventKind::Stall {
+                    parked: true,
+                    blocked: None,
+                },
             },
             Event {
                 ts_ns: 150,
@@ -448,6 +505,84 @@ mod tests {
         assert!(text.contains("dropped 7 events"), "{text}");
         assert!(text.contains("below 50% PMU residency"), "{text}");
         assert!(text.contains("timing-only"), "{text}");
+    }
+
+    #[test]
+    fn stall_blame_and_occupancy_are_self_describing() {
+        use crate::event::{Blocked, StallReason};
+        let events = vec![
+            Event {
+                ts_ns: 0,
+                dur_ns: 40,
+                kind: EventKind::Stall {
+                    parked: false,
+                    blocked: Some(Blocked {
+                        edge: 7,
+                        seg: 1,
+                        peer: 0,
+                        reason: StallReason::ProducerEmpty,
+                    }),
+                },
+            },
+            Event {
+                ts_ns: 50,
+                dur_ns: 0,
+                kind: EventKind::RingOccupancy {
+                    ring: 7,
+                    len: 96,
+                    cap: 128,
+                },
+            },
+        ];
+        let workers = [TraceWorker {
+            worker: 2,
+            name: "worker 2".to_string(),
+            events: &events,
+            dropped: 0,
+            windows: &[],
+        }];
+        let doc = doc_roundtrip(&document("t", Value::Null, &workers));
+        let Value::Array(tes) = &doc["traceEvents"] else {
+            panic!("traceEvents must be an array");
+        };
+        let stall = tes
+            .iter()
+            .find(|te| te["cat"].as_str() == Some("stall"))
+            .unwrap();
+        assert_eq!(stall["args"]["edge"].as_u64(), Some(7));
+        assert_eq!(stall["args"]["seg"].as_u64(), Some(1));
+        assert_eq!(stall["args"]["peer"].as_u64(), Some(0));
+        assert_eq!(stall["args"]["reason"].as_str(), Some("producer-empty"));
+        let occ = tes
+            .iter()
+            .find(|te| te["cat"].as_str() == Some("occupancy"))
+            .unwrap();
+        assert_eq!(occ["ph"].as_str(), Some("C"));
+        assert_eq!(occ["name"].as_str(), Some("ring 7 occupancy"));
+        assert_eq!(occ["args"]["len"].as_u64(), Some(96));
+        assert_eq!(occ["args"]["cap"].as_u64(), Some(128));
+    }
+
+    #[test]
+    fn warn_residency_threshold_is_carried_by_the_document() {
+        let events = vec![batch(0, 100, 0)];
+        // 20% residency: low under the default 0.5, fine under 0.1.
+        let windows = vec![window(0, 0, 100, Some(sample(10, 1000, 200)))];
+        let workers = [TraceWorker {
+            worker: 0,
+            name: "worker 0".to_string(),
+            events: &events,
+            dropped: 0,
+            windows: &windows,
+        }];
+        let strict = document_with("t", Value::Null, &workers, 0.9);
+        assert_eq!(strict["summary"]["warn_residency"].as_f64(), Some(0.9));
+        assert_eq!(strict["summary"]["windows_scaled_low"].as_u64(), Some(1));
+        let text = render(&strict).unwrap();
+        assert!(text.contains("below 90% PMU residency"), "{text}");
+        let lax = document_with("t", Value::Null, &workers, 0.1);
+        assert_eq!(lax["summary"]["windows_scaled_low"].as_u64(), Some(0));
+        assert!(!render(&lax).unwrap().contains("PMU residency"));
     }
 
     #[test]

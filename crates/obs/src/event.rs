@@ -14,6 +14,55 @@ use std::time::Instant;
 /// before wrap-around, while still bounding a pathological run.
 pub const DEFAULT_RING_CAPACITY: usize = 65_536;
 
+/// Which side of the half-full/half-empty gate failed for a blocked
+/// segment — the *reason* a traced stall could not run it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallReason {
+    /// An input ring held less than one batch: the upstream producer
+    /// had not caught up (the blocked segment is being *starved*).
+    ProducerEmpty,
+    /// An output ring lacked space for one batch: the downstream
+    /// consumer was backed up (the blocked segment is being
+    /// *backpressured*).
+    ConsumerFull,
+}
+
+impl StallReason {
+    /// JSON/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StallReason::ProducerEmpty => "producer-empty",
+            StallReason::ConsumerFull => "consumer-full",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<StallReason> {
+        match s {
+            "producer-empty" => Some(StallReason::ProducerEmpty),
+            "consumer-full" => Some(StallReason::ConsumerFull),
+            _ => None,
+        }
+    }
+}
+
+/// What a traced stall was blocked on: the first gate failure found
+/// scanning the worker's runnable segments. Computed only when tracing
+/// is enabled — the untraced stall path never inspects rings twice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Blocked {
+    /// Edge (ring) whose gate check failed.
+    pub edge: usize,
+    /// Segment that could not run.
+    pub seg: usize,
+    /// The segment on the other end of `edge` — the producer that
+    /// starves `seg` ([`StallReason::ProducerEmpty`]) or the consumer
+    /// that backpressures it ([`StallReason::ConsumerFull`]).
+    pub peer: usize,
+    /// Which side of the gate failed.
+    pub reason: StallReason,
+}
+
 /// What happened. Spans carry their duration in [`Event::dur_ns`];
 /// instantaneous events leave it zero.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,6 +85,21 @@ pub enum EventKind {
     Stall {
         /// Whether the pass fell through the spin tier into the condvar.
         parked: bool,
+        /// The first failing gate found among the worker's unfinished
+        /// segments — which edge blocked whom, and why. `None` when
+        /// attribution was skipped (tracing off) or no owned segment
+        /// had work left (end-of-run drain).
+        blocked: Option<Blocked>,
+    },
+    /// Occupancy of ring `ring` sampled at a batch (or serial-block)
+    /// boundary (instant): `len` of `cap` items resident.
+    RingOccupancy {
+        /// Ring (edge) index.
+        ring: usize,
+        /// Items resident at the sample instant.
+        len: u64,
+        /// Ring capacity in items.
+        cap: u64,
     },
     /// The steady-state counter reset: the warmup window closed and the
     /// group was zeroed (at the shared barrier under epoch warmup).
@@ -250,7 +314,10 @@ mod tests {
         Event {
             ts_ns: ts,
             dur_ns: 0,
-            kind: EventKind::Stall { parked: false },
+            kind: EventKind::Stall {
+                parked: false,
+                blocked: None,
+            },
         }
     }
 

@@ -34,5 +34,8 @@ pub mod event;
 pub mod window;
 
 pub use chrome::{merge_timelines, TraceWorker, MULTIPLEX_WARN_RATIO, SCHEMA};
-pub use event::{Clock, Event, EventKind, EventRing, Timeline, Tracer, DEFAULT_RING_CAPACITY};
+pub use event::{
+    Blocked, Clock, Event, EventKind, EventRing, StallReason, Timeline, Tracer,
+    DEFAULT_RING_CAPACITY,
+};
 pub use window::{window_json, WindowSample, WindowSampler};

@@ -216,6 +216,7 @@ pub fn execute_obs(inst: &mut Instance, run: &SchedRun, cfg: &ObsConfig) -> (Run
                 now - block_start_ns,
                 EventKind::SerialBlock { index: block_index },
             );
+            record_occupancy(&mut tracer, &rings, now);
             block_index += 1;
             block_start_ns = now;
         }
@@ -231,6 +232,7 @@ pub fn execute_obs(inst: &mut Instance, run: &SchedRun, cfg: &ObsConfig) -> (Run
             now - block_start_ns,
             EventKind::SerialBlock { index: block_index },
         );
+        record_occupancy(&mut tracer, &rings, now);
     }
     let windows = wins.finish(clock.now_ns(), || counter_set.sample());
     counter_set.disable();
@@ -246,6 +248,24 @@ pub fn execute_obs(inst: &mut Instance, run: &SchedRun, cfg: &ObsConfig) -> (Run
         trace: tracer.finish(),
     };
     (stats, obs)
+}
+
+/// Ring occupancy of every edge at a serial-block boundary — one
+/// instant per ring, all on the block's closing timestamp. The serial
+/// schedule drains rings between rounds, so nonzero steady-state
+/// occupancy here marks the buffers a partitioned round leaves filled.
+fn record_occupancy(tracer: &mut Tracer, rings: &[Ring], now_ns: u64) {
+    for (ri, r) in rings.iter().enumerate() {
+        tracer.record(
+            now_ns,
+            0,
+            EventKind::RingOccupancy {
+                ring: ri,
+                len: r.len() as u64,
+                cap: r.capacity() as u64,
+            },
+        );
+    }
 }
 
 #[inline]
