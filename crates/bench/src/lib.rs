@@ -3,11 +3,13 @@
 //! One binary per experiment in `EXPERIMENTS.md` (`e01` … `e21`), each
 //! regenerating a paper-claim-shaped table, plus criterion benchmarks for
 //! the hot algorithmic paths. Shared table/CSV plumbing, the
-//! repeated-runs statistics ([`stats`]), and the declarative cell-sweep
-//! engine ([`sweep`]) live here.
+//! repeated-runs statistics ([`stats`]), the declarative cell-sweep
+//! engine ([`sweep`]), and the cross-run bench history / regression
+//! tracking ([`track`]) live here.
 
 pub mod stats;
 pub mod sweep;
+pub mod track;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;

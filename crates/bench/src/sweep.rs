@@ -447,6 +447,9 @@ struct RunRecord {
     /// Top blamed bottleneck from the stall-attribution telemetry
     /// (traced parallel cells only).
     bottleneck: Option<ccs_insight::Bottleneck>,
+    /// EWMA change points flagged across the per-worker window mpki
+    /// series (windowed cells only) — mid-run counter drift.
+    drift_points: u64,
 }
 
 impl RunRecord {
@@ -652,11 +655,39 @@ impl Sweep {
             "bootstrap_iters": self.bootstrap_iters,
             "seed": self.seed,
             "warn_residency": self.warn_residency,
+            "machine": machine_json(),
             "workloads": self.workloads.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
             "cells": cells_json,
             "comparisons": comparisons_json,
         }))
     }
+}
+
+/// The machine/counter-availability block every sweep document embeds
+/// (`"machine"`), so a saved sweep is self-describing for cross-run
+/// comparability: the discovered topology, and whether hardware
+/// counters were actually available (`"pmu"`) or every reading degraded
+/// to wall-clock only (`"timing-only"`, e.g. under `CCS_NO_PERF=1` or a
+/// restrictive `perf_event_paranoid`). `ccs bench` fingerprints history
+/// records from the same probe.
+pub fn machine_json() -> Value {
+    let topo = Topology::discover();
+    let probe = ccs_perf::probe();
+    serde_json::json!({
+        "topology": topo.summary(),
+        "topology_shape": format!(
+            "{}/{}x{}x{}",
+            topo.source().name(),
+            topo.node_count(),
+            topo.cluster_count(),
+            topo.core_count(),
+        ),
+        "counters": if probe.available { "pmu" } else { "timing-only" },
+        "counters_reason": match &probe.reason {
+            Some(r) => Value::String(r.clone()),
+            None => Value::Null,
+        },
+    })
 }
 
 /// Run one serial repeat: the two-level schedule for the same number of
@@ -684,6 +715,14 @@ fn run_serial(
             ..ccs_runtime::ObsConfig::default()
         },
     );
+    let mpki_series: Vec<f64> = obs
+        .windows
+        .iter()
+        .filter_map(|w| w.sample.as_ref().and_then(|s| s.mpki()))
+        .collect();
+    let drift_points = ccs_insight::ewma_change_points(&mpki_series, ccs_insight::MPKI_EPS)
+        .change_points
+        .len() as u64;
     let sample = obs.sample;
     let wall_ms = run.wall.as_secs_f64() * 1e3;
     let measured_items = (run.sink_items / rounds) * (rounds - warm);
@@ -717,6 +756,7 @@ fn run_serial(
             .count(),
         stall_share: None,
         bottleneck: None,
+        drift_points,
     }
 }
 
@@ -761,6 +801,20 @@ fn run_parallel(
     } else {
         None
     };
+    let drift_points: u64 = stats
+        .workers
+        .iter()
+        .map(|w| {
+            let series: Vec<f64> = w
+                .windows
+                .iter()
+                .filter_map(|win| win.sample.as_ref().and_then(|s| s.mpki()))
+                .collect();
+            ccs_insight::ewma_change_points(&series, ccs_insight::MPKI_EPS)
+                .change_points
+                .len() as u64
+        })
+        .sum();
     Ok(RunRecord {
         wall_ms: stats.run.wall.as_secs_f64() * 1e3,
         items_per_sec: stats.items_per_sec(),
@@ -785,6 +839,7 @@ fn run_parallel(
             None
         },
         bottleneck,
+        drift_points,
     })
 }
 
@@ -900,6 +955,7 @@ fn cell_json(wname: &str, cell: &Cell, label: &str, runs: &[RunRecord], rounds: 
             "windows": runs.iter().map(|r| r.window_count).sum::<usize>(),
             "windows_timing_only": runs.iter().map(|r| r.windows_timing_only).sum::<usize>(),
             "windows_scaled_low": runs.iter().map(|r| r.windows_scaled_low).sum::<usize>(),
+            "drift_points": runs.iter().map(|r| r.drift_points).sum::<u64>(),
             "analysis": analysis,
         })
     } else {
@@ -975,6 +1031,21 @@ pub fn render(v: &Value) -> Result<String, Box<dyn Error>> {
             ""
         },
     );
+    // Pre-`machine` documents simply skip the line, so old saved sweeps
+    // (and the checked-in fixtures) render unchanged.
+    let machine = &v["machine"];
+    if !machine.is_null() {
+        let _ = writeln!(
+            out,
+            "machine: {} | counters: {}{}",
+            machine["topology"].as_str().unwrap_or("?"),
+            machine["counters"].as_str().unwrap_or("?"),
+            match machine["counters_reason"].as_str() {
+                Some(r) => format!(" ({r})"),
+                None => String::new(),
+            },
+        );
+    }
 
     let Value::Array(cells) = &v["cells"] else {
         return Err("document has no `cells` array".into());
@@ -1087,6 +1158,14 @@ pub fn render(v: &Value) -> Result<String, Box<dyn Error>> {
             let _ = writeln!(
                 out,
                 "  note: {who}: counter windows are timing-only (no counter group opened)",
+            );
+        }
+        let drift = obs["drift_points"].as_u64().unwrap_or(0);
+        if drift > 0 {
+            let _ = writeln!(
+                out,
+                "  warning: {who}: mpki drifted mid-run — {drift} change point(s) flagged \
+                 across counter windows (EWMA band); steady-state means may mix regimes",
             );
         }
         let analysis = &obs["analysis"];

@@ -50,6 +50,9 @@ const SWITCHES: &[&str] = &[
     "per-worker-warmup",
     "trace",
     "no-counters",
+    "check",
+    "history",
+    "no-append",
 ];
 
 impl Args {

@@ -30,6 +30,7 @@ fn report_renders_each_schema_exactly_as_checked_in() {
         ("sweep-v1.json", "sweep-v1.txt"),
         ("trace-v1.json", "trace-v1.txt"),
         ("analysis-v1.json", "analysis-v1.txt"),
+        ("bench-v1.json", "bench-v1.txt"),
     ] {
         let rendered = run("report", &args(&[&fixture(doc)])).unwrap();
         assert_eq!(
@@ -65,8 +66,24 @@ fn fixture_documents_carry_their_schema_tags() {
         ("sweep-v1.json", "ccs-sweep/v1"),
         ("trace-v1.json", "ccs-trace/v1"),
         ("analysis-v1.json", "ccs-analysis/v1"),
+        ("bench-v1.json", "ccs-bench/v1"),
     ] {
         let v: serde_json::Value = serde_json::from_str(&golden(doc)).unwrap();
         assert_eq!(v["schema"].as_str(), Some(schema), "{doc}");
     }
+}
+
+#[test]
+fn report_history_renders_the_trend_fixture_exactly() {
+    // Both spellings — the explicit `--history FILE` flag and plain
+    // `ccs report FILE` auto-detecting NDJSON — must produce the
+    // checked-in trend text, fingerprint grouping included.
+    let flagged = run(
+        "report",
+        &args(&["--history", &fixture("bench-history.ndjson")]),
+    )
+    .unwrap();
+    assert_eq!(flagged.trim_end(), golden("bench-history.txt").trim_end());
+    let detected = run("report", &args(&[&fixture("bench-history.ndjson")])).unwrap();
+    assert_eq!(detected.trim_end(), golden("bench-history.txt").trim_end());
 }

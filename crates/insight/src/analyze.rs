@@ -8,11 +8,12 @@ use serde_json::{json, Value};
 use std::collections::BTreeMap;
 
 /// Noise floor for mpki drift flagging (an mpki wiggle below this is
-/// never a change point).
-const MPKI_EPS: f64 = 0.1;
+/// never a change point). Shared with the sweep engine, which runs the
+/// same detector over per-worker counter windows.
+pub const MPKI_EPS: f64 = 0.1;
 
 /// Noise floor for stall-share drift flagging (shares are in [0, 1]).
-const STALL_SHARE_EPS: f64 = 0.05;
+pub const STALL_SHARE_EPS: f64 = 0.05;
 
 fn ms(ns: u64) -> f64 {
     ns as f64 / 1e6
@@ -154,8 +155,9 @@ fn stall_overlap_ns(lane: &WorkerLane, start_ns: u64, end_ns: u64) -> u64 {
         .sum()
 }
 
-fn drift_json(lanes: &[WorkerLane]) -> Value {
+fn drift_json(lanes: &[WorkerLane]) -> (Value, u64) {
     let mut workers = Vec::new();
+    let mut points = 0u64;
     for lane in lanes {
         if lane.windows.is_empty() {
             continue;
@@ -171,6 +173,7 @@ fn drift_json(lanes: &[WorkerLane]) -> Value {
             .collect();
         let mt = ewma_change_points(&mpki, MPKI_EPS);
         let st = ewma_change_points(&stall_share, STALL_SHARE_EPS);
+        points += (mt.change_points.len() + st.change_points.len()) as u64;
         let track = |t: crate::drift::DriftTrack| {
             json!({
                 "ewma": match t.ewma {
@@ -187,7 +190,7 @@ fn drift_json(lanes: &[WorkerLane]) -> Value {
             "stall_share": track(st),
         }));
     }
-    Value::Array(workers)
+    (Value::Array(workers), points)
 }
 
 fn occupancy_json(input: &TraceInput) -> Value {
@@ -280,6 +283,7 @@ pub fn analyze(input: &TraceInput) -> Value {
             "blamed_ms": b.blamed_ms,
         })
     });
+    let (drift, drift_points) = drift_json(&input.lanes);
     json!({
         "schema": SCHEMA,
         "name": input.name,
@@ -289,9 +293,10 @@ pub fn analyze(input: &TraceInput) -> Value {
         "occupancy": occupancy_json(input),
         "bottlenecks": Value::Array(bottlenecks),
         "chain": Value::Array(chain),
-        "drift": drift_json(&input.lanes),
+        "drift": drift,
         "summary": json!({
             "stall_share": share(stall_ns, busy_ns + stall_ns),
+            "drift_points": drift_points,
             "top_bottleneck": top.unwrap_or(Value::Null),
         }),
     })

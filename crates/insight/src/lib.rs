@@ -37,7 +37,7 @@ mod drift;
 mod input;
 mod report;
 
-pub use analyze::{analyze, analyze_doc, top_bottleneck, Bottleneck};
+pub use analyze::{analyze, analyze_doc, top_bottleneck, Bottleneck, MPKI_EPS, STALL_SHARE_EPS};
 pub use drift::{ewma_change_points, DriftTrack};
 pub use input::{BlamedStall, OccPoint, TraceInput, WindowPoint, WorkerLane};
 pub use report::render;

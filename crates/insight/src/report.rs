@@ -161,6 +161,13 @@ pub fn render(doc: &Value) -> Result<String, String> {
             ));
         }
     }
+    let drift_points = doc["summary"]["drift_points"].as_u64().unwrap_or(0);
+    if drift_points > 0 {
+        out.push_str(&format!(
+            "  warning: drift: {drift_points} change point(s) flagged — counter behavior \
+             shifted mid-run (see the per-worker drift lines)\n"
+        ));
+    }
     out.push_str(&format!(
         "  stall share (run): {}\n",
         pct(&doc["summary"]["stall_share"]),
