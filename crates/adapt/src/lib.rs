@@ -1,0 +1,462 @@
+//! # ccs-adapt — online drift-driven segment migration
+//!
+//! The paper's c-bounded partition is computed once, offline. This
+//! crate is its dynamic counterpart: a controller that watches the live
+//! per-worker counter-window stream (`ccs-obs` [`WindowSample`]s reduced
+//! to [`WindowReport`]s by the executor) and decides, window by window,
+//! whether a segment should move to another worker. Detection reuses
+//! the exact EWMA change-point tracker the offline analyzer runs
+//! ([`ccs_insight::OnlineEwma`], proven index-identical to
+//! [`ccs_insight::ewma_change_points`]), plus two cruder triggers — a
+//! step-ratio jump in per-batch cost and a stall-share threshold — so
+//! drift is caught even on PMU-less machines where windows degrade to
+//! timing-only.
+//!
+//! The controller only *decides*; the executor owns the handoff
+//! protocol (quiescing the segment at a batch boundary and transferring
+//! it under a mutex). Decisions are therefore pure state-machine logic,
+//! unit-testable without threads, and the non-negotiable correctness
+//! bar — migrations change *where* work runs, never *what* is computed
+//! — lives entirely in the executor's equivalence tests.
+//!
+//! Thrash protection is explicit: a migrated segment may not move again
+//! until [`AdaptConfig::hysteresis_windows`] further windows have been
+//! observed ([`Controller::hysteresis_clear`]), and nothing moves before
+//! [`AdaptConfig::min_windows`] windows have seeded the trackers.
+//!
+//! [`WindowSample`]: ccs_insight::WindowPoint
+
+#![warn(missing_docs)]
+
+use ccs_insight::OnlineEwma;
+use std::collections::BTreeMap;
+
+/// Tuning knobs of the [`Controller`]. The defaults are deliberately
+/// conservative: act only on a sustained, large signal, and never
+/// bounce a segment back and forth.
+#[derive(Clone, Debug)]
+pub struct AdaptConfig {
+    /// Noise floor for the mpki change-point tracker (the same scale as
+    /// [`ccs_insight::MPKI_EPS`]).
+    pub mpki_eps: f64,
+    /// Noise floor for the per-batch-cost change-point tracker,
+    /// nanoseconds.
+    pub time_eps_ns: f64,
+    /// Window stall share (stall / span) above which a worker counts as
+    /// drifting even without a change point.
+    pub stall_share: f64,
+    /// Per-batch cost jump ratio (new / tracked level) that triggers
+    /// immediately, without waiting for the EWMA band.
+    pub step_ratio: f64,
+    /// Windows a migrated segment must sit out before it may move again
+    /// (the thrash guard).
+    pub hysteresis_windows: u64,
+    /// Windows a worker must have reported before its triggers act
+    /// (the trackers need a few points to mean something).
+    pub min_windows: u64,
+    /// Consecutive flagged windows after which the controller escalates
+    /// from single-segment migration to moving the top two segments —
+    /// the lightweight re-partition when one migration did not fix the
+    /// cell.
+    pub escalate_windows: u64,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> AdaptConfig {
+        AdaptConfig {
+            mpki_eps: ccs_insight::MPKI_EPS,
+            time_eps_ns: 100.0,
+            stall_share: 0.6,
+            step_ratio: 1.8,
+            hysteresis_windows: 4,
+            min_windows: 3,
+            escalate_windows: 3,
+        }
+    }
+}
+
+/// One segment's share of a closed window: how many of the window's
+/// batches it ran and how long they took.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegCost {
+    /// Segment index (contracted topological order).
+    pub seg: usize,
+    /// Batches of this segment inside the window.
+    pub batches: u64,
+    /// Total batch time of this segment inside the window, nanoseconds.
+    pub ns: u64,
+}
+
+/// What the executor reports to the controller each time a worker
+/// closes a counter window: the window's signals reduced to exactly
+/// what the triggers consume.
+#[derive(Clone, Debug)]
+pub struct WindowReport {
+    /// Reporting worker.
+    pub worker: usize,
+    /// Window ordinal within that worker.
+    pub window_index: u64,
+    /// Misses per kilo-instruction over the window; `None` when the
+    /// window was timing-only (no PMU).
+    pub mpki: Option<f64>,
+    /// Wall-clock span of the window, nanoseconds.
+    pub span_ns: u64,
+    /// Batches inside the window.
+    pub batches: u64,
+    /// Stall time the worker accumulated during the window, nanoseconds.
+    pub stall_ns: u64,
+    /// Per-segment cost breakdown of the window's batches.
+    pub segments: Vec<SegCost>,
+}
+
+/// One decided handoff: move `seg` from worker `from` to worker `to`.
+/// The executor performs it at the segment's next batch boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationCmd {
+    /// Segment to move.
+    pub seg: usize,
+    /// Worker currently running it.
+    pub from: usize,
+    /// Worker that should run it next.
+    pub to: usize,
+}
+
+/// Per-worker tracker state.
+#[derive(Debug)]
+struct Lane {
+    /// Change-point tracker over window mpki.
+    mpki: OnlineEwma,
+    /// Change-point tracker over per-batch cost (ns/batch).
+    cost: OnlineEwma,
+    /// EWMA load signal used for target selection, ns of segment work
+    /// per window batch.
+    load: f64,
+    /// Windows reported so far.
+    windows: u64,
+    /// Consecutive flagged windows.
+    streak: u64,
+}
+
+impl Lane {
+    fn new(cfg: &AdaptConfig) -> Lane {
+        Lane {
+            mpki: OnlineEwma::new(cfg.mpki_eps),
+            cost: OnlineEwma::new(cfg.time_eps_ns),
+            load: 0.0,
+            windows: 0,
+            streak: 0,
+        }
+    }
+}
+
+/// The decision engine: feed it one [`WindowReport`] per closed window
+/// ([`observe`](Controller::observe)) and it returns the migrations to
+/// perform, already reflected in its own ownership map.
+#[derive(Debug)]
+pub struct Controller {
+    cfg: AdaptConfig,
+    lanes: Vec<Lane>,
+    /// `owners[seg]` = worker currently responsible for `seg`.
+    owners: Vec<usize>,
+    /// Global window clock: total windows observed across workers.
+    clock: u64,
+    /// Segment -> clock value at its last migration.
+    last_migrated: BTreeMap<usize, u64>,
+    /// Total migrations decided.
+    migrations: u64,
+}
+
+impl Controller {
+    /// A controller for `workers` workers over the initial placement
+    /// `owners` (`owners[seg]` = the worker the static partition
+    /// assigned segment `seg` to).
+    pub fn new(cfg: AdaptConfig, workers: usize, owners: Vec<usize>) -> Controller {
+        let lanes = (0..workers.max(1)).map(|_| Lane::new(&cfg)).collect();
+        Controller {
+            cfg,
+            lanes,
+            owners,
+            clock: 0,
+            last_migrated: BTreeMap::new(),
+            migrations: 0,
+        }
+    }
+
+    /// Whether `seg` has sat out the hysteresis window since its last
+    /// migration (always true for a segment that never moved). The
+    /// thrash guard every victim must clear.
+    pub fn hysteresis_clear(&self, seg: usize) -> bool {
+        match self.last_migrated.get(&seg) {
+            None => true,
+            Some(&at) => self.clock.saturating_sub(at) >= self.cfg.hysteresis_windows,
+        }
+    }
+
+    /// Current owner of `seg` per the controller's map.
+    pub fn owner(&self, seg: usize) -> Option<usize> {
+        self.owners.get(seg).copied()
+    }
+
+    /// Migrations decided so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Absorb one closed window and decide. Returns the migrations to
+    /// perform (usually empty; at most two under escalation). The
+    /// returned commands are already applied to the controller's
+    /// ownership map — the executor just has to carry them out.
+    pub fn observe(&mut self, report: &WindowReport) -> Vec<MigrationCmd> {
+        self.clock += 1;
+        let w = report.worker;
+        if w >= self.lanes.len() {
+            return Vec::new();
+        }
+        let busy_ns: u64 = report.segments.iter().map(|s| s.ns).sum();
+        let cost_per_batch = if report.batches > 0 {
+            busy_ns as f64 / report.batches as f64
+        } else {
+            0.0
+        };
+
+        // Evaluate triggers against the pre-update levels, then absorb.
+        let lane = &mut self.lanes[w];
+        let prev_cost = lane.cost.mean();
+        let step_jump =
+            prev_cost.is_some_and(|m| m > 0.0 && cost_per_batch > self.cfg.step_ratio * m);
+        let cost_cp = lane.cost.push(cost_per_batch);
+        let mpki_cp = report.mpki.map(|m| lane.mpki.push(m)).unwrap_or(false);
+        let stalled = report.span_ns > 0
+            && report.stall_ns as f64 / report.span_ns as f64 > self.cfg.stall_share;
+        lane.load += 0.3 * (cost_per_batch - lane.load);
+        lane.windows += 1;
+
+        let flagged = cost_cp || mpki_cp || step_jump || stalled;
+        if !flagged {
+            lane.streak = 0;
+            return Vec::new();
+        }
+        lane.streak += 1;
+        if lane.windows < self.cfg.min_windows || self.lanes.len() < 2 {
+            return Vec::new();
+        }
+
+        // Victims: this worker's segments, costliest first, that clear
+        // the thrash guard. Escalate to the top two when the drift has
+        // persisted across consecutive windows.
+        let victims = if self.lanes[w].streak >= self.cfg.escalate_windows {
+            2
+        } else {
+            1
+        };
+        let mut owned: Vec<&SegCost> = report
+            .segments
+            .iter()
+            .filter(|s| self.owners.get(s.seg) == Some(&w))
+            .collect();
+        // Never empty the worker entirely: keep its cheapest segment.
+        if owned.len() <= 1 {
+            return Vec::new();
+        }
+        owned.sort_by(|a, b| b.ns.cmp(&a.ns).then(a.seg.cmp(&b.seg)));
+        let movable = owned.len() - 1;
+
+        let target = match (0..self.lanes.len()).filter(|&t| t != w).min_by(|&a, &b| {
+            self.lanes[a]
+                .load
+                .partial_cmp(&self.lanes[b].load)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }) {
+            Some(t) => t,
+            None => return Vec::new(),
+        };
+
+        let mut cmds = Vec::new();
+        for s in owned.into_iter().take(victims.min(movable)) {
+            if !self.hysteresis_clear(s.seg) {
+                continue;
+            }
+            self.owners[s.seg] = target;
+            self.last_migrated.insert(s.seg, self.clock);
+            self.migrations += 1;
+            cmds.push(MigrationCmd {
+                seg: s.seg,
+                from: w,
+                to: target,
+            });
+        }
+        cmds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(worker: usize, index: u64, cost_ns: u64, segs: &[(usize, u64)]) -> WindowReport {
+        WindowReport {
+            worker,
+            window_index: index,
+            mpki: None,
+            span_ns: cost_ns + 1_000,
+            batches: segs.iter().map(|&(_, b)| b).sum(),
+            stall_ns: 0,
+            segments: segs
+                .iter()
+                .map(|&(seg, batches)| SegCost {
+                    seg,
+                    batches,
+                    ns: cost_ns * batches / segs.iter().map(|&(_, b)| b).sum::<u64>().max(1),
+                })
+                .collect(),
+        }
+    }
+
+    fn steady_then_step(
+        ctrl: &mut Controller,
+        worker: usize,
+        segs: &[(usize, u64)],
+    ) -> Vec<MigrationCmd> {
+        // Seed enough steady windows to pass min_windows and warm the
+        // tracker, then one 10x step.
+        let mut out = Vec::new();
+        for i in 0..6 {
+            out.extend(ctrl.observe(&report(worker, i, 10_000, segs)));
+        }
+        out.extend(ctrl.observe(&report(worker, 6, 100_000, segs)));
+        out
+    }
+
+    #[test]
+    fn steady_load_never_migrates() {
+        let mut c = Controller::new(AdaptConfig::default(), 2, vec![0, 0, 1, 1]);
+        for i in 0..50 {
+            assert!(c
+                .observe(&report(0, i, 10_000, &[(0, 4), (1, 4)]))
+                .is_empty());
+            assert!(c
+                .observe(&report(1, i, 10_000, &[(2, 4), (3, 4)]))
+                .is_empty());
+        }
+        assert_eq!(c.migrations(), 0);
+    }
+
+    #[test]
+    fn a_cost_step_migrates_the_costliest_segment_to_the_idlest_worker() {
+        let mut c = Controller::new(AdaptConfig::default(), 2, vec![0, 0, 1, 1]);
+        // Worker 1 reports light steady windows so its load EWMA is low.
+        for i in 0..6 {
+            c.observe(&report(1, i, 1_000, &[(2, 4), (3, 4)]));
+        }
+        let cmds = steady_then_step(&mut c, 0, &[(0, 6), (1, 2)]);
+        assert_eq!(cmds.len(), 1, "{cmds:?}");
+        assert_eq!(cmds[0].from, 0);
+        assert_eq!(cmds[0].to, 1);
+        // Costliest by window share: seg 0 ran 6 of 8 batches.
+        assert_eq!(cmds[0].seg, 0);
+        assert_eq!(c.owner(0), Some(1));
+        assert_eq!(c.migrations(), 1);
+    }
+
+    #[test]
+    fn hysteresis_blocks_an_immediate_bounce_back() {
+        let cfg = AdaptConfig::default();
+        let k = cfg.hysteresis_windows;
+        let mut c = Controller::new(cfg, 2, vec![0, 0, 1]);
+        let cmds = steady_then_step(&mut c, 0, &[(0, 6), (1, 2)]);
+        assert_eq!(cmds.len(), 1);
+        let moved = cmds[0].seg;
+        assert!(
+            !c.hysteresis_clear(moved),
+            "just-moved segment must be locked"
+        );
+        // The new owner drifts immediately: the moved segment may not
+        // come back within K windows, whatever else happens.
+        for i in 0..(k - 1) {
+            let back = c.observe(&report(1, i, 200_000, &[(moved, 6), (2, 2)]));
+            assert!(
+                back.iter().all(|m| m.seg != moved),
+                "seg {moved} bounced back within {k} windows: {back:?}"
+            );
+            assert!(!c.hysteresis_clear(moved), "guard released early");
+        }
+        // One more observed window completes the sit-out.
+        c.observe(&report(1, k, 200_000, &[(moved, 6), (2, 2)]));
+        assert!(c.hysteresis_clear(moved));
+    }
+
+    #[test]
+    fn never_empties_a_worker() {
+        let mut c = Controller::new(AdaptConfig::default(), 2, vec![0, 1]);
+        let cmds = steady_then_step(&mut c, 0, &[(0, 8)]);
+        assert!(cmds.is_empty(), "sole segment must stay put: {cmds:?}");
+        assert_eq!(c.owner(0), Some(0));
+    }
+
+    #[test]
+    fn single_worker_never_migrates() {
+        let mut c = Controller::new(AdaptConfig::default(), 1, vec![0, 0]);
+        let cmds = steady_then_step(&mut c, 0, &[(0, 4), (1, 4)]);
+        assert!(cmds.is_empty(), "{cmds:?}");
+    }
+
+    #[test]
+    fn sustained_drift_escalates_to_two_victims() {
+        let cfg = AdaptConfig {
+            hysteresis_windows: 100, // lock each victim after one move
+            ..AdaptConfig::default()
+        };
+        let escalate = cfg.escalate_windows;
+        let mut c = Controller::new(cfg, 2, vec![0, 0, 0, 0, 0, 0, 1]);
+        let segs: Vec<(usize, u64)> = (0..6).map(|s| (s, 2)).collect();
+        for i in 0..5 {
+            c.observe(&report(0, i, 10_000, &segs));
+        }
+        // Keep stepping up so every window flags; by `escalate_windows`
+        // consecutive flags the controller moves two segments at once.
+        let mut cost = 10_000u64;
+        let mut batch_sizes = Vec::new();
+        for i in 0..escalate + 1 {
+            cost *= 3;
+            let cmds = c.observe(&report(0, 5 + i, cost, &segs));
+            batch_sizes.push(cmds.len());
+        }
+        assert!(
+            batch_sizes.contains(&2),
+            "no escalated double migration in {batch_sizes:?}"
+        );
+    }
+
+    #[test]
+    fn stall_share_alone_triggers() {
+        let mut c = Controller::new(AdaptConfig::default(), 2, vec![0, 0, 1]);
+        for i in 0..4 {
+            c.observe(&report(0, i, 10_000, &[(0, 4), (1, 4)]));
+        }
+        let mut r = report(0, 4, 10_000, &[(0, 6), (1, 2)]);
+        r.stall_ns = r.span_ns; // fully stalled window
+        let cmds = c.observe(&r);
+        assert_eq!(cmds.len(), 1, "{cmds:?}");
+    }
+
+    #[test]
+    fn timing_only_windows_still_drive_decisions() {
+        // No mpki anywhere (CCS_NO_PERF): the cost trackers carry it.
+        let mut c = Controller::new(AdaptConfig::default(), 2, vec![0, 0, 1]);
+        let cmds = steady_then_step(&mut c, 0, &[(0, 4), (1, 4)]);
+        assert_eq!(cmds.len(), 1, "{cmds:?}");
+        assert!(cmds.iter().all(|m| m.to == 1));
+    }
+
+    #[test]
+    fn min_windows_gates_early_action() {
+        let mut c = Controller::new(AdaptConfig::default(), 2, vec![0, 0, 1]);
+        // A violent step on the very first windows: trackers not seeded.
+        assert!(c
+            .observe(&report(0, 0, 10_000, &[(0, 4), (1, 4)]))
+            .is_empty());
+        assert!(c
+            .observe(&report(0, 1, 500_000, &[(0, 4), (1, 4)]))
+            .is_empty());
+    }
+}

@@ -264,6 +264,34 @@ pub fn audio_effects(echo_taps: u64, reverb_size: u64) -> StreamGraph {
 }
 
 /// The default benchmark suite with literature-typical parameters.
+/// A phase-shift perturbation pipeline: uniform rates, but the first
+/// half of the stages ("hot" stages) are bound — by
+/// [`crate::bind::phase_shift_instance`] — to kernels whose per-firing
+/// *work* steps up by a known multiple after a known firing count,
+/// while their *output* stays the exact same function of the input
+/// stream. The cost landscape a static placement was sized for shifts
+/// mid-run; what is computed does not. That makes it the canonical
+/// workload for the adaptive executor's equivalence bar: any run — with
+/// or without migrations — must produce the bit-identical sink digest.
+pub fn phase_shift() -> StreamGraph {
+    let mut b = GraphBuilder::new();
+    let src = b.node("source", 16);
+    let mut prev = src;
+    for i in 0..4 {
+        let stage = b.node(format!("phase-hot-{i}"), 96);
+        b.edge(prev, stage, 1, 1);
+        prev = stage;
+    }
+    for i in 0..4 {
+        let stage = b.node(format!("phase-cold-{i}"), 96);
+        b.edge(prev, stage, 1, 1);
+        prev = stage;
+    }
+    let sink = b.node("sink", 16);
+    b.edge(prev, sink, 1, 1);
+    b.build().expect("phase-shift is a valid pipeline")
+}
+
 pub fn suite() -> Vec<App> {
     vec![
         App {
@@ -315,6 +343,11 @@ pub fn suite() -> Vec<App> {
             name: "audio",
             description: "audio effects chain with heavy delay lines (pipeline)",
             graph: audio_effects(1024, 4096),
+        },
+        App {
+            name: "phase-shift",
+            description: "seeded mid-run work-cost step (adaptive perturbation pipeline)",
+            graph: phase_shift(),
         },
     ]
 }

@@ -2,7 +2,7 @@
 
 use ccs_graph::StreamGraph;
 use ccs_runtime::instance::Instance;
-use ccs_runtime::kernel::{FirFilter, SinkCollect, SourceGen, SyntheticKernel};
+use ccs_runtime::kernel::{FirFilter, Kernel, SinkCollect, SourceGen, SyntheticKernel};
 
 /// Bind a graph with real FIR kernels at the filter stages (nodes whose
 /// names mark them as filters) and synthetic state-streaming kernels
@@ -36,6 +36,108 @@ pub fn fir_instance(graph: StreamGraph) -> Instance {
         }
         Box::new(SyntheticKernel::new(words, false))
     })
+}
+
+/// A kernel whose per-firing *work* steps up `mult`× after `step_at`
+/// firings while its *output* remains the exact same deterministic
+/// function of the input stream — the seeded perturbation behind the
+/// `phase-shift` app. The repeated state sweeps all produce the same
+/// value (the state is never mutated) and only the last one feeds the
+/// output, so the digest is invariant to when — or where — the step is
+/// observed; `black_box` keeps the compiler from hoisting the extra
+/// sweeps away.
+struct PhaseShiftKernel {
+    state: Box<[f32]>,
+    fires: u64,
+    step_at: u64,
+    mult: u32,
+}
+
+impl PhaseShiftKernel {
+    fn new(state_words: usize, step_at: u64, mult: u32) -> PhaseShiftKernel {
+        PhaseShiftKernel {
+            state: (0..state_words.max(1))
+                .map(|i| ((i * 2654435761usize) as f32) * 1e-12)
+                .collect(),
+            fires: 0,
+            step_at,
+            mult: mult.max(1),
+        }
+    }
+}
+
+impl Kernel for PhaseShiftKernel {
+    fn state_words(&self) -> usize {
+        self.state.len()
+    }
+
+    fn fire(&mut self, inputs: &[Vec<f32>], outputs: &mut [Vec<f32>]) {
+        let mut acc = 0.0f32;
+        for input in inputs {
+            for &x in input.iter() {
+                acc += x;
+            }
+        }
+        let reps = if self.fires >= self.step_at {
+            self.mult
+        } else {
+            1
+        };
+        let mut sacc = 0.0f32;
+        for _ in 0..reps {
+            sacc = std::hint::black_box(&self.state).iter().sum();
+        }
+        self.fires += 1;
+        let y = acc * 0.5 + sacc * 1e-6;
+        for out in outputs.iter_mut() {
+            for slot in out.iter_mut() {
+                *slot = y;
+            }
+        }
+    }
+}
+
+/// Firing count at which [`bound_instance`]'s phase-shift kernels step
+/// (with uniform rates and granularity `T`, that is batch
+/// `DEFAULT_PHASE_STEP_FIRES / T` of each hot stage's segment).
+pub const DEFAULT_PHASE_STEP_FIRES: u64 = 96;
+
+/// Work multiplier [`bound_instance`] applies after the step.
+pub const DEFAULT_PHASE_STEP_MULT: u32 = 16;
+
+/// Bind the `phase-shift` graph: hot stages get phase-shift kernels
+/// that step `mult`× after `step_at` firings, everything else runs the
+/// standard deterministic source/sink/synthetic kernels. The output
+/// stream — and so the sink digest — is independent of `step_at` and
+/// `mult`; only the cost landscape changes.
+pub fn phase_shift_instance(graph: StreamGraph, step_at: u64, mult: u32) -> Instance {
+    let source = graph.single_source();
+    let sink = graph.single_sink();
+    Instance::with_factory(graph, move |g, v| {
+        let words = g.state(v).max(1) as usize;
+        if Some(v) == source {
+            return Box::new(SourceGen::new(words));
+        }
+        if Some(v) == sink {
+            return Box::new(SinkCollect::new(words));
+        }
+        if g.node(v).name.starts_with("phase-hot-") {
+            return Box::new(PhaseShiftKernel::new(words, step_at, mult));
+        }
+        Box::new(SyntheticKernel::new(words, false))
+    })
+}
+
+/// The workload-aware binding the sweep engine and CLI use: the
+/// `phase-shift` app gets its stepping kernels (at the default seed),
+/// every other workload keeps the plain synthetic binding — so adding
+/// the perturbation app changes nothing for existing cells.
+pub fn bound_instance(name: &str, graph: StreamGraph) -> Instance {
+    if name == "phase-shift" {
+        phase_shift_instance(graph, DEFAULT_PHASE_STEP_FIRES, DEFAULT_PHASE_STEP_MULT)
+    } else {
+        Instance::synthetic(graph)
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,9 @@ pub mod bind;
 
 pub use apps::{
     audio_effects, beamformer, bitonic_sort, des_like, fft, filterbank, fm_radio, jpeg_like,
-    matvec_stream, suite, vocoder, App,
+    matvec_stream, phase_shift, suite, vocoder, App,
 };
-pub use bind::fir_instance;
+pub use bind::{
+    bound_instance, fir_instance, phase_shift_instance, DEFAULT_PHASE_STEP_FIRES,
+    DEFAULT_PHASE_STEP_MULT,
+};

@@ -37,11 +37,10 @@
 use crate::stats::{benjamini_hochberg, bootstrap_mean_ci, bootstrap_mean_pvalue, Summary};
 use ccs_cachesim::CacheParams;
 use ccs_core::{Horizon, Planner};
-use ccs_exec::{Placement, RunConfig, WarmupMode};
+use ccs_exec::{AdaptConfig, Placement, RunConfig, WarmupMode};
 use ccs_graph::gen::{self, LayeredCfg, StateDist};
 use ccs_graph::StreamGraph;
 use ccs_perf::CounterKind;
-use ccs_runtime::Instance;
 use ccs_topo::{TopoSpec, Topology};
 use serde_json::Value;
 use std::error::Error;
@@ -158,6 +157,11 @@ pub struct Cell {
     /// off). Serial cells convert the cadence to firings so windows
     /// line up with W-round parallel ones.
     pub windows: u64,
+    /// Run the `ccs-adapt` online controller over the window stream
+    /// (parallel cells only; requires `windows > 0`): segments migrate
+    /// between workers live when counter drift or stall pressure says
+    /// the static placement went stale.
+    pub adapt: bool,
 }
 
 impl Cell {
@@ -178,6 +182,7 @@ impl Cell {
             first_touch: false,
             trace: false,
             windows: 0,
+            adapt: false,
         }
     }
 
@@ -245,6 +250,11 @@ impl Cell {
         self
     }
 
+    pub fn with_adapt(mut self, on: bool) -> Cell {
+        self.adapt = on;
+        self
+    }
+
     /// The label comparisons and reports refer to: the explicit one, or
     /// one derived from the distinguishing fields (`llc+pin/w4`,
     /// `rr/w2/2x2x2`, `serial`).
@@ -262,6 +272,9 @@ impl Cell {
         };
         if self.pin_cores {
             l.push_str("+pin");
+        }
+        if self.adapt {
+            l.push_str("+adapt");
         }
         let _ = write!(l, "/w{}", self.workers);
         if let Some(t) = &self.topology {
@@ -450,6 +463,9 @@ struct RunRecord {
     /// EWMA change points flagged across the per-worker window mpki
     /// series (windowed cells only) — mid-run counter drift.
     drift_points: u64,
+    /// Live segment handoffs performed (adaptive or scripted; 0 on the
+    /// serial engine and on static cells).
+    migrations: u64,
 }
 
 impl RunRecord {
@@ -551,13 +567,14 @@ impl Sweep {
                     let rec = match cell.engine {
                         CellEngine::Serial => run_serial(
                             serial_plan.as_ref().expect("planned above"),
+                            wname,
                             g,
                             cell,
                             self.rounds,
                             self.warn_residency,
                         ),
                         CellEngine::Parallel => {
-                            run_parallel(&planner, g, cell, self.rounds, self.warn_residency)
+                            run_parallel(&planner, wname, g, cell, self.rounds, self.warn_residency)
                                 .map_err(|e| format!("{wname}/{}: {e}", labels[ci]))?
                         }
                     };
@@ -695,12 +712,13 @@ pub fn machine_json() -> Value {
 /// warmup window expressed in firings.
 fn run_serial(
     plan: &ccs_core::Plan,
+    name: &str,
     g: &StreamGraph,
     cell: &Cell,
     rounds: u64,
     warn_residency: f64,
 ) -> RunRecord {
-    let mut inst = Instance::synthetic(g.clone());
+    let mut inst = ccs_apps::bound_instance(name, g.clone());
     let warm = cell.warmup.min(rounds - 1);
     let firings_per_round = (plan.run.firings.len() as u64) / rounds;
     let (run, obs) = ccs_runtime::serial::execute_obs(
@@ -757,12 +775,14 @@ fn run_serial(
         stall_share: None,
         bottleneck: None,
         drift_points,
+        migrations: 0,
     }
 }
 
 /// Run one parallel repeat under the cell's [`RunConfig`].
 fn run_parallel(
     planner: &Planner,
+    name: &str,
     g: &StreamGraph,
     cell: &Cell,
     rounds: u64,
@@ -782,7 +802,11 @@ fn run_parallel(
     if let Some(spec) = &cell.topology {
         cfg = cfg.with_topology(Topology::synthetic(spec));
     }
-    let pr = planner.plan_and_run_parallel(Instance::synthetic(g.clone()), rounds, &cfg)?;
+    if cell.adapt {
+        cfg = cfg.with_adapt(AdaptConfig::default());
+    }
+    let pr =
+        planner.plan_and_run_parallel(ccs_apps::bound_instance(name, g.clone()), rounds, &cfg)?;
     let stats = pr.stats;
     let totals = stats.counter_totals();
     let busy_ms: f64 = stats
@@ -840,6 +864,7 @@ fn run_parallel(
         },
         bottleneck,
         drift_points,
+        migrations: stats.total_migrations(),
     })
 }
 
@@ -956,6 +981,7 @@ fn cell_json(wname: &str, cell: &Cell, label: &str, runs: &[RunRecord], rounds: 
             "windows_timing_only": runs.iter().map(|r| r.windows_timing_only).sum::<usize>(),
             "windows_scaled_low": runs.iter().map(|r| r.windows_scaled_low).sum::<usize>(),
             "drift_points": runs.iter().map(|r| r.drift_points).sum::<u64>(),
+            "migrations": runs.iter().map(|r| r.migrations).sum::<u64>(),
             "analysis": analysis,
         })
     } else {
@@ -981,6 +1007,7 @@ fn cell_json(wname: &str, cell: &Cell, label: &str, runs: &[RunRecord], rounds: 
         },
         "counters_requested": cell.counters,
         "segment_counters": cell.segment_counters,
+        "adapt": cell.adapt,
         "counter_stride": cell.counter_stride.max(1),
         "warmup_batches": cell.warmup.min(rounds.saturating_sub(1)),
         "warmup_mode": cell.warmup_mode.name(),
@@ -1166,6 +1193,14 @@ pub fn render(v: &Value) -> Result<String, Box<dyn Error>> {
                 out,
                 "  warning: {who}: mpki drifted mid-run — {drift} change point(s) flagged \
                  across counter windows (EWMA band); steady-state means may mix regimes",
+            );
+        }
+        let migrations = obs["migrations"].as_u64().unwrap_or(0);
+        if migrations > 0 {
+            let _ = writeln!(
+                out,
+                "  note: {who}: {migrations} live segment migration(s) across repeats — \
+                 the placement changed mid-run; see `ccs analyze` for where they landed",
             );
         }
         let analysis = &obs["analysis"];
@@ -1376,6 +1411,17 @@ pub fn from_spec(v: &Value) -> Result<Sweep, Box<dyn Error>> {
             cell = cell.with_trace(b);
         }
         cell = cell.with_windows(c["windows"].as_u64().unwrap_or(0));
+        if let Some(b) = c["adapt"].as_bool() {
+            cell = cell.with_adapt(b);
+        }
+        if cell.adapt && cell.windows == 0 {
+            return Err(format!(
+                "cell '{}' enables adapt without counter windows; set \"windows\" >= 1 \
+                 (the controller is driven by the window stream)",
+                cell.label()
+            )
+            .into());
+        }
         sweep = sweep.with_cell(cell);
     }
 
@@ -1435,6 +1481,13 @@ mod tests {
                 .with_topology(TopoSpec::new(2, 2, 2))
                 .label(),
             "greedy/w2/2x2x2"
+        );
+        assert_eq!(
+            Cell::parallel(2, Placement::RoundRobin)
+                .with_windows(2)
+                .with_adapt(true)
+                .label(),
+            "rr+adapt/w2"
         );
         assert_eq!(
             Cell::parallel(2, Placement::Llc).with_label("mine").label(),

@@ -49,6 +49,7 @@ const SWITCHES: &[&str] = &[
     "first-touch",
     "per-worker-warmup",
     "trace",
+    "adapt",
     "no-counters",
     "check",
     "history",

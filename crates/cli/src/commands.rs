@@ -58,7 +58,7 @@ USAGE:
                [--placement rr|greedy|llc] [--topo NxCxK | --topo-from DUMP]
                [--pin-cores] [--counters] [--warmup K] [--segment-counters]
                [--stride S] [--per-worker-warmup] [--first-touch]
-               [--trace] [--windows W] [--trace-cap C]
+               [--trace] [--windows W] [--trace-cap C] [--adapt]
                [--warn-residency R] [--strategy ...] [--json]
                (real multicore execution with segment-affine workers;
                 llc placement + pinning use the machine topology;
@@ -70,10 +70,15 @@ USAGE:
                 segments sampling every S-th batch, and --first-touch
                 faults ring pages in from consumer workers; --trace
                 records per-worker event timelines and --windows W
-                closes a counter window every W batches;
-                see docs/MEASUREMENT.md and docs/OBSERVABILITY.md)
+                closes a counter window every W batches; --adapt turns
+                on the online drift controller (needs --windows >= 1),
+                which migrates segments between workers mid-run while
+                the output digest stays bit-identical;
+                see docs/MEASUREMENT.md, docs/OBSERVABILITY.md, and
+                docs/ADAPTIVE.md)
   ccs trace FILE --m M [--b B] [--workers N] [--rounds R] [--serial]
             [--windows W] [--trace-cap C] [--no-counters] [--warmup K]
+            [--adapt]
             [--placement rr|greedy|llc] [--topo NxCxK] [--pin-cores]
             [--warn-residency R] [--strategy ...] [--json] [-o FILE]
                (run with event tracing on and export the merged
@@ -83,13 +88,15 @@ USAGE:
                 batches [default 1] annotate the timeline, degrading
                 to timing-only without a PMU; stalls carry the blocking
                 edge and ring occupancy is sampled at batch boundaries,
-                so the export feeds `ccs analyze`; --warn-residency sets
-                the low-PMU-residency warning threshold baked into the
+                so the export feeds `ccs analyze`; --adapt runs the
+                online drift controller and its migration instants land
+                on the timeline; --warn-residency sets the
+                low-PMU-residency warning threshold baked into the
                 document; see docs/OBSERVABILITY.md)
   ccs sweep [--spec FILE | --apps A,B --workers N,M --placements rr,llc
              --pin on|off|both [--serial] [--counters] [--segment-counters]
              [--warmup K] [--stride S] [--first-touch] [--per-worker-warmup]
-             [--trace] [--windows W] [--topo NxCxK] [--repeats R]
+             [--trace] [--windows W] [--adapt] [--topo NxCxK] [--repeats R]
              [--rounds N] [--baseline LABEL]
              [--metrics m1,m2] [--name NAME] [--seed S] [--confidence C]
              [--warn-residency R]]
@@ -99,6 +106,8 @@ USAGE:
                 mean +/- stddev, and the declared pairwise paired deltas
                 with bootstrap CIs under Benjamini-Hochberg correction;
                 grid comes from a JSON spec file or from the flags;
+                --adapt doubles every parallel cell with an adaptive
+                twin (online segment migration; needs --windows >= 1);
                 -o saves the ccs-sweep/v1 document `ccs report` renders)
   ccs bench [--repeats R] [--rounds N] [--apps A,B] [--store FILE]
             [--baseline FILE] [--tolerance T] [--timestamp T]
@@ -380,7 +389,8 @@ fn load_topo_dump(path: &str) -> Result<Topology, Box<dyn Error>> {
 }
 
 fn run_dag(args: &Args) -> CliResult {
-    let g = load(args.positional(0, "graph file")?)?;
+    let path = args.positional(0, "graph file")?;
+    let g = load(path)?;
     let planner = Planner::new(params_of(args)?).with_strategy(strategy_of(args)?);
     let workers = args.u64_or("workers", 2)?.max(1) as usize;
     let rounds = args.u64_or("rounds", 8)?;
@@ -412,7 +422,18 @@ fn run_dag(args: &Args) -> CliResult {
     if let Some(topo) = topo_of(args)? {
         cfg = cfg.with_topology(topo);
     }
-    let inst = ccs_runtime::Instance::synthetic(g);
+    let adapt = args.has("adapt");
+    if adapt {
+        cfg = cfg.with_adapt(ccs_exec::AdaptConfig::default());
+    }
+    // Workload-aware binding by file stem: a graph saved as
+    // `phase-shift.json` (`ccs gen app phase-shift`) gets its seeded
+    // perturbation kernels, everything else the synthetic binding.
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("");
+    let inst = ccs_apps::bound_instance(stem, g);
     let pr = planner.plan_and_run_parallel(inst, rounds, &cfg)?;
     let stats = &pr.stats;
     let totals = stats.counter_totals();
@@ -432,6 +453,7 @@ fn run_dag(args: &Args) -> CliResult {
                     "pinned_cpu": w.pinned_cpu,
                     "counters": w.counters.as_ref().map(|s| s.to_json(None)),
                     "warmup_excluded_batches": w.warmup_excluded,
+                    "migrations": w.migrations,
                     "windows": w.windows.iter().map(ccs_obs::window_json).collect::<Vec<_>>(),
                     "trace_events": w.trace.as_ref().map_or(0, |t| t.events.len() as u64),
                     "trace_dropped": w.trace.as_ref().map_or(0, |t| t.dropped),
@@ -497,6 +519,8 @@ fn run_dag(args: &Args) -> CliResult {
             "warmup_mode": stats.warmup_mode.name(),
             "first_touch_rings": stats.first_touch_rings,
             "rings_touched": stats.rings_first_touched(),
+            "adapt": adapt,
+            "migrations": stats.total_migrations(),
             "trace_enabled": stats.trace_enabled,
             "trace_events": stats.trace_events(),
             "trace_dropped": stats.trace_dropped(),
@@ -605,6 +629,18 @@ fn run_dag(args: &Args) -> CliResult {
             }
         }
     }
+    if adapt || stats.total_migrations() > 0 {
+        let _ = writeln!(
+            out,
+            "migrations: {} live segment handoff(s){}",
+            stats.total_migrations(),
+            if adapt {
+                " (online controller over the counter-window stream)"
+            } else {
+                ""
+            },
+        );
+    }
     if stats.trace_enabled || stats.window_batches > 0 {
         let _ = writeln!(
             out,
@@ -649,7 +685,11 @@ fn run_dag(args: &Args) -> CliResult {
             w.stalls,
             w.stall_time.as_secs_f64() * 1e3,
             w.busy.as_secs_f64() * 1e3,
-            w.counters
+            match w.migrations {
+                0 => String::new(),
+                n => format!(", {n} handoff(s) released"),
+            } + &w
+                .counters
                 .as_ref()
                 .and_then(|s| s.get(ccs_perf::CounterKind::LlcMisses))
                 .map_or(String::new(), |m| format!(", {m} llc misses")),
@@ -753,10 +793,16 @@ fn build_trace_doc(args: &Args) -> Result<serde_json::Value, Box<dyn Error>> {
         .with_trace(true)
         .with_windows(windows)
         .with_trace_capacity(trace_cap);
+    if args.has("adapt") {
+        cfg = cfg.with_adapt(ccs_exec::AdaptConfig::default());
+    }
     if let Some(topo) = topo_of(args)? {
         cfg = cfg.with_topology(topo);
     }
-    let inst = ccs_runtime::Instance::synthetic(g);
+    // Bind by file stem so `phase-shift.json` traces with its seeded
+    // perturbation kernels — the workload the adaptive controller is
+    // built to answer.
+    let inst = ccs_apps::bound_instance(&name, g);
     let pr = planner.plan_and_run_parallel(inst, rounds, &cfg)?;
     let stats = &pr.stats;
     let tracks: Vec<TraceWorker> = stats
@@ -1054,7 +1100,20 @@ fn sweep_cmd(args: &Args) -> CliResult {
                         if let Some(t) = topo {
                             cell = cell.with_topology(t);
                         }
-                        s = s.with_cell(cell);
+                        // `--adapt` doubles each parallel cell with an
+                        // adaptive twin, so every point of the grid
+                        // gets its own static-vs-adaptive pairing.
+                        if args.has("adapt") {
+                            if args.u64_or("windows", 0)? == 0 {
+                                return Err("--adapt requires --windows >= 1 (the controller \
+                                            is driven by the counter-window stream)"
+                                    .into());
+                            }
+                            s = s.with_cell(cell.clone());
+                            s = s.with_cell(cell.with_adapt(true));
+                        } else {
+                            s = s.with_cell(cell);
+                        }
                     }
                 }
             }
@@ -1411,6 +1470,73 @@ mod tests {
         bad.extend(["--topo", "0x1"]);
         assert!(run("run-dag", &args(&bad)).is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_dag_adapt_migrates_and_keeps_the_digest() {
+        // The file stem is the workload binding: `phase-shift.json`
+        // gets the seeded perturbation kernels, so the controller has
+        // a real mid-run work step to react to.
+        let dir = std::env::temp_dir().join(format!("ccs-cli-adapt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("phase-shift.json").to_string_lossy().into_owned();
+        run("gen", &args(&["app", "phase-shift", "-o", &path])).unwrap();
+        let base = [
+            &path,
+            "--m",
+            "1024",
+            "--workers",
+            "2",
+            "--rounds",
+            "24",
+            "--windows",
+            "2",
+            "--json",
+        ];
+        let stat: serde_json::Value =
+            serde_json::from_str(&run("run-dag", &args(&base)).unwrap()).unwrap();
+        assert_eq!(stat["adapt"].as_bool(), Some(false));
+        assert_eq!(stat["migrations"].as_u64(), Some(0));
+        let mut adaptive: Vec<&str> = base.to_vec();
+        adaptive.push("--adapt");
+        let out = run("run-dag", &args(&adaptive)).unwrap();
+        let ad: serde_json::Value = serde_json::from_str(&out).unwrap();
+        // The seeded work step forces at least one live handoff, and
+        // the digest is bit-identical to the static run regardless.
+        assert_eq!(ad["adapt"].as_bool(), Some(true));
+        assert!(ad["migrations"].as_u64().unwrap() >= 1, "{out}");
+        assert_eq!(ad["digest"], stat["digest"]);
+        let per_worker: u64 = match &ad["per_worker"] {
+            serde_json::Value::Array(ws) => {
+                ws.iter().map(|w| w["migrations"].as_u64().unwrap()).sum()
+            }
+            other => panic!("per_worker is not an array: {other:?}"),
+        };
+        assert_eq!(per_worker, ad["migrations"].as_u64().unwrap());
+        // Adaptive control without the window stream is a loud error,
+        // in run-dag and in the flag-built sweep grid alike.
+        let err = run(
+            "run-dag",
+            &args(&[
+                &path,
+                "--m",
+                "1024",
+                "--workers",
+                "2",
+                "--rounds",
+                "2",
+                "--adapt",
+            ]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("windows"), "{err}");
+        let err = run(
+            "sweep",
+            &args(&["--apps", "phase-shift", "--workers", "2", "--adapt"]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--windows"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

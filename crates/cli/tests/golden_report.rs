@@ -61,10 +61,34 @@ fn analyze_text_mode_matches_the_report_render() {
 }
 
 #[test]
+fn adaptive_trace_analysis_keeps_its_migration_block() {
+    // The adapt fixture is a checked-in `ccs trace --adapt` run on the
+    // phase-shift perturbation workload: its timeline carries a live
+    // segment handoff as a `"migration"` instant, and `ccs analyze`
+    // must keep recovering and attributing it. A renderer or schema
+    // change that silently drops saved migrations fails here.
+    let direct = run("analyze", &args(&[&fixture("adapt-v1.json")])).unwrap();
+    assert!(
+        direct.contains("migrations (live handoffs):"),
+        "migration block missing:\n{direct}"
+    );
+    assert_eq!(
+        direct.trim_end(),
+        golden("adapt-v1.txt").trim_end(),
+        "ccs analyze drifted from the checked-in adaptive-trace render"
+    );
+    // The raw document still reads back through `ccs report` as a
+    // plain trace summary.
+    let summary = run("report", &args(&[&fixture("adapt-v1.json")])).unwrap();
+    assert!(summary.contains("trace: phase-shift"), "{summary}");
+}
+
+#[test]
 fn fixture_documents_carry_their_schema_tags() {
     for (doc, schema) in [
         ("sweep-v1.json", "ccs-sweep/v1"),
         ("trace-v1.json", "ccs-trace/v1"),
+        ("adapt-v1.json", "ccs-trace/v1"),
         ("analysis-v1.json", "ccs-analysis/v1"),
         ("bench-v1.json", "ccs-bench/v1"),
     ] {

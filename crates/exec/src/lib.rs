@@ -56,6 +56,13 @@
 //!   decay and phase behavior are visible, not just end-of-run
 //!   aggregates. `ccs trace` exports the merged timelines as Chrome
 //!   trace-event JSON; event model in `docs/OBSERVABILITY.md`.
+//! * **Online adaptation.** With [`run::RunConfig::adapt`], a
+//!   `ccs-adapt` controller consumes the live window stream and hands
+//!   segments off between workers at batch boundaries — without
+//!   stopping the stream — when counter drift or stall pressure says
+//!   the static placement went stale ([`run::Migration`] scripts the
+//!   same handoff deterministically for the equivalence proofs;
+//!   protocol in `docs/ADAPTIVE.md`).
 //! * **Determinism.** Synchronous dataflow is schedule-deterministic, so
 //!   the sink digest is bit-identical to the serial executor's for the
 //!   same number of batches, at every worker count, placement, and
@@ -73,8 +80,10 @@ pub mod run;
 pub mod stats;
 
 #[doc(no_inline)]
+pub use ccs_adapt::AdaptConfig;
+#[doc(no_inline)]
 pub use ccs_obs::{Timeline, WindowSample};
 pub use place::{assign_on, fair_share, Placement};
 pub use plan::{DagExecError, ExecPlan, SegmentPlan};
-pub use run::{execute_dag, execute_dag_cfg, RunConfig, WarmupMode};
+pub use run::{execute_dag, execute_dag_cfg, Migration, RunConfig, WarmupMode};
 pub use stats::{DagRunStats, SegmentCounters, WorkerStats};

@@ -65,6 +65,28 @@ impl WarmupMode {
     }
 }
 
+/// One scripted segment handoff: once `seg` has completed
+/// `after_batches` batches, move it to `to_worker` at that batch
+/// boundary — without stopping the stream. The executor validates the
+/// target against the run (see
+/// [`DagExecError::MigrationTarget`])
+/// and rejects boundaries inside the warmup window. A hop whose target
+/// is the segment's current worker is a no-op (not recorded, not
+/// counted). Primarily a test-harness hook: it drives the
+/// migration-equivalence property tests with arbitrary schedules; the
+/// production path is [`RunConfig::adapt`], where the controller
+/// decides the hops online.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Migration {
+    /// Segment to move (contracted topological order).
+    pub seg: usize,
+    /// Worker that should run it next.
+    pub to_worker: usize,
+    /// Batch boundary the handoff happens at: the segment quiesces
+    /// after completing this many batches.
+    pub after_batches: u64,
+}
+
 /// How to run a partitioned dag: worker count, placement policy, and
 /// the machine model the policy (and optional core pinning) uses.
 #[derive(Clone, Debug, Default)]
@@ -135,6 +157,21 @@ pub struct RunConfig {
     /// Per-worker event ring capacity when tracing; 0 selects
     /// [`ccs_obs::DEFAULT_RING_CAPACITY`].
     pub trace_capacity: usize,
+    /// Online adaptive control: run a [`ccs_adapt::Controller`] over the
+    /// live window stream and migrate segments between workers — at
+    /// batch boundaries, without stopping the stream — when it flags
+    /// drift. Requires [`RunConfig::window_batches`]` > 0` (the window
+    /// stream is the controller's only input); the run fails with
+    /// [`DagExecError::AdaptNeedsWindows`]
+    /// otherwise. Migration changes *where* a segment runs, never
+    /// *what* it computes: the sink digest stays bit-identical to the
+    /// static (and serial) schedule.
+    pub adapt: Option<ccs_adapt::AdaptConfig>,
+    /// Scripted handoffs executed at fixed batch boundaries, validated
+    /// up front — the deterministic test harness behind the
+    /// migration-equivalence proofs. Runs fine alongside
+    /// [`RunConfig::adapt`] (the forced hops just happen on schedule).
+    pub forced_migrations: Vec<Migration>,
 }
 
 impl RunConfig {
@@ -202,6 +239,16 @@ impl RunConfig {
 
     pub fn with_trace_capacity(mut self, capacity: usize) -> RunConfig {
         self.trace_capacity = capacity;
+        self
+    }
+
+    pub fn with_adapt(mut self, adapt: ccs_adapt::AdaptConfig) -> RunConfig {
+        self.adapt = Some(adapt);
+        self
+    }
+
+    pub fn with_forced_migrations(mut self, migrations: Vec<Migration>) -> RunConfig {
+        self.forced_migrations = migrations;
         self
     }
 }
@@ -274,8 +321,13 @@ impl Rendezvous {
     }
 }
 
-/// One pinned segment's runtime state: kernels and pre-sized scratch,
-/// owned exclusively by its worker thread.
+/// One segment's runtime state: kernels and pre-sized scratch, owned
+/// exclusively by exactly one worker thread at any instant. Statically
+/// that worker is fixed for the whole run; under migration the task —
+/// kernels, scratch, counter attribution, and (by the SPSC discipline)
+/// the segment's ring endpoints — moves whole between workers through a
+/// mutex-protected inbox, so the releasing worker's last batch
+/// happens-before the receiving worker's first.
 struct SegTask {
     seg: usize,
     /// Batches completed so far.
@@ -287,6 +339,40 @@ struct SegTask {
     /// Scratch per local node per port, sized to the rates.
     in_scratch: Vec<Vec<Vec<f32>>>,
     out_scratch: Vec<Vec<Vec<f32>>>,
+    /// Scripted hops still owed, sorted by boundary; the head is due
+    /// once `done` reaches its `after_batches`.
+    pending: Vec<Migration>,
+    /// Per-segment counter attribution: rides with the segment across
+    /// handoffs so a migrated segment's counts stay whole.
+    acc: SegmentCounters,
+    /// Batch time accumulated in the owning worker's currently open
+    /// counter window (adaptive runs only; zeroed at each close).
+    win_ns: u64,
+    /// Batches in the owning worker's currently open window.
+    win_batches: u64,
+}
+
+/// Shared state of an adaptive (or forced-migration) run: the handoff
+/// mailboxes, the run-wide termination count, and the controller.
+struct AdaptRt {
+    /// Per-worker migration inboxes: tasks in flight between workers.
+    /// The mutex is the handoff's happens-before edge.
+    inboxes: Vec<parking_lot::Mutex<Vec<SegTask>>>,
+    /// Fast-path flags (set inside the inbox lock): a worker only takes
+    /// its inbox lock after seeing its flag nonzero.
+    inbox_flags: Vec<AtomicUsize>,
+    /// Per-worker queues of controller commands decided on another
+    /// worker's window but owed by this one.
+    cmd_queues: Vec<parking_lot::Mutex<Vec<ccs_adapt::MigrationCmd>>>,
+    /// Fast-path flags for `cmd_queues`.
+    cmd_flags: Vec<AtomicUsize>,
+    /// Segments that have not yet completed all rounds, run-wide: with
+    /// tasks mobile, a worker may only exit once this reaches zero (its
+    /// own list being done no longer proves no more work will arrive).
+    remaining: AtomicUsize,
+    /// The online decision engine; `None` when only forced migrations
+    /// are in play.
+    controller: Option<parking_lot::Mutex<ccs_adapt::Controller>>,
 }
 
 /// Cross-worker progress signal: every completed batch bumps the epoch
@@ -383,6 +469,33 @@ pub fn execute_dag_cfg(
     let workers = cfg.workers.max(1);
     let g = &inst.graph;
     let plan = ExecPlan::build(g, ra, p, m_items)?;
+    let warmup = if rounds == 0 {
+        0
+    } else {
+        cfg.warmup_batches.min(rounds - 1)
+    };
+    // Adaptive control is driven entirely by the window stream; without
+    // windows it would sit blind for the whole run — a config error,
+    // not a silent no-op.
+    if cfg.adapt.is_some() && cfg.window_batches == 0 {
+        return Err(DagExecError::AdaptNeedsWindows);
+    }
+    for m in &cfg.forced_migrations {
+        if m.seg >= plan.segments.len() || m.to_worker >= workers {
+            return Err(DagExecError::MigrationTarget {
+                seg: m.seg,
+                to_worker: m.to_worker,
+                workers,
+            });
+        }
+        if warmup > 0 && m.after_batches < warmup {
+            return Err(DagExecError::MigrationDuringWarmup {
+                seg: m.seg,
+                after_batches: m.after_batches,
+                warmup,
+            });
+        }
+    }
     // Only pay for host discovery (sysfs walks) when something will
     // actually consume the topology; the flat machine is equivalent for
     // distance-free placements without pinning.
@@ -450,6 +563,13 @@ pub fn execute_dag_cfg(
                         .collect()
                 })
                 .collect();
+            let mut pending: Vec<Migration> = cfg
+                .forced_migrations
+                .iter()
+                .filter(|m| m.seg == si)
+                .copied()
+                .collect();
+            pending.sort_by_key(|m| m.after_batches);
             Some(SegTask {
                 seg: si,
                 done: 0,
@@ -457,6 +577,13 @@ pub fn execute_dag_cfg(
                 firings_local: seg.firings.iter().map(|&v| local_of[v.idx()]).collect(),
                 in_scratch,
                 out_scratch,
+                pending,
+                acc: SegmentCounters {
+                    seg: si,
+                    ..SegmentCounters::default()
+                },
+                win_ns: 0,
+                win_batches: 0,
             })
         })
         .collect();
@@ -467,16 +594,35 @@ pub fn execute_dag_cfg(
         per_worker[w].push(tasks[si].take().expect("each segment once"));
     }
 
+    // The adaptive runtime only exists when something can actually move
+    // (a controller or a scripted schedule, and at least one batch);
+    // static runs keep an untouched `None` and the exact pre-adaptive
+    // hot path.
+    let adapt_rt = if (cfg.adapt.is_some() || !cfg.forced_migrations.is_empty()) && rounds > 0 {
+        Some(AdaptRt {
+            inboxes: (0..workers)
+                .map(|_| parking_lot::Mutex::new(Vec::new()))
+                .collect(),
+            inbox_flags: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+            cmd_queues: (0..workers)
+                .map(|_| parking_lot::Mutex::new(Vec::new()))
+                .collect(),
+            cmd_flags: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+            remaining: AtomicUsize::new(plan.segments.len()),
+            controller: cfg.adapt.clone().map(|a| {
+                parking_lot::Mutex::new(ccs_adapt::Controller::new(a, workers, owner.clone()))
+            }),
+        })
+    } else {
+        None
+    };
+    let adapt_ref = adapt_rt.as_ref();
+
     let graph = g;
     let plan_ref = &plan;
     let rings_ref: &[SpscRing] = &rings;
     let gate = ProgressGate::new();
     let gate_ref = &gate;
-    let warmup = if rounds == 0 {
-        0
-    } else {
-        cfg.warmup_batches.min(rounds - 1)
-    };
     let cplan = CounterPlan {
         requested: cfg.counters,
         warmup,
@@ -529,6 +675,7 @@ pub fn execute_dag_cfg(
                     cplan,
                     obs,
                     touch: if first_touch { Some(touch) } else { None },
+                    adapt: adapt_ref,
                     tasks: my_tasks,
                     rounds,
                 })
@@ -661,6 +808,9 @@ struct WorkerCtx<'a> {
     /// Ring indices this worker consumes from, to fault in before the
     /// start line; `None` when first-touch placement is off.
     touch: Option<Vec<usize>>,
+    /// Shared migration runtime; `None` for static runs (the entire
+    /// adaptive machinery then costs one never-taken branch per pass).
+    adapt: Option<&'a AdaptRt>,
     tasks: Vec<SegTask>,
     rounds: u64,
 }
@@ -677,6 +827,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
         cplan,
         obs,
         touch,
+        adapt,
         mut tasks,
         rounds,
     } = ctx;
@@ -720,21 +871,18 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
         warmup_excluded: 0,
         segment_counters: Vec::new(),
         rings_touched,
+        migrations: 0,
         windows: Vec::new(),
         trace: None,
     };
-    let mut seg_acc: Vec<SegmentCounters> = if cplan.per_segment {
-        tasks
-            .iter()
-            .map(|t| SegmentCounters {
-                seg: t.seg,
-                ..SegmentCounters::default()
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
     let mut unproductive = 0u32;
+    // Controller commands owed by this worker (decided at one of its own
+    // window closes, or routed over from a peer's), plus the stall time
+    // of the currently open window — the one controller input the
+    // WindowSampler itself does not carry.
+    let mut outbox: Vec<ccs_adapt::MigrationCmd> = Vec::new();
+    let mut win_stall_ns = 0u64;
+    let ctrl_on = adapt.is_some_and(|rt| rt.controller.is_some());
     // Steady-state gate: flips once every owned segment has executed
     // its warmup batches, at which point the group is zeroed so the
     // worker's final sample covers only post-warmup work. Checked at
@@ -761,6 +909,47 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
         // the scan moves the epoch past this value, so a post-scan park
         // re-checks immediately instead of sleeping through the wakeup.
         let epoch = gate.epoch.load(Ordering::SeqCst);
+        // Adaptive mailboxes first: segments handed to this worker join
+        // its set before the scan, and handoffs this worker owes are
+        // carried out now — at the same batch boundary the decision
+        // quiesced them at (the segment has not run since).
+        if let Some(rt) = adapt {
+            if rt.inbox_flags[worker].swap(0, Ordering::SeqCst) != 0 {
+                let incoming = std::mem::take(&mut *rt.inboxes[worker].lock());
+                for t in incoming {
+                    if !stats.segments.contains(&t.seg) {
+                        stats.segments.push(t.seg);
+                    }
+                    tasks.push(t);
+                }
+            }
+            if rt.cmd_flags[worker].swap(0, Ordering::SeqCst) != 0 {
+                outbox.append(&mut rt.cmd_queues[worker].lock());
+            }
+            for cmd in std::mem::take(&mut outbox) {
+                if cmd.to == worker {
+                    continue;
+                }
+                // A command for a segment that already finished (or
+                // moved on) is stale: dropping it is safe, the
+                // controller's map self-corrects on the next window.
+                if let Some(ti) = tasks.iter().position(|t| t.seg == cmd.seg) {
+                    if tasks[ti].done < rounds {
+                        hand_off(
+                            rt,
+                            &mut tasks,
+                            ti,
+                            cmd.to,
+                            worker,
+                            &mut stats,
+                            &mut tracer,
+                            &obs,
+                            gate,
+                        );
+                    }
+                }
+            }
+        }
         if !warmed && tasks.iter().all(|t| t.done >= cplan.warmup) {
             if cplan.epoch {
                 // Capped at the window, every worker lands here with all
@@ -790,12 +979,38 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
         };
         let mut progressed = false;
         let mut all_done = true;
-        for (ti, task) in tasks.iter_mut().enumerate() {
+        let mut depart = None;
+        let mut ti = 0;
+        while ti < tasks.len() {
+            // A scripted hop that is due quiesces the segment *before*
+            // its next batch, so it departs at exactly the configured
+            // boundary (including hops that arrived due with the task).
+            if adapt.is_some() {
+                while let Some(&m) = tasks[ti].pending.first() {
+                    if tasks[ti].done < m.after_batches || tasks[ti].done >= rounds {
+                        break;
+                    }
+                    tasks[ti].pending.remove(0);
+                    // A hop to the current worker is a no-op, not a
+                    // migration; keep scanning for the next due hop.
+                    if m.to_worker != worker {
+                        depart = Some((ti, m.to_worker));
+                        break;
+                    }
+                }
+                if depart.is_some() {
+                    all_done = false;
+                    break;
+                }
+            }
+            let task = &mut tasks[ti];
             if task.done >= rounds {
+                ti += 1;
                 continue;
             }
             all_done = false;
             if task.done >= limit || !schedulable(plan, rings, task.seg) {
+                ti += 1;
                 continue;
             }
             // Per-segment counting window: post-warmup (both this
@@ -836,25 +1051,79 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
             }
             if let Some(before) = before {
                 if let Some(after) = counter_set.sample() {
-                    seg_acc[ti].sample.merge(&after.delta_since(&before));
-                    seg_acc[ti].batches_counted += 1;
+                    task.acc.sample.merge(&after.delta_since(&before));
+                    task.acc.batches_counted += 1;
                 }
             }
             if cplan.per_segment {
-                seg_acc[ti].batches += 1;
+                task.acc.batches += 1;
             }
             task.done += 1;
             stats.batches += 1;
+            if ctrl_on {
+                task.win_ns += dur.as_nanos() as u64;
+                task.win_batches += 1;
+            }
+            let finished = task.done >= rounds;
+            if let Some(rt) = adapt {
+                if finished {
+                    rt.remaining.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
             if wins.enabled() {
                 if let Some(index) = wins.on_batch(obs.clock.now_ns(), || counter_set.sample()) {
                     tracer.record(obs.clock.now_ns(), 0, EventKind::Window { index });
+                    // Feed the controller on the closed window; its
+                    // decisions land in `outbox` (own segments, carried
+                    // out at the top of the next pass — no further
+                    // batch of theirs runs in between) or a peer's
+                    // command queue.
+                    if ctrl_on && warmed {
+                        if let Some(rt) = adapt {
+                            feed_controller(
+                                rt,
+                                &wins,
+                                &mut tasks,
+                                worker,
+                                win_stall_ns,
+                                &mut outbox,
+                                gate,
+                            );
+                            win_stall_ns = 0;
+                        }
+                    }
                 }
             }
             progressed = true;
             gate.bump();
+            ti += 1;
+        }
+        if let (Some(rt), Some((ti, to))) = (adapt, depart) {
+            hand_off(
+                rt,
+                &mut tasks,
+                ti,
+                to,
+                worker,
+                &mut stats,
+                &mut tracer,
+                &obs,
+                gate,
+            );
+            unproductive = 0;
+            continue;
         }
         if all_done {
-            break;
+            // With tasks mobile, an empty local plate is not the end of
+            // the run: another worker may still hand a segment over.
+            // Only the run-wide count proves completion.
+            let run_done = match adapt {
+                None => true,
+                Some(rt) => rt.remaining.load(Ordering::SeqCst) == 0,
+            };
+            if run_done {
+                break;
+            }
         }
         if progressed {
             unproductive = 0;
@@ -878,6 +1147,9 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
         }
         let dur = t0.elapsed();
         stats.stall_time += dur;
+        if ctrl_on {
+            win_stall_ns += dur.as_nanos() as u64;
+        }
         tracer.record(
             obs.clock.offset_ns(t0),
             dur.as_nanos() as u64,
@@ -887,9 +1159,104 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
     stats.windows = wins.finish(obs.clock.now_ns(), || counter_set.sample());
     counter_set.disable();
     stats.counters = counter_set.sample();
-    stats.segment_counters = seg_acc;
+    stats.segment_counters = if cplan.per_segment {
+        tasks.iter().map(|t| t.acc.clone()).collect()
+    } else {
+        Vec::new()
+    };
     stats.trace = tracer.finish();
     (tasks, stats)
+}
+
+/// Release `tasks[ti]` to worker `to`: record the migration (an instant
+/// on the releasing worker's timeline, at the batch boundary where the
+/// segment was quiesced), count it, and push the task — kernels,
+/// scratch, counter attribution and all — through the target's mutex
+/// inbox. The lock is the happens-before edge that makes the segment's
+/// SPSC ring endpoints safe to drive from the receiving thread; the
+/// receiving worker is already pinned to its own planned core, so under
+/// `pin_cores` the segment lands cache-resident on the target core with
+/// no re-pinning step.
+#[allow(clippy::too_many_arguments)]
+fn hand_off(
+    rt: &AdaptRt,
+    tasks: &mut Vec<SegTask>,
+    ti: usize,
+    to: usize,
+    worker: usize,
+    stats: &mut WorkerStats,
+    tracer: &mut Tracer,
+    obs: &ObsPlan,
+    gate: &ProgressGate,
+) {
+    let task = tasks.remove(ti);
+    tracer.record(
+        obs.clock.now_ns(),
+        0,
+        EventKind::Migration {
+            seg: task.seg,
+            from: worker,
+            to,
+        },
+    );
+    stats.migrations += 1;
+    {
+        let mut inbox = rt.inboxes[to].lock();
+        inbox.push(task);
+        rt.inbox_flags[to].store(1, Ordering::SeqCst);
+    }
+    gate.bump();
+}
+
+/// Reduce the window that just closed to a [`ccs_adapt::WindowReport`],
+/// let the controller absorb it, and route any decided handoffs: this
+/// worker's own segments into `outbox`, segments owed by a peer into
+/// that peer's command queue (with a wakeup bump so a parked peer acts
+/// within the park timeout).
+fn feed_controller(
+    rt: &AdaptRt,
+    wins: &WindowSampler,
+    tasks: &mut [SegTask],
+    worker: usize,
+    stall_ns: u64,
+    outbox: &mut Vec<ccs_adapt::MigrationCmd>,
+    gate: &ProgressGate,
+) {
+    let (Some(ctrl), Some(w)) = (&rt.controller, wins.last()) else {
+        return;
+    };
+    let segments: Vec<ccs_adapt::SegCost> = tasks
+        .iter()
+        .filter(|t| t.win_batches > 0)
+        .map(|t| ccs_adapt::SegCost {
+            seg: t.seg,
+            batches: t.win_batches,
+            ns: t.win_ns,
+        })
+        .collect();
+    let report = ccs_adapt::WindowReport {
+        worker,
+        window_index: w.index,
+        mpki: w.sample.as_ref().and_then(|s| s.mpki()),
+        span_ns: w.end_ns.saturating_sub(w.start_ns),
+        batches: w.batches,
+        stall_ns,
+        segments,
+    };
+    for t in tasks.iter_mut() {
+        t.win_ns = 0;
+        t.win_batches = 0;
+    }
+    let cmds = ctrl.lock().observe(&report);
+    for cmd in cmds {
+        if cmd.from == worker {
+            outbox.push(cmd);
+        } else {
+            rt.cmd_queues[cmd.from].lock().push(cmd);
+            rt.cmd_flags[cmd.from].store(1, Ordering::SeqCst);
+            gate.bump();
+        }
+    }
 }
 
 /// Execute one batch: the segment's local schedule, once.

@@ -1,0 +1,92 @@
+//! Migration-equivalence property: for *any* legal scripted hop
+//! schedule — any segments, any targets, any batch boundaries, chained
+//! or colliding, on any worker count, with or without a warmup window
+//! and counter windows — the run completes, the sink digest is
+//! bit-identical to the serial executor's, and every segment still
+//! executes exactly `rounds` batches. Synchronous dataflow makes the
+//! stream's content schedule-independent; this test pins down that the
+//! handoff protocol preserves that guarantee under arbitrary placement
+//! churn, not just the polite schedules a controller would emit.
+
+use ccs_exec::{execute_dag_cfg, Migration, RunConfig};
+use ccs_graph::{GraphBuilder, RateAnalysis, StreamGraph};
+use ccs_partition::Partition;
+use ccs_runtime::Instance;
+use ccs_sched::partitioned;
+use proptest::prelude::*;
+
+/// Source → `branches` parallel chains of `depth` nodes → sink: a
+/// single-io dag family with real fan-out/fan-in, so hops land on
+/// segments whose ring peers are mid-flight on other workers.
+fn diamond(branches: usize, depth: usize) -> StreamGraph {
+    let mut b = GraphBuilder::new();
+    let src = b.node("src", 16);
+    let sink = b.node("sink", 16);
+    for br in 0..branches {
+        let mut prev = src;
+        for d in 0..depth {
+            let v = b.node(format!("b{br}-{d}"), 24);
+            b.edge(prev, v, 1, 1);
+            prev = v;
+        }
+        b.edge(prev, sink, 1, 1);
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_legal_hop_schedule_is_digest_invariant(
+        branches in 1usize..4,
+        depth in 1usize..4,
+        workers in 1usize..5,
+        warmup in 0u64..3,
+        windows in 0u64..3,
+        raw in proptest::collection::vec(
+            (0usize..64, 0usize..8, 0u64..16), 0..16),
+    ) {
+        let g = diamond(branches, depth);
+        let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+        let segs = g.node_count();
+        let p = Partition::from_assignment((0..segs as u32).collect());
+        let m = 8;
+        let rounds = 5u64;
+        // Fold the raw triples into legal hops: in-range segment and
+        // worker, boundary at or after the warmup window (boundaries at
+        // `rounds` are legal and never fire).
+        let hops: Vec<Migration> = raw
+            .iter()
+            .map(|&(s, w, a)| Migration {
+                seg: s % segs,
+                to_worker: w % workers,
+                after_batches: warmup + a % (rounds + 1 - warmup),
+            })
+            .collect();
+        let run = partitioned::inhomogeneous(&g, &ra, &p, m, rounds).unwrap();
+        let mut serial_inst = Instance::synthetic(g.clone());
+        let serial = ccs_runtime::serial::execute(&mut serial_inst, &run);
+        prop_assert!(serial.digest.is_some());
+
+        let cfg = RunConfig::new(workers)
+            .with_warmup(warmup)
+            .with_windows(windows)
+            .with_forced_migrations(hops.clone());
+        let inst = Instance::synthetic(g.clone());
+        let stats = execute_dag_cfg(inst, &ra, &p, m, rounds, &cfg).unwrap();
+        prop_assert_eq!(
+            stats.run.digest, serial.digest,
+            "digest diverged: workers={}, warmup={}, hops={:?}",
+            workers, warmup, hops
+        );
+        // Ring/batch accounting: the hops moved work, never created or
+        // destroyed it.
+        prop_assert_eq!(stats.run.firings, serial.firings);
+        let batches: u64 = stats.workers.iter().map(|w| w.batches).sum();
+        prop_assert_eq!(batches, segs as u64 * rounds);
+        // At most one recorded migration per scripted hop (self-hops
+        // and past-the-end boundaries fire zero times).
+        prop_assert!(stats.total_migrations() <= hops.len() as u64);
+    }
+}

@@ -27,27 +27,77 @@ pub struct DriftTrack {
     pub change_points: Vec<usize>,
 }
 
+/// The one-point-at-a-time form of [`ewma_change_points`]: feed it a
+/// series incrementally with [`push`](OnlineEwma::push) and it flags
+/// exactly the indices the offline pass would (same alpha, band, and
+/// warmup). This is the detector an online controller embeds — no
+/// buffering of the series, O(1) state per tracked metric.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineEwma {
+    /// Noise floor for the deviation band (the metric's `eps`).
+    eps: f64,
+    /// Points absorbed so far.
+    n: usize,
+    mean: f64,
+    dev: f64,
+}
+
+impl OnlineEwma {
+    /// A fresh tracker with the metric's noise scale `eps`.
+    pub fn new(eps: f64) -> OnlineEwma {
+        OnlineEwma {
+            eps,
+            ..OnlineEwma::default()
+        }
+    }
+
+    /// Absorb one observation; `true` when it is a change point (lands
+    /// more than `BAND` tracked mean-absolute-deviations from the
+    /// level, after the warmup points).
+    pub fn push(&mut self, x: f64) -> bool {
+        let i = self.n;
+        self.n += 1;
+        if i == 0 {
+            self.mean = x;
+            return false;
+        }
+        let err = (x - self.mean).abs();
+        let flagged = i >= WARMUP_POINTS && err > BAND * self.dev.max(self.eps);
+        self.mean += ALPHA * (x - self.mean);
+        self.dev += ALPHA * (err - self.dev);
+        flagged
+    }
+
+    /// Current EWMA level (`None` before any observation).
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Observations absorbed so far.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no observation has been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
 /// Track `xs` with an EWMA (alpha 0.3) and flag change points: index
 /// `i` is flagged when `xs[i]` deviates from the running level by more
 /// than 3 tracked mean-absolute-deviations (floored at `eps`, the
 /// metric's noise scale). The first few points are never flagged.
+/// The offline batch form of [`OnlineEwma`] — the two flag identical
+/// indices on identical series.
 pub fn ewma_change_points(xs: &[f64], eps: f64) -> DriftTrack {
     let mut track = DriftTrack::default();
-    let mut mean = 0.0f64;
-    let mut dev = 0.0f64;
+    let mut online = OnlineEwma::new(eps);
     for (i, &x) in xs.iter().enumerate() {
-        if i == 0 {
-            mean = x;
-            track.ewma = Some(mean);
-            continue;
-        }
-        let err = (x - mean).abs();
-        if i >= WARMUP_POINTS && err > BAND * dev.max(eps) {
+        if online.push(x) {
             track.change_points.push(i);
         }
-        mean += ALPHA * (x - mean);
-        dev += ALPHA * (err - dev);
-        track.ewma = Some(mean);
+        track.ewma = online.mean();
     }
     track
 }
@@ -87,5 +137,42 @@ mod tests {
     fn early_points_are_never_flagged() {
         let t = ewma_change_points(&[0.0, 100.0, 0.0], 0.1);
         assert!(t.change_points.is_empty(), "{:?}", t.change_points);
+    }
+
+    #[test]
+    fn online_detector_matches_the_offline_pass_exactly() {
+        // The controller's incremental detector and the analyzer's batch
+        // pass must flag identical change points on identical series —
+        // the property the adaptive layer's equivalence rests on.
+        let serieses: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![2.0],
+            (0..40).map(|i| if i < 20 { 1.0 } else { 5.0 }).collect(),
+            (0..50).map(|i| 1.0 + 0.01 * ((i % 3) as f64)).collect(),
+            vec![0.0, 100.0, 0.0],
+            (0..60)
+                .map(|i| {
+                    // Two regimes plus deterministic jitter.
+                    let base = if i < 30 { 2.0 } else { 9.0 };
+                    base + 0.05 * (((i * 7919) % 13) as f64)
+                })
+                .collect(),
+        ];
+        for xs in serieses {
+            for eps in [0.05, 0.1, 1.0] {
+                let offline = ewma_change_points(&xs, eps);
+                let mut online = OnlineEwma::new(eps);
+                let mut flagged = Vec::new();
+                for (i, &x) in xs.iter().enumerate() {
+                    if online.push(x) {
+                        flagged.push(i);
+                    }
+                }
+                assert_eq!(flagged, offline.change_points, "eps {eps}, xs {xs:?}");
+                assert_eq!(online.mean(), offline.ewma);
+                assert_eq!(online.len(), xs.len());
+                assert_eq!(online.is_empty(), xs.is_empty());
+            }
+        }
     }
 }

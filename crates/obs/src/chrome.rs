@@ -148,6 +148,26 @@ fn event_json(w: &TraceWorker, e: &Event) -> Value {
         EventKind::Window { index } => {
             instant(0, w.worker, format!("window {index}"), "window", e.ts_ns)
         }
+        EventKind::Migration { seg, from, to } => {
+            let mut i = instant(
+                0,
+                w.worker,
+                format!("migrate seg {seg}: w{from} -> w{to}"),
+                "migration",
+                e.ts_ns,
+            );
+            if let Value::Object(pairs) = &mut i {
+                pairs.push((
+                    "args".to_string(),
+                    json!({
+                        "seg": seg as u64,
+                        "from": from as u64,
+                        "to": to as u64,
+                    }),
+                ));
+            }
+            i
+        }
     }
 }
 
@@ -561,6 +581,39 @@ mod tests {
         assert_eq!(occ["name"].as_str(), Some("ring 7 occupancy"));
         assert_eq!(occ["args"]["len"].as_u64(), Some(96));
         assert_eq!(occ["args"]["cap"].as_u64(), Some(128));
+    }
+
+    #[test]
+    fn migration_instants_are_self_describing() {
+        let events = vec![Event {
+            ts_ns: 120,
+            dur_ns: 0,
+            kind: EventKind::Migration {
+                seg: 3,
+                from: 0,
+                to: 2,
+            },
+        }];
+        let workers = [TraceWorker {
+            worker: 0,
+            name: "worker 0".to_string(),
+            events: &events,
+            dropped: 0,
+            windows: &[],
+        }];
+        let doc = doc_roundtrip(&document("t", Value::Null, &workers));
+        let Value::Array(tes) = &doc["traceEvents"] else {
+            panic!("traceEvents must be an array");
+        };
+        let mig = tes
+            .iter()
+            .find(|te| te["cat"].as_str() == Some("migration"))
+            .unwrap();
+        assert_eq!(mig["ph"].as_str(), Some("i"));
+        assert_eq!(mig["name"].as_str(), Some("migrate seg 3: w0 -> w2"));
+        assert_eq!(mig["args"]["seg"].as_u64(), Some(3));
+        assert_eq!(mig["args"]["from"].as_u64(), Some(0));
+        assert_eq!(mig["args"]["to"].as_u64(), Some(2));
     }
 
     #[test]

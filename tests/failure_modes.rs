@@ -152,6 +152,79 @@ fn exact_partitioner_refuses_oversized_graphs() {
 }
 
 #[test]
+fn adaptive_config_errors_are_loud_and_specific() {
+    use ccs_exec::{execute_dag_cfg, AdaptConfig, DagExecError, Migration, RunConfig};
+    use ccs_partition::Partition;
+    use ccs_runtime::Instance;
+    let g = ccs_graph::gen::pipeline_uniform(4, 16);
+    let ra = RateAnalysis::analyze_single_io(&g).unwrap();
+    let p = Partition::from_assignment((0..4).collect());
+    let run = |cfg: &RunConfig| execute_dag_cfg(Instance::synthetic(g.clone()), &ra, &p, 8, 6, cfg);
+
+    // Adaptive control with the window stream off would sit blind for
+    // the whole run: a config error, not a silent no-op.
+    let cfg = RunConfig::new(2).with_adapt(AdaptConfig::default());
+    assert!(matches!(
+        run(&cfg).unwrap_err(),
+        DagExecError::AdaptNeedsWindows
+    ));
+
+    // Migration to a worker the run does not have.
+    let cfg = RunConfig::new(2).with_forced_migrations(vec![Migration {
+        seg: 1,
+        to_worker: 5,
+        after_batches: 2,
+    }]);
+    assert!(matches!(
+        run(&cfg).unwrap_err(),
+        DagExecError::MigrationTarget {
+            seg: 1,
+            to_worker: 5,
+            workers: 2,
+        }
+    ));
+
+    // Migration of a segment the plan does not have.
+    let cfg = RunConfig::new(2).with_forced_migrations(vec![Migration {
+        seg: 9,
+        to_worker: 0,
+        after_batches: 2,
+    }]);
+    assert!(matches!(
+        run(&cfg).unwrap_err(),
+        DagExecError::MigrationTarget { seg: 9, .. }
+    ));
+
+    // A hop boundary inside the warmup window would tear the epoch
+    // measurement apart mid-reset.
+    let cfg = RunConfig::new(2)
+        .with_warmup(3)
+        .with_forced_migrations(vec![Migration {
+            seg: 1,
+            to_worker: 0,
+            after_batches: 2,
+        }]);
+    assert!(matches!(
+        run(&cfg).unwrap_err(),
+        DagExecError::MigrationDuringWarmup {
+            seg: 1,
+            after_batches: 2,
+            warmup: 3,
+        }
+    ));
+
+    // The same hop at the boundary itself is legal.
+    let cfg = RunConfig::new(2)
+        .with_warmup(3)
+        .with_forced_migrations(vec![Migration {
+            seg: 1,
+            to_worker: 0,
+            after_batches: 3,
+        }]);
+    assert!(run(&cfg).is_ok());
+}
+
+#[test]
 fn runtime_capacity_mismatch_panics_cleanly() {
     use cache_conscious_streaming::runtime::{execute, Instance};
     let g = ccs_graph::gen::pipeline_uniform(3, 8);
