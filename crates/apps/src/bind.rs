@@ -71,7 +71,7 @@ impl Kernel for PhaseShiftKernel {
         self.state.len()
     }
 
-    fn fire(&mut self, inputs: &[Vec<f32>], outputs: &mut [Vec<f32>]) {
+    fn fire(&mut self, inputs: &[&[f32]], outputs: &mut [&mut [f32]]) {
         let mut acc = 0.0f32;
         for input in inputs {
             for &x in input.iter() {

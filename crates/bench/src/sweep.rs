@@ -39,7 +39,7 @@ use ccs_cachesim::CacheParams;
 use ccs_core::{Horizon, Planner};
 use ccs_exec::{AdaptConfig, Placement, RunConfig, WarmupMode};
 use ccs_graph::gen::{self, LayeredCfg, StateDist};
-use ccs_graph::StreamGraph;
+use ccs_graph::{RateAnalysis, StreamGraph};
 use ccs_perf::CounterKind;
 use ccs_topo::{TopoSpec, Topology};
 use serde_json::Value;
@@ -162,6 +162,12 @@ pub struct Cell {
     /// between workers live when counter drift or stall pressure says
     /// the static placement went stale.
     pub adapt: bool,
+    /// Run batches through the fused hot path: one bulk ring op per
+    /// cross edge per batch, intra-segment traffic in a flat arena,
+    /// software prefetch on the next firing's inputs. Serial cells go
+    /// through [`ccs_exec::execute_serial_fused`]; the digest stays
+    /// bit-identical either way (asserted by the cross-cell check).
+    pub fused: bool,
 }
 
 impl Cell {
@@ -183,6 +189,7 @@ impl Cell {
             trace: false,
             windows: 0,
             adapt: false,
+            fused: false,
         }
     }
 
@@ -255,6 +262,11 @@ impl Cell {
         self
     }
 
+    pub fn with_fused(mut self, on: bool) -> Cell {
+        self.fused = on;
+        self
+    }
+
     /// The label comparisons and reports refer to: the explicit one, or
     /// one derived from the distinguishing fields (`llc+pin/w4`,
     /// `rr/w2/2x2x2`, `serial`).
@@ -263,7 +275,11 @@ impl Cell {
             return l.clone();
         }
         if self.engine == CellEngine::Serial {
-            return "serial".to_string();
+            return if self.fused {
+                "serial+fused".to_string()
+            } else {
+                "serial".to_string()
+            };
         }
         let mut l = match self.placement {
             Placement::RoundRobin => "rr".to_string(),
@@ -275,6 +291,9 @@ impl Cell {
         }
         if self.adapt {
             l.push_str("+adapt");
+        }
+        if self.fused {
+            l.push_str("+fused");
         }
         let _ = write!(l, "/w{}", self.workers);
         if let Some(t) = &self.topology {
@@ -300,10 +319,16 @@ pub enum Metric {
     Mpki,
     /// Wall-clock stall time across workers (parallel cells only).
     StallMs,
+    /// Retired instructions per sink item over the steady-state window
+    /// — the hot-path efficiency metric the fused executor targets.
+    InstructionsPerItem,
 }
 
 impl Metric {
-    /// Every metric, in report order.
+    /// The bench-record metric set, in report order. Frozen at six:
+    /// `ccs-bench/v1` records and their golden renderings are built
+    /// from exactly these, so later metrics join [`Metric::KNOWN`]
+    /// (parseable, sweepable) without reshaping history records.
     pub const ALL: [Metric; 6] = [
         Metric::LlcMissesPerItem,
         Metric::WallMs,
@@ -311,6 +336,17 @@ impl Metric {
         Metric::Ipc,
         Metric::Mpki,
         Metric::StallMs,
+    ];
+
+    /// Every metric a sweep can measure and compare.
+    pub const KNOWN: [Metric; 7] = [
+        Metric::LlcMissesPerItem,
+        Metric::WallMs,
+        Metric::ItemsPerSec,
+        Metric::Ipc,
+        Metric::Mpki,
+        Metric::StallMs,
+        Metric::InstructionsPerItem,
     ];
 
     /// JSON key / CLI name.
@@ -322,12 +358,13 @@ impl Metric {
             Metric::Ipc => "ipc",
             Metric::Mpki => "mpki",
             Metric::StallMs => "stall_ms",
+            Metric::InstructionsPerItem => "instructions_per_item",
         }
     }
 
     /// Parse a CLI/JSON name.
     pub fn parse(name: &str) -> Option<Metric> {
-        Metric::ALL.into_iter().find(|m| m.name() == name)
+        Metric::KNOWN.into_iter().find(|m| m.name() == name)
     }
 
     /// Whether a larger value is the better outcome (throughput, IPC)
@@ -436,6 +473,8 @@ struct RunRecord {
     ipc: Option<f64>,
     mpki: Option<f64>,
     stall_ms: Option<f64>,
+    /// Instructions retired per measured sink item.
+    instr_pi: Option<f64>,
     seg_mpi: Vec<(usize, Option<f64>)>,
     digest: Option<u64>,
     segments: usize,
@@ -477,6 +516,7 @@ impl RunRecord {
             Metric::Ipc => self.ipc,
             Metric::Mpki => self.mpki,
             Metric::StallMs => self.stall_ms,
+            Metric::InstructionsPerItem => self.instr_pi,
         }
     }
 }
@@ -572,7 +612,8 @@ impl Sweep {
                             cell,
                             self.rounds,
                             self.warn_residency,
-                        ),
+                        )
+                        .map_err(|e| format!("{wname}/{}: {e}", labels[ci]))?,
                         CellEngine::Parallel => {
                             run_parallel(&planner, wname, g, cell, self.rounds, self.warn_residency)
                                 .map_err(|e| format!("{wname}/{}: {e}", labels[ci]))?
@@ -709,7 +750,8 @@ pub fn machine_json() -> Value {
 
 /// Run one serial repeat: the two-level schedule for the same number of
 /// granularity-`T` rounds, through the same counter suite, with the
-/// warmup window expressed in firings.
+/// warmup window expressed in firings. A fused cell runs the identical
+/// firing sequence through [`ccs_exec::execute_serial_fused`] instead.
 fn run_serial(
     plan: &ccs_core::Plan,
     name: &str,
@@ -717,22 +759,24 @@ fn run_serial(
     cell: &Cell,
     rounds: u64,
     warn_residency: f64,
-) -> RunRecord {
+) -> Result<RunRecord, Box<dyn Error>> {
     let mut inst = ccs_apps::bound_instance(name, g.clone());
     let warm = cell.warmup.min(rounds - 1);
     let firings_per_round = (plan.run.firings.len() as u64) / rounds;
-    let (run, obs) = ccs_runtime::serial::execute_obs(
-        &mut inst,
-        &plan.run,
-        &ccs_runtime::ObsConfig {
-            counters: cell.counters,
-            warmup_firings: warm * firings_per_round,
-            window_firings: cell.windows * firings_per_round,
-            block_firings: if cell.trace { firings_per_round } else { 0 },
-            trace: cell.trace,
-            ..ccs_runtime::ObsConfig::default()
-        },
-    );
+    let obs_cfg = ccs_runtime::ObsConfig {
+        counters: cell.counters,
+        warmup_firings: warm * firings_per_round,
+        window_firings: cell.windows * firings_per_round,
+        block_firings: if cell.trace { firings_per_round } else { 0 },
+        trace: cell.trace,
+        ..ccs_runtime::ObsConfig::default()
+    };
+    let (run, obs) = if cell.fused {
+        let ra = RateAnalysis::analyze_single_io(g)?;
+        ccs_exec::execute_serial_fused(inst, &ra, &plan.partition, cache_m(g), rounds, &obs_cfg)?
+    } else {
+        ccs_runtime::serial::execute_obs(&mut inst, &plan.run, &obs_cfg)
+    };
     let mpki_series: Vec<f64> = obs
         .windows
         .iter()
@@ -744,7 +788,7 @@ fn run_serial(
     let sample = obs.sample;
     let wall_ms = run.wall.as_secs_f64() * 1e3;
     let measured_items = (run.sink_items / rounds) * (rounds - warm);
-    RunRecord {
+    Ok(RunRecord {
         wall_ms,
         items_per_sec: if wall_ms > 0.0 {
             run.sink_items as f64 / (wall_ms / 1e3)
@@ -757,6 +801,9 @@ fn run_serial(
         ipc: sample.as_ref().and_then(|s| s.ipc()),
         mpki: sample.as_ref().and_then(|s| s.mpki()),
         stall_ms: None,
+        instr_pi: sample
+            .as_ref()
+            .and_then(|s| s.per_item(CounterKind::Instructions, measured_items)),
         seg_mpi: Vec::new(),
         digest: run.digest,
         segments: plan.partition.num_components(),
@@ -776,7 +823,7 @@ fn run_serial(
         bottleneck: None,
         drift_points,
         migrations: 0,
-    }
+    })
 }
 
 /// Run one parallel repeat under the cell's [`RunConfig`].
@@ -798,7 +845,8 @@ fn run_parallel(
         .with_warmup_mode(cell.warmup_mode)
         .with_first_touch(cell.first_touch)
         .with_trace(cell.trace)
-        .with_windows(cell.windows);
+        .with_windows(cell.windows)
+        .with_fused(cell.fused);
     if let Some(spec) = &cell.topology {
         cfg = cfg.with_topology(Topology::synthetic(spec));
     }
@@ -846,6 +894,7 @@ fn run_parallel(
         ipc: totals.as_ref().and_then(|t| t.ipc()),
         mpki: totals.as_ref().and_then(|t| t.mpki()),
         stall_ms: Some(stall_ms),
+        instr_pi: stats.instructions_per_item(),
         seg_mpi: stats.segment_llc_misses_per_item(),
         digest: stats.run.digest,
         segments: stats.segments,
@@ -890,7 +939,7 @@ fn cell_json(wname: &str, cell: &Cell, label: &str, runs: &[RunRecord], rounds: 
     let segments = runs.first().map_or(0, |r| r.segments);
 
     let mut metrics = Vec::new();
-    for m in Metric::ALL {
+    for m in Metric::KNOWN {
         let series: Vec<f64> = runs.iter().filter_map(|r| r.metric(m)).collect();
         if let Some(s) = Summary::of(&series) {
             metrics.push((m.name().to_string(), summary_json(Some(&s))));
@@ -929,6 +978,7 @@ fn cell_json(wname: &str, cell: &Cell, label: &str, runs: &[RunRecord], rounds: 
                 "ipc": opt_json(r.ipc),
                 "mpki": opt_json(r.mpki),
                 "stall_ms": opt_json(r.stall_ms),
+                "instructions_per_item": opt_json(r.instr_pi),
             })
         })
         .collect();
@@ -1008,6 +1058,7 @@ fn cell_json(wname: &str, cell: &Cell, label: &str, runs: &[RunRecord], rounds: 
         "counters_requested": cell.counters,
         "segment_counters": cell.segment_counters,
         "adapt": cell.adapt,
+        "fused": cell.fused,
         "counter_stride": cell.counter_stride.max(1),
         "warmup_batches": cell.warmup.min(rounds.saturating_sub(1)),
         "warmup_mode": cell.warmup_mode.name(),
@@ -1414,6 +1465,9 @@ pub fn from_spec(v: &Value) -> Result<Sweep, Box<dyn Error>> {
         if let Some(b) = c["adapt"].as_bool() {
             cell = cell.with_adapt(b);
         }
+        if let Some(b) = c["fused"].as_bool() {
+            cell = cell.with_fused(b);
+        }
         if cell.adapt && cell.windows == 0 {
             return Err(format!(
                 "cell '{}' enables adapt without counter windows; set \"windows\" >= 1 \
@@ -1489,6 +1543,11 @@ mod tests {
                 .label(),
             "rr+adapt/w2"
         );
+        assert_eq!(Cell::serial().with_fused(true).label(), "serial+fused");
+        assert_eq!(
+            Cell::parallel(4, Placement::Llc).with_fused(true).label(),
+            "llc+fused/w4"
+        );
         assert_eq!(
             Cell::parallel(2, Placement::Llc).with_label("mine").label(),
             "mine"
@@ -1497,12 +1556,16 @@ mod tests {
 
     #[test]
     fn metric_names_roundtrip() {
-        for m in Metric::ALL {
+        for m in Metric::KNOWN {
             assert_eq!(Metric::parse(m.name()), Some(m));
         }
         assert_eq!(Metric::parse("bogus"), None);
         assert!(Metric::ItemsPerSec.higher_is_better());
         assert!(!Metric::LlcMissesPerItem.higher_is_better());
+        // The bench-record set stays frozen; newer metrics are parseable
+        // but never reshape `ccs-bench/v1` records.
+        assert!(!Metric::ALL.contains(&Metric::InstructionsPerItem));
+        assert!(!Metric::InstructionsPerItem.higher_is_better());
     }
 
     #[test]
@@ -1546,7 +1609,8 @@ mod tests {
               "cells": [
                 {"engine": "serial", "counters": true},
                 {"workers": 2, "placement": "llc", "pin_cores": true,
-                 "counters": true, "topology": "1x2x2"}
+                 "counters": true, "topology": "1x2x2"},
+                {"workers": 2, "placement": "rr", "fused": true}
               ],
               "comparisons": [
                 {"metric": "wall_ms", "baseline": "serial", "treatment": "llc+pin/w2/1x2x2"}
@@ -1559,10 +1623,12 @@ mod tests {
         assert_eq!(sweep.repeats, 2);
         assert_eq!(sweep.rounds, 4);
         assert_eq!(sweep.workloads.len(), 1);
-        assert_eq!(sweep.cells.len(), 2);
+        assert_eq!(sweep.cells.len(), 3);
         assert_eq!(sweep.cells[0].engine, CellEngine::Serial);
         assert_eq!(sweep.cells[0].warmup, 1, "top-level warmup default");
         assert_eq!(sweep.cells[1].label(), "llc+pin/w2/1x2x2");
+        assert!(sweep.cells[2].fused);
+        assert_eq!(sweep.cells[2].label(), "rr+fused/w2");
         assert_eq!(sweep.comparisons.len(), 1);
         // Unknown apps/placements/metrics are errors.
         let bad: Value =

@@ -66,6 +66,19 @@ pub fn canonical_sweep(
     rounds: u64,
     apps: &[String],
 ) -> Result<Sweep, Box<dyn Error>> {
+    canonical_sweep_fused(repeats, rounds, apps, false)
+}
+
+/// [`canonical_sweep`] with every cell routed through the fused hot
+/// path (`ccs bench --fused`). A distinct grid — and a distinct
+/// [`Fingerprint`] — so fused and classic histories never compare
+/// against each other.
+pub fn canonical_sweep_fused(
+    repeats: usize,
+    rounds: u64,
+    apps: &[String],
+    fused: bool,
+) -> Result<Sweep, Box<dyn Error>> {
     let mut workloads = Vec::new();
     for a in apps {
         workloads.push(sweep::workload(a).ok_or_else(|| format!("unknown workload '{a}'"))?);
@@ -78,16 +91,23 @@ pub fn canonical_sweep(
         .with_repeats(repeats)
         .with_rounds(rounds)
         .with_workloads(workloads)
-        .with_cell(Cell::serial().with_counters(true).with_warmup(warmup))
+        .with_cell(
+            Cell::serial()
+                .with_counters(true)
+                .with_warmup(warmup)
+                .with_fused(fused),
+        )
         .with_cell(
             Cell::parallel(2, Placement::RoundRobin)
                 .with_counters(true)
-                .with_warmup(warmup),
+                .with_warmup(warmup)
+                .with_fused(fused),
         )
         .with_cell(
             Cell::parallel(2, Placement::Llc)
                 .with_counters(true)
-                .with_warmup(warmup),
+                .with_warmup(warmup)
+                .with_fused(fused),
         ))
 }
 
@@ -109,6 +129,10 @@ pub struct Fingerprint {
     pub rounds: u64,
     /// `cell,cell,... x workload,workload,...`.
     pub grid: String,
+    /// Any cell ran the fused hot path. Absent in pre-fused records,
+    /// parsed as `false`, so old histories stay valid — and a fused
+    /// grid never compares against a classic baseline.
+    pub fused: bool,
 }
 
 impl Fingerprint {
@@ -145,6 +169,7 @@ impl Fingerprint {
                     .collect::<Vec<_>>()
                     .join(","),
             ),
+            fused: sweep.cells.iter().any(|c| c.fused),
         }
     }
 
@@ -163,10 +188,12 @@ impl Fingerprint {
             "repeats": self.repeats,
             "rounds": self.rounds,
             "grid": self.grid,
+            "fused": self.fused,
         })
     }
 
-    /// Parse the block back; `None` on a malformed record.
+    /// Parse the block back; `None` on a malformed record. A missing
+    /// `fused` key (pre-fused records) reads as `false`.
     pub fn from_json(v: &Value) -> Option<Fingerprint> {
         Some(Fingerprint {
             topology: v["topology"].as_str()?.to_string(),
@@ -175,6 +202,7 @@ impl Fingerprint {
             repeats: v["repeats"].as_u64()?,
             rounds: v["rounds"].as_u64()?,
             grid: v["grid"].as_str()?.to_string(),
+            fused: v["fused"].as_bool().unwrap_or(false),
         })
     }
 
@@ -183,11 +211,18 @@ impl Fingerprint {
         self == other
     }
 
-    /// One-line text form for reports.
+    /// One-line text form for reports. Unfused records render exactly
+    /// as before the fused field existed (golden fixtures pin this).
     pub fn render(&self) -> String {
         format!(
-            "{} | counters: {} | warmup: {} | {}x{} | grid: {}",
-            self.topology, self.counters, self.warmup_mode, self.repeats, self.rounds, self.grid,
+            "{} | counters: {} | warmup: {} | {}x{} | grid: {}{}",
+            self.topology,
+            self.counters,
+            self.warmup_mode,
+            self.repeats,
+            self.rounds,
+            self.grid,
+            if self.fused { " | fused" } else { "" },
         )
     }
 }
@@ -885,6 +920,7 @@ mod tests {
             repeats: 3,
             rounds: 8,
             grid: "serial,rr/w2 x fm-radio".into(),
+            fused: false,
         }
     }
 
@@ -928,6 +964,22 @@ mod tests {
         let mut c = fp("pmu");
         c.rounds = 16;
         assert!(!a.matches(&c));
+        // Fused grids are a distinct fingerprint; pre-fused records
+        // (no "fused" key) parse as unfused and still match classics.
+        let mut d = fp("pmu");
+        d.fused = true;
+        assert!(!a.matches(&d));
+        assert!(d.render().ends_with(" | fused"));
+        let legacy = serde_json::json!({
+            "topology": "sysfs/1x1x1",
+            "counters": "pmu",
+            "warmup_mode": "epoch",
+            "repeats": 3u64,
+            "rounds": 8u64,
+            "grid": "serial,rr/w2 x fm-radio",
+        });
+        let parsed = Fingerprint::from_json(&legacy).expect("legacy parses");
+        assert!(a.matches(&parsed));
         assert_eq!(
             Fingerprint::from_json(&serde_json::json!({"topology": "x"})),
             None

@@ -50,6 +50,7 @@ const SWITCHES: &[&str] = &[
     "per-worker-warmup",
     "trace",
     "adapt",
+    "fused",
     "no-counters",
     "check",
     "history",

@@ -59,7 +59,7 @@ USAGE:
                [--pin-cores] [--counters] [--warmup K] [--segment-counters]
                [--stride S] [--per-worker-warmup] [--first-touch]
                [--trace] [--windows W] [--trace-cap C] [--adapt]
-               [--warn-residency R] [--strategy ...] [--json]
+               [--fused] [--warn-residency R] [--strategy ...] [--json]
                (real multicore execution with segment-affine workers;
                 llc placement + pinning use the machine topology;
                 --counters samples hardware cache counters per worker,
@@ -73,7 +73,10 @@ USAGE:
                 closes a counter window every W batches; --adapt turns
                 on the online drift controller (needs --windows >= 1),
                 which migrates segments between workers mid-run while
-                the output digest stays bit-identical;
+                the output digest stays bit-identical; --fused runs
+                batches through the fused hot path — bulk ring ops, a
+                flat per-segment arena, software prefetch — with the
+                digest again bit-identical (docs/HOTPATH.md);
                 see docs/MEASUREMENT.md, docs/OBSERVABILITY.md, and
                 docs/ADAPTIVE.md)
   ccs trace FILE --m M [--b B] [--workers N] [--rounds R] [--serial]
@@ -96,8 +99,8 @@ USAGE:
   ccs sweep [--spec FILE | --apps A,B --workers N,M --placements rr,llc
              --pin on|off|both [--serial] [--counters] [--segment-counters]
              [--warmup K] [--stride S] [--first-touch] [--per-worker-warmup]
-             [--trace] [--windows W] [--adapt] [--topo NxCxK] [--repeats R]
-             [--rounds N] [--baseline LABEL]
+             [--trace] [--windows W] [--adapt] [--fused] [--topo NxCxK]
+             [--repeats R] [--rounds N] [--baseline LABEL]
              [--metrics m1,m2] [--name NAME] [--seed S] [--confidence C]
              [--warn-residency R]]
             [--json] [-o FILE]
@@ -108,10 +111,12 @@ USAGE:
                 grid comes from a JSON spec file or from the flags;
                 --adapt doubles every parallel cell with an adaptive
                 twin (online segment migration; needs --windows >= 1);
+                --fused doubles every cell with a fused-hot-path twin,
+                so the digest assertion proves fused == classic;
                 -o saves the ccs-sweep/v1 document `ccs report` renders)
   ccs bench [--repeats R] [--rounds N] [--apps A,B] [--store FILE]
             [--baseline FILE] [--tolerance T] [--timestamp T]
-            [--check] [--no-append] [--json] [-o FILE]
+            [--check] [--no-append] [--fused] [--json] [-o FILE]
                (continuous performance tracking: run the canonical
                 sweep — serial, rr/w2, llc/w2 with counters on — append
                 a ccs-bench/v1 record to results/history/bench.ndjson
@@ -123,7 +128,9 @@ USAGE:
                 tolerance band (10% with a PMU, 25% timing-only;
                 --tolerance overrides); --baseline compares against a
                 specific history file, --check exits nonzero on any
-                regression (the CI perf gate);
+                regression (the CI perf gate); --fused tracks the same
+                grid through the fused hot path under its own
+                fingerprint, so fused and classic histories never mix;
                 see docs/BENCHMARKING.md)
   ccs topo [--topo NxCxK | --from DUMP] [--json]
                (print the discovered, synthetic, or replayed machine
@@ -418,7 +425,8 @@ fn run_dag(args: &Args) -> CliResult {
         .with_first_touch(args.has("first-touch"))
         .with_trace(args.has("trace"))
         .with_windows(args.u64_or("windows", 0)?)
-        .with_trace_capacity(args.u64_or("trace-cap", 0)? as usize);
+        .with_trace_capacity(args.u64_or("trace-cap", 0)? as usize)
+        .with_fused(args.has("fused"));
     if let Some(topo) = topo_of(args)? {
         cfg = cfg.with_topology(topo);
     }
@@ -520,6 +528,7 @@ fn run_dag(args: &Args) -> CliResult {
             "first_touch_rings": stats.first_touch_rings,
             "rings_touched": stats.rings_first_touched(),
             "adapt": adapt,
+            "fused": cfg.fused,
             "migrations": stats.total_migrations(),
             "trace_enabled": stats.trace_enabled,
             "trace_events": stats.trace_events(),
@@ -559,7 +568,7 @@ fn run_dag(args: &Args) -> CliResult {
     use std::fmt::Write as _;
     let _ = writeln!(
         out,
-        "strategy {} | placement {} | {} segments on {} workers{} | T = {}",
+        "strategy {} | placement {} | {} segments on {} workers{} | T = {}{}",
         pr.strategy_used,
         placement.name(),
         stats.segments,
@@ -569,7 +578,8 @@ fn run_dag(args: &Args) -> CliResult {
         } else {
             String::new()
         },
-        stats.t
+        stats.t,
+        if cfg.fused { " | fused" } else { "" },
     );
     let _ = writeln!(
         out,
@@ -1064,13 +1074,19 @@ fn sweep_cmd(args: &Args) -> CliResult {
                 None => None,
             };
             if args.has("serial") {
-                s = s.with_cell(
-                    Cell::serial()
-                        .with_counters(counters)
-                        .with_warmup(warmup)
-                        .with_trace(args.has("trace"))
-                        .with_windows(args.u64_or("windows", 0)?),
-                );
+                let cell = Cell::serial()
+                    .with_counters(counters)
+                    .with_warmup(warmup)
+                    .with_trace(args.has("trace"))
+                    .with_windows(args.u64_or("windows", 0)?);
+                // `--fused` doubles the serial baseline too, so the
+                // digest assertion covers serial classic vs fused.
+                if args.has("fused") {
+                    s = s.with_cell(cell.clone());
+                    s = s.with_cell(cell.with_fused(true));
+                } else {
+                    s = s.with_cell(cell);
+                }
             }
             let pins: &[bool] = match args.flag("pin") {
                 None | Some("off") => &[false],
@@ -1101,18 +1117,25 @@ fn sweep_cmd(args: &Args) -> CliResult {
                             cell = cell.with_topology(t);
                         }
                         // `--adapt` doubles each parallel cell with an
-                        // adaptive twin, so every point of the grid
-                        // gets its own static-vs-adaptive pairing.
+                        // adaptive twin and `--fused` with a fused
+                        // twin, so every point of the grid gets its own
+                        // pairing (both flags compose: four variants).
+                        let mut variants = vec![cell.clone()];
                         if args.has("adapt") {
                             if args.u64_or("windows", 0)? == 0 {
                                 return Err("--adapt requires --windows >= 1 (the controller \
                                             is driven by the counter-window stream)"
                                     .into());
                             }
-                            s = s.with_cell(cell.clone());
-                            s = s.with_cell(cell.with_adapt(true));
-                        } else {
-                            s = s.with_cell(cell);
+                            variants.push(cell.with_adapt(true));
+                        }
+                        if args.has("fused") {
+                            for v in variants.clone() {
+                                variants.push(v.with_fused(true));
+                            }
+                        }
+                        for v in variants {
+                            s = s.with_cell(v);
                         }
                     }
                 }
@@ -1179,7 +1202,7 @@ fn bench_cmd(args: &Args) -> CliResult {
         .max(2) as usize;
     let rounds = args.u64_or("rounds", if smoke { 4 } else { 24 })?.max(1);
     let apps = csv(args, "apps", "fm-radio,layered-dag");
-    let sweep = track::canonical_sweep(repeats, rounds, &apps)?;
+    let sweep = track::canonical_sweep_fused(repeats, rounds, &apps, args.has("fused"))?;
     let fp = track::Fingerprint::detect(&sweep);
     let timestamp = match args.flag("timestamp") {
         Some(t) => t
@@ -1537,6 +1560,67 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("--windows"), "{err}");
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn run_dag_fused_keeps_the_digest() {
+        let path = tmp("g7f.json");
+        run(
+            "gen",
+            &args(&["pipeline", "--len", "10", "--state", "64", "-o", &path]),
+        )
+        .unwrap();
+        let base = [&path, "--m", "1024", "--workers", "2", "--rounds", "3"];
+        let mut plain: Vec<&str> = base.to_vec();
+        plain.push("--json");
+        let classic: serde_json::Value =
+            serde_json::from_str(&run("run-dag", &args(&plain)).unwrap()).unwrap();
+        assert_eq!(classic["fused"].as_bool(), Some(false));
+        let mut fused_args: Vec<&str> = base.to_vec();
+        fused_args.extend(["--fused", "--json"]);
+        let fused: serde_json::Value =
+            serde_json::from_str(&run("run-dag", &args(&fused_args)).unwrap()).unwrap();
+        assert_eq!(fused["fused"].as_bool(), Some(true));
+        assert_eq!(fused["digest"], classic["digest"]);
+        assert_eq!(fused["sink_items"], classic["sink_items"]);
+        // Text mode marks the hot path so smoke greps can see it.
+        let mut text: Vec<&str> = base.to_vec();
+        text.push("--fused");
+        assert!(run("run-dag", &args(&text)).unwrap().contains("| fused"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sweep_fused_doubles_the_grid() {
+        let out = run(
+            "sweep",
+            &args(&[
+                "--apps",
+                "fm-radio",
+                "--workers",
+                "2",
+                "--placements",
+                "rr",
+                "--serial",
+                "--fused",
+                "--repeats",
+                "2",
+                "--rounds",
+                "2",
+                "--json",
+            ]),
+        )
+        .unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let labels: Vec<&str> = match &doc["cells"] {
+            serde_json::Value::Array(cs) => cs.iter().filter_map(|c| c["label"].as_str()).collect(),
+            other => panic!("cells is not an array: {other:?}"),
+        };
+        for want in ["serial", "serial+fused", "rr/w2", "rr+fused/w2"] {
+            assert!(labels.contains(&want), "missing {want} in {labels:?}");
+        }
+        // The run completing at all proves the digest assertion held
+        // across every classic/fused twin.
     }
 
     #[test]

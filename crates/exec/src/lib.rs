@@ -63,6 +63,15 @@
 //!   the static placement went stale ([`run::Migration`] scripts the
 //!   same handoff deterministically for the equivalence proofs;
 //!   protocol in `docs/ADAPTIVE.md`).
+//! * **Fused hot path.** With [`run::RunConfig::fused`], each batch
+//!   runs through a precompiled [`ccs_partition::FiringPlan`]: cross
+//!   inputs bulk-loaded into a flat per-segment arena (one
+//!   `peek`/`release` per ring per batch), firings executing against
+//!   precomputed arena spans with a software prefetch on the next
+//!   firing's inputs, cross outputs bulk-stored (one `reserve`/`commit`
+//!   per ring per batch). Internal edges never touch a ring.
+//!   [`serial_fused::execute_serial_fused`] is the one-thread analogue;
+//!   layout and measured deltas in `docs/HOTPATH.md`.
 //! * **Determinism.** Synchronous dataflow is schedule-deterministic, so
 //!   the sink digest is bit-identical to the serial executor's for the
 //!   same number of batches, at every worker count, placement, and
@@ -77,6 +86,7 @@
 pub mod place;
 pub mod plan;
 pub mod run;
+pub mod serial_fused;
 pub mod stats;
 
 #[doc(no_inline)]
@@ -86,4 +96,5 @@ pub use ccs_obs::{Timeline, WindowSample};
 pub use place::{assign_on, fair_share, Placement};
 pub use plan::{DagExecError, ExecPlan, SegmentPlan};
 pub use run::{execute_dag, execute_dag_cfg, Migration, RunConfig, WarmupMode};
+pub use serial_fused::execute_serial_fused;
 pub use stats::{DagRunStats, SegmentCounters, WorkerStats};

@@ -8,7 +8,7 @@
 //! uses, which also yields exact internal-buffer highwater marks.
 
 use ccs_graph::{EdgeId, NodeId, RateAnalysis, StreamGraph};
-use ccs_partition::{ComponentId, Partition};
+use ccs_partition::{compile_firing_plan, ComponentId, FiringPlan, Partition};
 use ccs_sched::partitioned::{granularity_t, PartSchedError};
 use std::fmt;
 
@@ -141,6 +141,11 @@ pub struct ExecPlan {
     pub capacities: Vec<u64>,
     /// Segment index (position in `segments`) of each node.
     pub seg_of_node: Vec<usize>,
+    /// Per-segment fused firing plans (same order as `segments`): the
+    /// batch firing sequence compiled against a flat scratch arena, for
+    /// the `RunConfig::fused` hot path. Always built — compilation is
+    /// cheap and the dry run guarantees the schedule is legal.
+    pub fused: Vec<FiringPlan>,
 }
 
 impl ExecPlan {
@@ -256,6 +261,17 @@ impl ExecPlan {
             "a full round must return every channel to empty"
         );
 
+        // Compile each segment's batch for the fused hot path. The dry
+        // run above already proved every firing sequence legal, so a
+        // compile failure here can only be arena-arithmetic overflow.
+        let mut fused = Vec::with_capacity(segments.len());
+        for seg in &segments {
+            fused.push(
+                compile_firing_plan(g, &quota, &seg.nodes, &seg.firings)
+                    .ok_or(DagExecError::Overflow)?,
+            );
+        }
+
         // Ring capacities: cross edges are double-buffered (two batches),
         // internal edges take their dry-run highwater.
         let mut capacities = Vec::with_capacity(g.edge_count());
@@ -277,6 +293,7 @@ impl ExecPlan {
             segments,
             capacities,
             seg_of_node,
+            fused,
         })
     }
 }

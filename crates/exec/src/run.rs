@@ -172,6 +172,17 @@ pub struct RunConfig {
     /// migration-equivalence proofs. Runs fine alongside
     /// [`RunConfig::adapt`] (the forced hops just happen on schedule).
     pub forced_migrations: Vec<Migration>,
+    /// Fused-firing hot path: execute each batch through the segment's
+    /// precompiled [`ccs_partition::FiringPlan`] — cross inputs
+    /// bulk-loaded into a flat per-segment arena, firings running
+    /// against precomputed arena spans (with a software prefetch on the
+    /// next firing's inputs), cross outputs bulk-stored — so internal
+    /// edges never touch a ring and boundary rings see one
+    /// reserve/commit (peek/release) per batch instead of one per
+    /// firing. Same firings in the same order as the classic path: the
+    /// sink digest is bit-identical. The arena rides inside the
+    /// segment's task, so migration and adaptation work unchanged.
+    pub fused: bool,
 }
 
 impl RunConfig {
@@ -249,6 +260,11 @@ impl RunConfig {
 
     pub fn with_forced_migrations(mut self, migrations: Vec<Migration>) -> RunConfig {
         self.forced_migrations = migrations;
+        self
+    }
+
+    pub fn with_fused(mut self, fused: bool) -> RunConfig {
+        self.fused = fused;
         self
     }
 }
@@ -339,6 +355,12 @@ struct SegTask {
     /// Scratch per local node per port, sized to the rates.
     in_scratch: Vec<Vec<Vec<f32>>>,
     out_scratch: Vec<Vec<Vec<f32>>>,
+    /// Fused-path scratch arena ([`ccs_partition::FiringPlan`] layout);
+    /// empty on the classic path. Owned by the task, so it migrates
+    /// with the segment like any other per-segment state — and since a
+    /// full batch drains every internal stream, it carries no data
+    /// across batch (and so migration) boundaries.
+    arena: Vec<f32>,
     /// Scripted hops still owed, sorted by boundary; the head is due
     /// once `done` reaches its `after_batches`.
     pending: Vec<Migration>,
@@ -515,11 +537,22 @@ pub fn execute_dag_cfg(
     };
 
     // Rings sized by the plan: cross edges double-buffered, internal
-    // edges at their dry-run highwater.
-    let rings: Vec<SpscRing> = plan
-        .capacities
-        .iter()
-        .map(|&c| SpscRing::new(usize::try_from(c.max(1)).expect("ring fits")))
+    // edges at their dry-run highwater. On the fused path internal
+    // streams live in the segment arenas and their rings are never
+    // touched, so they shrink to one-slot placeholders (keeping edge
+    // indexing uniform without the memory).
+    let rings: Vec<SpscRing> = g
+        .edge_ids()
+        .map(|e| {
+            let edge = g.edge(e);
+            let internal = plan.seg_of_node[edge.src.idx()] == plan.seg_of_node[edge.dst.idx()];
+            let cap = if cfg.fused && internal {
+                1
+            } else {
+                usize::try_from(plan.capacities[e.idx()].max(1)).expect("ring fits")
+            };
+            SpscRing::new(cap)
+        })
         .collect();
 
     // Local index of each node within its segment.
@@ -543,26 +576,39 @@ pub fn execute_dag_cfg(
                 .iter()
                 .map(|&v| kernel_slots[v.idx()].take().expect("each node once"))
                 .collect();
-            let in_scratch = seg
-                .nodes
-                .iter()
-                .map(|&v| {
-                    g.in_edges(v)
-                        .iter()
-                        .map(|&e| vec![0.0f32; g.edge(e).consume as usize])
-                        .collect()
-                })
-                .collect();
-            let out_scratch = seg
-                .nodes
-                .iter()
-                .map(|&v| {
-                    g.out_edges(v)
-                        .iter()
-                        .map(|&e| vec![0.0f32; g.edge(e).produce as usize])
-                        .collect()
-                })
-                .collect();
+            // Exactly one batch workspace per path: per-port scratch on
+            // the classic path, the flat arena on the fused one.
+            let in_scratch: Vec<Vec<Vec<f32>>> = if cfg.fused {
+                Vec::new()
+            } else {
+                seg.nodes
+                    .iter()
+                    .map(|&v| {
+                        g.in_edges(v)
+                            .iter()
+                            .map(|&e| vec![0.0f32; g.edge(e).consume as usize])
+                            .collect()
+                    })
+                    .collect()
+            };
+            let out_scratch: Vec<Vec<Vec<f32>>> = if cfg.fused {
+                Vec::new()
+            } else {
+                seg.nodes
+                    .iter()
+                    .map(|&v| {
+                        g.out_edges(v)
+                            .iter()
+                            .map(|&e| vec![0.0f32; g.edge(e).produce as usize])
+                            .collect()
+                    })
+                    .collect()
+            };
+            let arena = if cfg.fused {
+                vec![0.0f32; plan.fused[si].arena_len]
+            } else {
+                Vec::new()
+            };
             let mut pending: Vec<Migration> = cfg
                 .forced_migrations
                 .iter()
@@ -577,6 +623,7 @@ pub fn execute_dag_cfg(
                 firings_local: seg.firings.iter().map(|&v| local_of[v.idx()]).collect(),
                 in_scratch,
                 out_scratch,
+                arena,
                 pending,
                 acc: SegmentCounters {
                     seg: si,
@@ -650,6 +697,7 @@ pub fn execute_dag_cfg(
         (0..workers).map(|_| Vec::new()).collect()
     };
     let first_touch = cfg.first_touch_rings;
+    let fused = cfg.fused;
     let obs = ObsPlan {
         trace: cfg.trace,
         capacity: cfg.trace_capacity,
@@ -678,6 +726,7 @@ pub fn execute_dag_cfg(
                     adapt: adapt_ref,
                     tasks: my_tasks,
                     rounds,
+                    fused,
                 })
             }));
         }
@@ -813,6 +862,8 @@ struct WorkerCtx<'a> {
     adapt: Option<&'a AdaptRt>,
     tasks: Vec<SegTask>,
     rounds: u64,
+    /// Run batches through [`run_fused_batch`] instead of [`run_batch`].
+    fused: bool,
 }
 
 fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
@@ -830,6 +881,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
         adapt,
         mut tasks,
         rounds,
+        fused,
     } = ctx;
     // Pin first, then open counters: the self-monitoring group then
     // counts this thread on the core the placement chose for it.
@@ -1023,7 +1075,11 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> (Vec<SegTask>, WorkerStats) {
                 && (task.done - cplan.warmup).is_multiple_of(cplan.stride);
             let before = if window { counter_set.sample() } else { None };
             let t0 = Instant::now();
-            run_batch(g, plan, rings, task, &mut stats.firings);
+            if fused {
+                run_fused_batch(plan, rings, task, &mut stats.firings);
+            } else {
+                run_batch(g, plan, rings, task, &mut stats.firings);
+            }
             let dur = t0.elapsed();
             stats.busy += dur;
             tracer.record(
@@ -1259,6 +1315,91 @@ fn feed_controller(
     }
 }
 
+/// Port arity covered by the fused loop's stack-allocated view arrays.
+const FUSED_MAX_PORTS: usize = 8;
+
+/// The fused inner loop: run a compiled firing sequence against its
+/// arena, issuing a software prefetch on the next firing's input spans,
+/// and dispatch each firing through `fire(local, inputs, outputs)`.
+/// Shared by the parallel ([`run_fused_batch`]) and serial
+/// (`serial_fused`) hot paths.
+pub(crate) fn fire_arena_plan<F>(fp: &ccs_partition::FiringPlan, arena: &mut [f32], mut fire: F)
+where
+    F: FnMut(usize, &[&[f32]], &mut [&mut [f32]]),
+{
+    // SAFETY (covers every `unsafe` below): all port views are
+    // raw-pointer slices into the arena. `compile_firing_plan` lays
+    // regions out pairwise disjoint and a firing's input and output
+    // edges are distinct (the graph is a dag, so no self-loops), hence
+    // one firing's views never alias; views do not outlive the firing,
+    // and nothing else touches the arena while they are live.
+    let base = arena.as_mut_ptr();
+    for (fi, f) in fp.firings.iter().enumerate() {
+        if let Some(next) = fp.firings.get(fi + 1) {
+            for s in &next.inputs {
+                ccs_runtime::prefetch_read(unsafe { base.add(s.offset) });
+            }
+        }
+        let (n_in, n_out) = (f.inputs.len(), f.outputs.len());
+        if n_in <= FUSED_MAX_PORTS && n_out <= FUSED_MAX_PORTS {
+            let mut ins: [&[f32]; FUSED_MAX_PORTS] = [&[]; FUSED_MAX_PORTS];
+            for (slot, s) in ins.iter_mut().zip(&f.inputs) {
+                *slot = unsafe { std::slice::from_raw_parts(base.add(s.offset), s.len) };
+            }
+            let mut outs: [&mut [f32]; FUSED_MAX_PORTS] =
+                std::array::from_fn(|_| Default::default());
+            for (slot, s) in outs.iter_mut().zip(&f.outputs) {
+                *slot = unsafe { std::slice::from_raw_parts_mut(base.add(s.offset), s.len) };
+            }
+            fire(f.local, &ins[..n_in], &mut outs[..n_out]);
+        } else {
+            let ins: Vec<&[f32]> = f
+                .inputs
+                .iter()
+                .map(|s| unsafe { std::slice::from_raw_parts(base.add(s.offset), s.len) })
+                .collect();
+            let mut outs: Vec<&mut [f32]> = f
+                .outputs
+                .iter()
+                .map(|s| unsafe { std::slice::from_raw_parts_mut(base.add(s.offset), s.len) })
+                .collect();
+            fire(f.local, &ins, &mut outs);
+        }
+    }
+}
+
+/// Execute one batch through the fused hot path: bulk-load every cross
+/// input ring into the segment arena (one `peek`/`release` per edge),
+/// run the precompiled firing sequence against arena spans with a
+/// software prefetch on the next firing's inputs, then bulk-store the
+/// cross outputs (one `reserve`/`commit` per edge). Internal edges
+/// never touch a ring. The firings — and their order — are exactly
+/// [`run_batch`]'s, so the sink digest is bit-identical by SDF
+/// determinism.
+fn run_fused_batch(plan: &ExecPlan, rings: &[SpscRing], task: &mut SegTask, firings: &mut u64) {
+    let fp = &plan.fused[task.seg];
+    let SegTask { arena, kernels, .. } = task;
+    for io in &fp.loads {
+        let r = &rings[io.edge.idx()];
+        let (a, b) = r.peek(io.items);
+        arena[io.offset..io.offset + a.len()].copy_from_slice(a);
+        arena[io.offset + a.len()..io.offset + io.items].copy_from_slice(b);
+        r.release(io.items);
+    }
+    fire_arena_plan(fp, arena, |local, ins, outs| {
+        kernels[local].fire(ins, outs);
+    });
+    for io in &fp.stores {
+        let r = &rings[io.edge.idx()];
+        let (a, b) = r.reserve(io.items);
+        let n = a.len();
+        a.copy_from_slice(&arena[io.offset..io.offset + n]);
+        b.copy_from_slice(&arena[io.offset + n..io.offset + io.items]);
+        r.commit(io.items);
+    }
+    *firings += fp.firings.len() as u64;
+}
+
 /// Execute one batch: the segment's local schedule, once.
 fn run_batch(
     g: &ccs_graph::StreamGraph,
@@ -1274,7 +1415,7 @@ fn run_batch(
             rings[e.idx()].pop_slice(&mut vin[j]);
         }
         let vout = &mut task.out_scratch[i];
-        task.kernels[i].fire(vin, vout);
+        ccs_runtime::kernel::fire_ports(task.kernels[i].as_mut(), vin, vout);
         for (j, &e) in g.out_edges(v).iter().enumerate() {
             rings[e.idx()].push_slice(&vout[j]);
         }

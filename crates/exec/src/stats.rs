@@ -225,6 +225,16 @@ impl DagRunStats {
             .per_item(CounterKind::LlcMisses, self.measured_sink_items())
     }
 
+    /// Instructions retired per sink item over the steady-state window
+    /// — the fused hot path's primary target (ring bookkeeping and
+    /// per-firing copies retire instructions whether or not they miss).
+    /// `None` without counters, without the instructions event, or for
+    /// a run that produced no sink items.
+    pub fn instructions_per_item(&self) -> Option<f64> {
+        self.counter_totals()?
+            .per_item(CounterKind::Instructions, self.measured_sink_items())
+    }
+
     /// Per-segment counter attribution collected from all workers,
     /// sorted by segment index. Empty when
     /// [`RunConfig::segment_counters`](crate::RunConfig::segment_counters)

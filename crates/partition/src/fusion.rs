@@ -11,10 +11,18 @@
 //! Downstream, a fused graph can be scheduled by *any* scheduler: fusing
 //! and then running the plain single-appearance schedule approximates the
 //! partitioned scheduler's state locality without a two-level runtime.
+//!
+//! [`compile_firing_plan`] goes one step further and makes fusion an
+//! *executor* concern: it compiles one segment's batch — a topologically
+//! legal firing sequence with per-node quotas — into a [`FiringPlan`]
+//! whose firings read and write precomputed spans of a single flat
+//! scratch arena. Intra-segment edges become plain offset arithmetic
+//! (no ring, no copy); only segment-boundary edges surface as bulk
+//! [`BoundaryIo`] transfers, once per batch.
 
 use crate::types::Partition;
 use ccs_graph::ratio::gcd_u64;
-use ccs_graph::{GraphBuilder, NodeId, RateAnalysis, StreamGraph};
+use ccs_graph::{EdgeId, GraphBuilder, NodeId, RateAnalysis, StreamGraph};
 
 /// The fused graph and its bookkeeping.
 #[derive(Clone, Debug)]
@@ -63,6 +71,197 @@ pub fn fuse(g: &StreamGraph, ra: &RateAnalysis, p: &Partition) -> Option<FusedGr
         graph,
         node_map,
         component_q,
+    })
+}
+
+/// One contiguous span of a segment's scratch arena (offsets and
+/// lengths in `f32` items).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArenaSpan {
+    pub offset: usize,
+    pub len: usize,
+}
+
+/// One firing of the fused batch loop: which local kernel fires, and
+/// where each of its ports lives in the arena. Port order matches the
+/// graph's `in_edges`/`out_edges` order, i.e. the classic executors'
+/// scratch layout.
+#[derive(Clone, Debug)]
+pub struct FusedFiring {
+    /// Index of the firing node within the segment's node list.
+    pub local: usize,
+    /// Input span per input port.
+    pub inputs: Vec<ArenaSpan>,
+    /// Output span per output port.
+    pub outputs: Vec<ArenaSpan>,
+}
+
+/// A batch-boundary ring transfer: which cross edge, where its stream
+/// region starts in the arena, and how many items one batch moves.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundaryIo {
+    pub edge: EdgeId,
+    pub offset: usize,
+    pub items: usize,
+}
+
+/// One segment's batch, compiled for fused execution.
+///
+/// Arena layout: every edge incident to the segment owns one contiguous
+/// *stream region* holding all items that edge carries in one batch.
+/// The k-th firing of producer `u` writes items `[k·produce(e),
+/// (k+1)·produce(e))` of `e`'s region; the j-th firing of consumer `v`
+/// reads `[j·consume(e), (j+1)·consume(e))`. Because the firing
+/// sequence is a legal SDF schedule (validated at compile time by
+/// replaying it against the occupancy invariant), every read lands on
+/// items already written — the region is a FIFO laid out flat. Regions
+/// are pairwise disjoint by construction and a node never has the same
+/// edge on both sides (the graph is a dag), so one firing's port spans
+/// never alias.
+///
+/// The arena carries no state across batches: a full batch returns
+/// every internal stream to empty, so the arena (and the whole
+/// `FiringPlan`) migrates between workers with its segment, with no
+/// handoff protocol beyond moving the buffer.
+#[derive(Clone, Debug)]
+pub struct FiringPlan {
+    /// Arena length in `f32` items.
+    pub arena_len: usize,
+    /// The batch's firings, in schedule order.
+    pub firings: Vec<FusedFiring>,
+    /// Cross inputs: bulk ring→arena copies to run before the firings.
+    pub loads: Vec<BoundaryIo>,
+    /// Cross outputs: bulk arena→ring copies to run after the firings.
+    pub stores: Vec<BoundaryIo>,
+}
+
+/// Compile one segment's batch into a [`FiringPlan`].
+///
+/// `nodes` are the segment's members, `quota[v]` is how often node `v`
+/// fires per batch, and `firings` is the batch's firing sequence (every
+/// member exactly `quota` times, in an order that is legal with all
+/// cross inputs pre-loaded). Returns `None` if the sequence fires a
+/// non-member, misses a quota, overflows arena arithmetic, or is not a
+/// legal schedule — i.e. some firing would read items not yet written.
+pub fn compile_firing_plan(
+    g: &StreamGraph,
+    quota: &[u64],
+    nodes: &[NodeId],
+    firings: &[NodeId],
+) -> Option<FiringPlan> {
+    let mut member = vec![false; g.node_count()];
+    let mut local_of = vec![usize::MAX; g.node_count()];
+    for (i, &v) in nodes.iter().enumerate() {
+        member[v.idx()] = true;
+        local_of[v.idx()] = i;
+    }
+
+    // One stream region per incident edge, in deterministic order:
+    // node order, in-edges first (covers internal edges exactly once,
+    // at their consumer), then boundary out-edges.
+    fn place(
+        region: &mut [usize],
+        arena_len: &mut usize,
+        e: EdgeId,
+        items: u64,
+    ) -> Option<BoundaryIo> {
+        let items = usize::try_from(items).ok()?;
+        let offset = *arena_len;
+        region[e.idx()] = offset;
+        *arena_len = arena_len.checked_add(items)?;
+        Some(BoundaryIo {
+            edge: e,
+            offset,
+            items,
+        })
+    }
+    let mut region = vec![usize::MAX; g.edge_count()];
+    let mut arena_len = 0usize;
+    let mut loads = Vec::new();
+    let mut stores = Vec::new();
+    for &v in nodes {
+        for &e in g.in_edges(v) {
+            let edge = g.edge(e);
+            let items = quota[v.idx()].checked_mul(edge.consume)?;
+            if member[edge.src.idx()] {
+                // Internal: one batch is rate-matched end to end.
+                let produced = quota[edge.src.idx()].checked_mul(edge.produce)?;
+                if produced != items {
+                    return None;
+                }
+                place(&mut region, &mut arena_len, e, items)?;
+            } else {
+                loads.push(place(&mut region, &mut arena_len, e, items)?);
+            }
+        }
+        for &e in g.out_edges(v) {
+            let edge = g.edge(e);
+            if !member[edge.dst.idx()] {
+                let items = quota[v.idx()].checked_mul(edge.produce)?;
+                stores.push(place(&mut region, &mut arena_len, e, items)?);
+            }
+        }
+    }
+
+    // Replay the schedule: compute each firing's spans from per-node
+    // firing counters, and validate legality with the same occupancy
+    // bookkeeping a real FIFO would do (cross inputs start full).
+    let mut occupancy = vec![0u64; g.edge_count()];
+    for io in &loads {
+        occupancy[io.edge.idx()] = io.items as u64;
+    }
+    let mut fired = vec![0u64; g.node_count()];
+    let mut compiled = Vec::with_capacity(firings.len());
+    for &v in firings {
+        if !member[v.idx()] || fired[v.idx()] >= quota[v.idx()] {
+            return None;
+        }
+        let k = fired[v.idx()];
+        fired[v.idx()] += 1;
+        let mut inputs = Vec::with_capacity(g.in_edges(v).len());
+        for &e in g.in_edges(v) {
+            let consume = g.edge(e).consume;
+            if occupancy[e.idx()] < consume {
+                return None; // read would overtake the writes
+            }
+            occupancy[e.idx()] -= consume;
+            inputs.push(ArenaSpan {
+                offset: region[e.idx()] + usize::try_from(k.checked_mul(consume)?).ok()?,
+                len: consume as usize,
+            });
+        }
+        let mut outputs = Vec::with_capacity(g.out_edges(v).len());
+        for &e in g.out_edges(v) {
+            let produce = g.edge(e).produce;
+            if member[g.edge(e).dst.idx()] {
+                occupancy[e.idx()] += produce;
+            }
+            outputs.push(ArenaSpan {
+                offset: region[e.idx()] + usize::try_from(k.checked_mul(produce)?).ok()?,
+                len: produce as usize,
+            });
+        }
+        compiled.push(FusedFiring {
+            local: local_of[v.idx()],
+            inputs,
+            outputs,
+        });
+    }
+    // Quotas met and every stream drained: the arena is stateless
+    // across batches.
+    for &v in nodes {
+        if fired[v.idx()] != quota[v.idx()] {
+            return None;
+        }
+        if g.in_edges(v).iter().any(|&e| occupancy[e.idx()] != 0) {
+            return None;
+        }
+    }
+    Some(FiringPlan {
+        arena_len,
+        firings: compiled,
+        loads,
+        stores,
     })
 }
 
@@ -198,5 +397,82 @@ mod tests {
             mpo_fused * 4.0 < mpo_fine,
             "fused {mpo_fused} vs fine {mpo_fine}"
         );
+    }
+
+    /// a --2/1--> b --1/2--> c with quotas (1, 2, 1): classic SDF.
+    fn rate_pipeline() -> (StreamGraph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let va = b.node("a", 4);
+        let vb = b.node("b", 4);
+        let vc = b.node("c", 4);
+        b.edge(va, vb, 2, 1);
+        b.edge(vb, vc, 1, 2);
+        (b.build().unwrap(), vec![va, vb, vc])
+    }
+
+    #[test]
+    fn firing_plan_whole_segment_layout() {
+        let (g, v) = rate_pipeline();
+        let quota = vec![1, 2, 1];
+        let firings = vec![v[0], v[1], v[1], v[2]];
+        let plan = compile_firing_plan(&g, &quota, &v, &firings).unwrap();
+        // Two internal edges, 2 items each, no boundary traffic.
+        assert_eq!(plan.arena_len, 4);
+        assert!(plan.loads.is_empty() && plan.stores.is_empty());
+        assert_eq!(plan.firings.len(), 4);
+        // Region for a→b is placed first (b's in-edge), b→c second.
+        let f = &plan.firings;
+        assert_eq!(f[0].local, 0);
+        assert_eq!(f[0].outputs, vec![ArenaSpan { offset: 0, len: 2 }]);
+        assert_eq!(f[1].inputs, vec![ArenaSpan { offset: 0, len: 1 }]);
+        assert_eq!(f[1].outputs, vec![ArenaSpan { offset: 2, len: 1 }]);
+        assert_eq!(f[2].inputs, vec![ArenaSpan { offset: 1, len: 1 }]);
+        assert_eq!(f[2].outputs, vec![ArenaSpan { offset: 3, len: 1 }]);
+        assert_eq!(f[3].local, 2);
+        assert_eq!(f[3].inputs, vec![ArenaSpan { offset: 2, len: 2 }]);
+        assert!(f[3].outputs.is_empty());
+    }
+
+    #[test]
+    fn firing_plan_rejects_illegal_order() {
+        let (g, v) = rate_pipeline();
+        let quota = vec![1, 2, 1];
+        // c before b: reads items b has not written yet.
+        let bad = vec![v[0], v[2], v[1], v[1]];
+        assert!(compile_firing_plan(&g, &quota, &v, &bad).is_none());
+        // Quota miss: b fires once, leaving a→b half full.
+        let short = vec![v[0], v[1], v[2]];
+        assert!(compile_firing_plan(&g, &quota, &short, &short).is_none());
+    }
+
+    #[test]
+    fn firing_plan_singleton_segment_has_boundary_io() {
+        let (g, v) = rate_pipeline();
+        let quota = vec![1, 2, 1];
+        let seg = vec![v[1]];
+        let firings = vec![v[1], v[1]];
+        let plan = compile_firing_plan(&g, &quota, &seg, &firings).unwrap();
+        assert_eq!(plan.arena_len, 4);
+        assert_eq!(plan.loads.len(), 1);
+        assert_eq!((plan.loads[0].offset, plan.loads[0].items), (0, 2));
+        assert_eq!(plan.stores.len(), 1);
+        assert_eq!((plan.stores[0].offset, plan.stores[0].items), (2, 2));
+        assert_eq!(
+            plan.firings[1].inputs,
+            vec![ArenaSpan { offset: 1, len: 1 }]
+        );
+        assert_eq!(
+            plan.firings[1].outputs,
+            vec![ArenaSpan { offset: 3, len: 1 }]
+        );
+    }
+
+    #[test]
+    fn firing_plan_rejects_rate_mismatched_quota() {
+        let (g, v) = rate_pipeline();
+        // quota (1, 1, 1) leaves a→b unbalanced: 2 produced, 1 consumed.
+        let quota = vec![1, 1, 1];
+        let firings = vec![v[0], v[1], v[2]];
+        assert!(compile_firing_plan(&g, &quota, &v, &firings).is_none());
     }
 }

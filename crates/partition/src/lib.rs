@@ -26,7 +26,9 @@
 //!   paper's §7 points to).
 //! * [`fusion`] — materialize a partition as a coarser streaming graph
 //!   (the §6 remark that module fusion is a special case of
-//!   partitioning, made executable).
+//!   partitioning, made executable), plus [`FiringPlan`]: a segment
+//!   batch compiled into a flat-arena firing sequence for the fused
+//!   executor hot path.
 
 pub mod annealing;
 pub mod dag_exact;
@@ -37,5 +39,6 @@ pub mod multilevel;
 pub mod pipeline;
 pub mod types;
 
+pub use fusion::{compile_firing_plan, ArenaSpan, BoundaryIo, FiringPlan, FusedFiring};
 pub use pipeline::{PipelineError, PipelinePartition, Segmentation};
 pub use types::{ComponentId, Partition, PartitionError};

@@ -150,10 +150,10 @@ mod tests {
         use crate::kernel::{ForwardDigest, Kernel, SinkCollect};
         let mut a = ForwardDigest::new(Box::new(SinkCollect::new(4)));
         let mut b = ForwardDigest::new(Box::new(SinkCollect::new(4)));
-        let mut out_a = vec![vec![0.0f32]];
-        let mut out_b = vec![vec![0.0f32]];
-        a.fire(&[vec![1.0, 2.0]], &mut out_a);
-        b.fire(&[vec![2.0, 1.0]], &mut out_b);
+        let mut out_a = [0.0f32];
+        let mut out_b = [0.0f32];
+        a.fire(&[&[1.0, 2.0]], &mut [&mut out_a]);
+        b.fire(&[&[2.0, 1.0]], &mut [&mut out_b]);
         // Different streams → different forwarded values and digests.
         assert_ne!(out_a, out_b);
         assert_ne!(a.digest(), b.digest());

@@ -42,19 +42,52 @@ pub(crate) const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 /// input buffer and fills `out(e)` items in each output buffer (buffer
 /// lengths are exactly the rates; the executor owns the ring buffers and
 /// pre-allocated scratch space, so firing is allocation-free).
+///
+/// Ports are plain slices so the executor is free to back them with
+/// anything contiguous: per-port scratch `Vec`s on the classic path
+/// (see [`fire_ports`]), or spans of a segment's flat scratch arena on
+/// the fused hot path — no copy either way.
 pub trait Kernel: Send {
     /// Words of state this kernel touches per firing (should match the
     /// graph's `s(v)`; one `f32` = one word).
     fn state_words(&self) -> usize;
 
     /// Execute one firing.
-    fn fire(&mut self, inputs: &[Vec<f32>], outputs: &mut [Vec<f32>]);
+    fn fire(&mut self, inputs: &[&[f32]], outputs: &mut [&mut [f32]]);
 
     /// A digest of everything this kernel has observed (used by sinks for
     /// cross-scheduler equivalence checks). `None` for kernels that don't
     /// accumulate.
     fn digest(&self) -> Option<u64> {
         None
+    }
+}
+
+/// Port arity covered by [`fire_ports`]'s stack-allocated fast path.
+const MAX_PORTS: usize = 8;
+
+/// Fire a kernel whose scratch lives in per-port `Vec`s — the unfused
+/// executors' calling convention. The slice views are built on the
+/// stack for arities up to `MAX_PORTS` = 8 (every graph in the suite),
+/// so the hot loop stays allocation-free; wider nodes fall back to a
+/// heap-built view table.
+#[inline]
+pub fn fire_ports(k: &mut dyn Kernel, inputs: &[Vec<f32>], outputs: &mut [Vec<f32>]) {
+    let (n_in, n_out) = (inputs.len(), outputs.len());
+    if n_in <= MAX_PORTS && n_out <= MAX_PORTS {
+        let mut ins: [&[f32]; MAX_PORTS] = [&[]; MAX_PORTS];
+        for (slot, v) in ins.iter_mut().zip(inputs) {
+            *slot = v.as_slice();
+        }
+        let mut outs: [&mut [f32]; MAX_PORTS] = std::array::from_fn(|_| Default::default());
+        for (slot, v) in outs.iter_mut().zip(outputs.iter_mut()) {
+            *slot = v.as_mut_slice();
+        }
+        k.fire(&ins[..n_in], &mut outs[..n_out]);
+    } else {
+        let ins: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let mut outs: Vec<&mut [f32]> = outputs.iter_mut().map(|v| v.as_mut_slice()).collect();
+        k.fire(&ins, &mut outs);
     }
 }
 
@@ -82,7 +115,7 @@ impl Kernel for SourceGen {
         self.table.len()
     }
 
-    fn fire(&mut self, _inputs: &[Vec<f32>], outputs: &mut [Vec<f32>]) {
+    fn fire(&mut self, _inputs: &[&[f32]], outputs: &mut [&mut [f32]]) {
         // Touch the whole table (models loading the module state).
         let acc = state_sweep(&self.table);
         for out in outputs.iter_mut() {
@@ -126,7 +159,7 @@ impl Kernel for SinkCollect {
         self.table.len()
     }
 
-    fn fire(&mut self, inputs: &[Vec<f32>], _outputs: &mut [Vec<f32>]) {
+    fn fire(&mut self, inputs: &[&[f32]], _outputs: &mut [&mut [f32]]) {
         let _ = state_sweep(&self.table);
         for input in inputs {
             for &x in input.iter() {
@@ -168,7 +201,7 @@ impl Kernel for FirFilter {
         self.taps.len() + self.window.len()
     }
 
-    fn fire(&mut self, inputs: &[Vec<f32>], outputs: &mut [Vec<f32>]) {
+    fn fire(&mut self, inputs: &[&[f32]], outputs: &mut [&mut [f32]]) {
         debug_assert_eq!(inputs.len(), 1);
         debug_assert_eq!(inputs[0].len(), self.decimate);
         // Shift the new samples into the window.
@@ -226,7 +259,7 @@ impl Kernel for SyntheticKernel {
         self.state.len()
     }
 
-    fn fire(&mut self, inputs: &[Vec<f32>], outputs: &mut [Vec<f32>]) {
+    fn fire(&mut self, inputs: &[&[f32]], outputs: &mut [&mut [f32]]) {
         let mut acc = 0.0f32;
         for input in inputs {
             for &x in input.iter() {
@@ -274,7 +307,7 @@ impl Kernel for ForwardDigest {
         self.inner.state_words()
     }
 
-    fn fire(&mut self, inputs: &[Vec<f32>], outputs: &mut [Vec<f32>]) {
+    fn fire(&mut self, inputs: &[&[f32]], outputs: &mut [&mut [f32]]) {
         for input in inputs {
             for &x in input.iter() {
                 self.hash = fnv1a_fold(self.hash, x);
@@ -316,7 +349,7 @@ impl Kernel for Mixer {
         self.table.len()
     }
 
-    fn fire(&mut self, inputs: &[Vec<f32>], outputs: &mut [Vec<f32>]) {
+    fn fire(&mut self, inputs: &[&[f32]], outputs: &mut [&mut [f32]]) {
         let mut acc = 0.0f32;
         for input in inputs {
             for &x in input.iter() {
@@ -341,14 +374,14 @@ mod tests {
     fn source_is_deterministic() {
         let mut a = SourceGen::new(8);
         let mut b = SourceGen::new(8);
-        let mut out_a = vec![vec![0.0f32; 16]];
-        let mut out_b = vec![vec![0.0f32; 16]];
-        a.fire(&[], &mut out_a);
-        b.fire(&[], &mut out_b);
+        let mut out_a = vec![0.0f32; 16];
+        let mut out_b = vec![0.0f32; 16];
+        a.fire(&[], &mut [&mut out_a]);
+        b.fire(&[], &mut [&mut out_b]);
         assert_eq!(out_a, out_b);
         // Next firing differs from the first (stream advances).
-        let mut out_a2 = vec![vec![0.0f32; 16]];
-        a.fire(&[], &mut out_a2);
+        let mut out_a2 = vec![0.0f32; 16];
+        a.fire(&[], &mut [&mut out_a2]);
         assert_ne!(out_a, out_a2);
     }
 
@@ -356,8 +389,8 @@ mod tests {
     fn sink_digest_is_order_sensitive() {
         let mut s1 = SinkCollect::new(4);
         let mut s2 = SinkCollect::new(4);
-        s1.fire(&[vec![1.0, 2.0]], &mut []);
-        s2.fire(&[vec![2.0, 1.0]], &mut []);
+        s1.fire(&[&[1.0, 2.0]], &mut []);
+        s2.fire(&[&[2.0, 1.0]], &mut []);
         assert_ne!(s1.digest(), s2.digest());
         assert_eq!(s1.items(), 2);
     }
@@ -366,29 +399,29 @@ mod tests {
     fn sink_digest_matches_for_same_stream_chunked_differently() {
         let mut s1 = SinkCollect::new(4);
         let mut s2 = SinkCollect::new(4);
-        s1.fire(&[vec![1.0, 2.0, 3.0, 4.0]], &mut []);
-        s2.fire(&[vec![1.0, 2.0]], &mut []);
-        s2.fire(&[vec![3.0, 4.0]], &mut []);
+        s1.fire(&[&[1.0, 2.0, 3.0, 4.0]], &mut []);
+        s2.fire(&[&[1.0, 2.0]], &mut []);
+        s2.fire(&[&[3.0, 4.0]], &mut []);
         assert_eq!(s1.digest(), s2.digest());
     }
 
     #[test]
     fn fir_filter_computes_dot_product() {
         let mut f = FirFilter::new(4, 1);
-        let mut out = vec![vec![0.0f32]];
+        let mut out = [0.0f32];
         for _ in 0..4 {
-            f.fire(&[vec![1.0]], &mut out);
+            f.fire(&[&[1.0]], &mut [&mut out]);
         }
         // Window now all ones: output = sum of taps.
         let expected: f32 = f.taps.iter().sum();
-        assert!((out[0][0] - expected).abs() < 1e-6);
+        assert!((out[0] - expected).abs() < 1e-6);
     }
 
     #[test]
     fn fir_decimation_consumes_many() {
         let mut f = FirFilter::new(8, 4);
-        let mut out = vec![vec![0.0f32]];
-        f.fire(&[vec![1.0, 2.0, 3.0, 4.0]], &mut out);
+        let mut out = [0.0f32];
+        f.fire(&[&[1.0, 2.0, 3.0, 4.0]], &mut [&mut out]);
         assert_eq!(f.state_words(), 16);
     }
 
@@ -404,11 +437,11 @@ mod tests {
     fn synthetic_deterministic_across_instances() {
         let mut a = SyntheticKernel::new(32, true);
         let mut b = SyntheticKernel::new(32, true);
-        let mut oa = vec![vec![0.0f32; 3]];
-        let mut ob = vec![vec![0.0f32; 3]];
+        let mut oa = [0.0f32; 3];
+        let mut ob = [0.0f32; 3];
         for _ in 0..10 {
-            a.fire(&[vec![0.5, 0.25]], &mut oa);
-            b.fire(&[vec![0.5, 0.25]], &mut ob);
+            a.fire(&[&[0.5, 0.25]], &mut [&mut oa]);
+            b.fire(&[&[0.5, 0.25]], &mut [&mut ob]);
             assert_eq!(oa, ob);
         }
     }
@@ -416,8 +449,33 @@ mod tests {
     #[test]
     fn mixer_distinguishes_outputs() {
         let mut m = Mixer::new(4);
+        let mut o0 = [0.0f32; 2];
+        let mut o1 = [0.0f32; 2];
+        m.fire(&[&[1.0]], &mut [&mut o0, &mut o1]);
+        assert_ne!(o0, o1);
+    }
+
+    /// The `Vec`-scratch shim builds the same port views the direct
+    /// slice call does — digests and outputs agree across both calling
+    /// conventions.
+    #[test]
+    fn fire_ports_matches_direct_slice_call() {
+        let mut via_vecs = SinkCollect::new(4);
+        let mut direct = SinkCollect::new(4);
+        let inputs = vec![vec![1.0f32, 2.0], vec![3.0f32]];
+        fire_ports(&mut via_vecs, &inputs, &mut []);
+        direct.fire(&[&[1.0, 2.0], &[3.0]], &mut []);
+        assert_eq!(via_vecs.digest(), direct.digest());
+
+        let mut m1 = Mixer::new(4);
+        let mut m2 = Mixer::new(4);
+        let ins = vec![vec![1.0f32]];
         let mut outs = vec![vec![0.0f32; 2], vec![0.0f32; 2]];
-        m.fire(&[vec![1.0]], &mut outs);
-        assert_ne!(outs[0], outs[1]);
+        fire_ports(&mut m1, &ins, &mut outs);
+        let mut o0 = [0.0f32; 2];
+        let mut o1 = [0.0f32; 2];
+        m2.fire(&[&[1.0]], &mut [&mut o0, &mut o1]);
+        assert_eq!(outs[0], o0);
+        assert_eq!(outs[1], o1);
     }
 }

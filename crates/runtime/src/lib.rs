@@ -20,17 +20,21 @@
 //!   schedulability rule; producers and consumers of a ring run
 //!   concurrently.
 //! * [`ring`] — serial and lock-free SPSC ring buffers.
+//! * [`prefetch`] — the software prefetch hint the fused executor
+//!   issues on the next firing's input spans (no-op off x86_64/aarch64).
 
 pub mod instance;
 pub mod kernel;
 pub mod parallel;
 pub mod parallel_pipeline;
+pub mod prefetch;
 pub mod ring;
 pub mod serial;
 
 pub use instance::Instance;
-pub use kernel::Kernel;
+pub use kernel::{fire_ports, Kernel};
 pub use parallel::execute_parallel;
 pub use parallel_pipeline::execute_parallel_pipeline;
+pub use prefetch::prefetch_read;
 pub use ring::{Ring, SpscRing};
 pub use serial::{execute, execute_obs, ObsConfig, RunStats, SerialObs};

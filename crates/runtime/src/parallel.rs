@@ -218,7 +218,7 @@ fn run_batch(g: &StreamGraph, rings: &[SpscRing], task: &mut ComponentTask, m: u
                 rings[e.idx()].pop_slice(&mut vin[j]);
             }
             let vout = &mut out_scratch[i];
-            task.kernels[i].fire(vin, vout);
+            crate::kernel::fire_ports(task.kernels[i].as_mut(), vin, vout);
             for (j, &e) in g.out_edges(v).iter().enumerate() {
                 rings[e.idx()].push_slice(&vout[j]);
             }

@@ -286,7 +286,7 @@ fn fire_once(
         }
     }
     let vout = &mut scratch.outputs[v.idx()];
-    inst.kernels[v.idx()].fire(vin, vout);
+    crate::kernel::fire_ports(inst.kernels[v.idx()].as_mut(), vin, vout);
     for (i, &e) in inst.graph.out_edges(v).iter().enumerate() {
         rings[e.idx()].push_slice(&vout[i]);
     }

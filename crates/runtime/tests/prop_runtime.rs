@@ -42,6 +42,84 @@ proptest! {
         }
     }
 
+    /// Mixed old-API (`push_slice`/`pop_slice`) and new-API
+    /// (`reserve`/`commit`, `peek`/`release`) call sequences preserve
+    /// FIFO order on both ring flavors: the zero-copy batch path and
+    /// the copying slice path are one protocol over one buffer, so any
+    /// interleaving must drain items in exactly insertion order.
+    #[test]
+    fn mixed_api_sequences_preserve_fifo(cap in 1usize..32,
+                                         ops in prop::collection::vec((0u8..4, 1usize..8), 1..200)) {
+        let mut ring = Ring::new(cap);
+        let spsc = SpscRing::new(cap);
+        let mut model: VecDeque<f32> = VecDeque::new();
+        let mut counter = 0.0f32;
+        for (kind, n) in ops {
+            match kind {
+                0 => { // old-API push
+                    let n = n.min(ring.space());
+                    if n == 0 { continue; }
+                    let items: Vec<f32> = (0..n).map(|_| { counter += 1.0; counter }).collect();
+                    ring.push_slice(&items);
+                    spsc.push_slice(&items);
+                    model.extend(items.iter().copied());
+                }
+                1 => { // new-API producer: reserve + write + commit
+                    let n = n.min(ring.space());
+                    if n == 0 { continue; }
+                    let items: Vec<f32> = (0..n).map(|_| { counter += 1.0; counter }).collect();
+                    {
+                        let (a, b) = ring.reserve(n);
+                        let k = a.len();
+                        a.copy_from_slice(&items[..k]);
+                        b.copy_from_slice(&items[k..]);
+                    }
+                    ring.commit(n);
+                    {
+                        let (a, b) = spsc.reserve(n);
+                        let k = a.len();
+                        a.copy_from_slice(&items[..k]);
+                        b.copy_from_slice(&items[k..]);
+                    }
+                    spsc.commit(n);
+                    model.extend(items.iter().copied());
+                }
+                2 => { // old-API pop
+                    let n = n.min(ring.len());
+                    if n == 0 { continue; }
+                    let mut out = vec![0.0f32; n];
+                    ring.pop_slice(&mut out);
+                    let mut out2 = vec![0.0f32; n];
+                    spsc.pop_slice(&mut out2);
+                    prop_assert_eq!(&out, &out2);
+                    for x in out {
+                        prop_assert_eq!(Some(x), model.pop_front());
+                    }
+                }
+                _ => { // new-API consumer: peek + release
+                    let n = n.min(ring.len());
+                    if n == 0 { continue; }
+                    let got: Vec<f32> = {
+                        let (a, b) = ring.peek(n);
+                        a.iter().chain(b.iter()).copied().collect()
+                    };
+                    ring.release(n);
+                    let got2: Vec<f32> = {
+                        let (a, b) = spsc.peek(n);
+                        a.iter().chain(b.iter()).copied().collect()
+                    };
+                    spsc.release(n);
+                    prop_assert_eq!(&got, &got2);
+                    for x in got {
+                        prop_assert_eq!(Some(x), model.pop_front());
+                    }
+                }
+            }
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert_eq!(spsc.len(), model.len());
+        }
+    }
+
     /// The SPSC ring agrees with the serial ring in single-threaded use.
     #[test]
     fn spsc_matches_serial_single_thread(cap in 1usize..24,
